@@ -1,0 +1,78 @@
+//! Ablation: the two throughput analyses.
+//!
+//! DESIGN.md commits to two independent analyses — self-timed state-space
+//! exploration (primary, used in the flow) and HSDF conversion followed by
+//! exact max-cycle-ratio (cross-check). This bench verifies they agree on
+//! multirate rings of growing size and compares their runtimes, showing why
+//! the state-space algorithm is the right default for the expanded graphs
+//! (the HSDF expansion multiplies actor counts by the repetition vector).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mamps_bench::short_criterion;
+use mamps_sdf::graph::{SdfGraph, SdfGraphBuilder};
+use mamps_sdf::mcr::mcr_throughput;
+use mamps_sdf::ratio::gcd;
+use mamps_sdf::state_space::{throughput, AnalysisOptions};
+
+/// A consistent multirate ring with `n` actors and a deterministic rate
+/// pattern.
+fn ring(n: usize) -> SdfGraph {
+    let q: Vec<u64> = (0..n).map(|i| 1 + (i as u64 % 3)).collect();
+    let mut b = SdfGraphBuilder::new(format!("ring{n}"));
+    let ids: Vec<_> = (0..n)
+        .map(|i| b.add_actor(format!("a{i}"), 3 + (i as u64 * 7) % 20))
+        .collect();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let g = gcd(q[i], q[j]);
+        // Enough initial tokens on every edge to keep the ring live.
+        b.add_channel_with_tokens(
+            format!("e{i}"),
+            ids[i],
+            q[j] / g,
+            ids[j],
+            q[i] / g,
+            2 * (q[i] / g) * (q[j] / g) + 2,
+        );
+    }
+    b.build().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\nablation: state-space vs HSDF+MCR throughput analysis");
+    println!("{:<8} {:>18} {:>18}", "actors", "state-space", "hsdf+mcr");
+    for n in [3usize, 6, 9, 12] {
+        let g = ring(n);
+        let ss = throughput(&g, &AnalysisOptions::default()).unwrap();
+        let mc = mcr_throughput(&g).unwrap();
+        assert_eq!(ss.iterations_per_cycle, mc, "analyses disagree at n={n}");
+        println!(
+            "{:<8} {:>18} {:>18}",
+            n,
+            format!("{}", ss.iterations_per_cycle),
+            format!("{mc}")
+        );
+    }
+
+    let mut group = c.benchmark_group("analysis");
+    for n in [4usize, 8, 12] {
+        let g = ring(n);
+        group.bench_with_input(BenchmarkId::new("state_space", n), &g, |b, g| {
+            b.iter(|| {
+                std::hint::black_box(throughput(g, &AnalysisOptions::default()).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hsdf_mcr", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(mcr_throughput(g).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 6(a): measured and predicted worst-case throughput of the MJPEG
+//! decoder over the FSL interconnect, for the synthetic sequence and the
+//! five real-life test sequences.
+//!
+//! The table is printed once; Criterion then times the two kernels behind
+//! the figure: the worst-case analysis of the mapped design and the
+//! simulated platform decoding one sequence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mamps_bench::{bench_stream_config, short_criterion, SIM_ITERATIONS};
+use mamps_core::experiments::fig6_experiment;
+use mamps_core::report::render_fig6;
+use mamps_mapping::flow::{map_application, MapOptions};
+use mamps_mjpeg::app_model::mjpeg_application;
+use mamps_mjpeg::sequences::{profile_sequence, synthetic, traces_of};
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
+use mamps_sim::{System, TraceTimes};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_stream_config();
+    let (flow, rows) =
+        fig6_experiment(&cfg, 3, Interconnect::fsl(), SIM_ITERATIONS).expect("fig6 runs");
+    println!(
+        "\n{}",
+        render_fig6("Fig 6(a): FSL interconnect (MCU/MHz/s)", &rows)
+    );
+    for r in &rows {
+        assert!(r.guarantee().holds(), "{} violated the bound", r.sequence);
+    }
+
+    let app = mjpeg_application(&cfg, None).unwrap();
+    let arch = Architecture::homogeneous("bench", 3, Interconnect::fsl()).unwrap();
+    c.bench_function("fig6a/worst_case_analysis", |b| {
+        b.iter(|| {
+            let mapped =
+                map_application(&app, &arch, &MapOptions::default()).expect("mapping");
+            std::hint::black_box(mapped.analysis.as_f64())
+        })
+    });
+
+    let decoded = profile_sequence(&cfg, synthetic()).unwrap();
+    let times = TraceTimes::new(
+        traces_of(&decoded.profile),
+        flow.mapped.mapping.binding.wcet_of.clone(),
+    );
+    c.bench_function("fig6a/measured_synthetic_150mcu", |b| {
+        b.iter(|| {
+            let sys = System::new(app.graph(), &flow.mapped.mapping, &flow.arch, &times)
+                .expect("system builds");
+            std::hint::black_box(
+                sys.run(SIM_ITERATIONS, 100_000_000_000)
+                    .expect("runs")
+                    .steady_throughput(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: platform scaling for the MJPEG decoder.
+//!
+//! Sweeps the tile count for both interconnects, printing the guaranteed
+//! bound, the near-square mesh chosen for the NoC (paper §5.3.1), and the
+//! platform area; then times the full flow at two platform sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mamps_bench::{bench_stream_config, short_criterion};
+use mamps_core::flow::{run_flow, FlowOptions};
+use mamps_mjpeg::app_model::mjpeg_application;
+use mamps_platform::area::platform_area;
+use mamps_platform::interconnect::Interconnect;
+use mamps_platform::noc::mesh_dimensions;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_stream_config();
+    let app = mjpeg_application(&cfg, None).unwrap();
+
+    println!("\nMJPEG bound vs platform size:");
+    println!(
+        "{:<6} {:<7} {:<7} {:>14} {:>10}",
+        "tiles", "ic", "mesh", "cycles/MCU", "slices"
+    );
+    for tiles in [1usize, 2, 3, 4, 5] {
+        for (name, ic) in [
+            ("fsl", Interconnect::fsl()),
+            ("noc", Interconnect::noc_for_tiles(tiles)),
+        ] {
+            if let Ok(flow) = run_flow(&app, tiles, ic, &FlowOptions::default()) {
+                let (w, h) = mesh_dimensions(tiles);
+                let area = platform_area(&flow.arch, 4);
+                println!(
+                    "{:<6} {:<7} {:<7} {:>14.0} {:>10}",
+                    tiles,
+                    name,
+                    if name == "noc" {
+                        format!("{w}x{h}")
+                    } else {
+                        "-".into()
+                    },
+                    1.0 / flow.guaranteed_throughput(),
+                    area.total.slices
+                );
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("flow");
+    for tiles in [2usize, 5] {
+        group.bench_with_input(BenchmarkId::new("fsl", tiles), &tiles, |b, &t| {
+            b.iter(|| {
+                std::hint::black_box(
+                    run_flow(&app, t, Interconnect::fsl(), &FlowOptions::default()).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! §5.3.1: the area cost of integrating the SDM NoC into MAMPS.
+//!
+//! Adding credit-based flow control to the NoC router costs approximately
+//! 12 % more slices; the NoC interconnect as a whole is larger than FSL
+//! links ("more flexibility at the cost of a larger implementation").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mamps_bench::short_criterion;
+use mamps_core::experiments::noc_flow_control_overhead;
+use mamps_platform::arch::Architecture;
+use mamps_platform::area::{noc_router_base, noc_router_with_flow_control, platform_area};
+use mamps_platform::interconnect::Interconnect;
+
+fn bench(c: &mut Criterion) {
+    println!("\nSection 5.3.1 - NoC flow-control area overhead:");
+    println!("wires  base_slices  +flow_control  overhead");
+    for wires in [1u32, 2, 4, 8] {
+        let base = noc_router_base(wires).slices;
+        let fc = noc_router_with_flow_control(wires).slices;
+        println!(
+            "{wires:<6} {base:<12} {fc:<14} {:.1} %  [paper: ~12 %]",
+            noc_flow_control_overhead(wires) * 100.0
+        );
+    }
+
+    println!("\ninterconnect area comparison (4 tiles, 3 links):");
+    let fsl = Architecture::homogeneous("f", 4, Interconnect::fsl()).unwrap();
+    let noc = Architecture::homogeneous("n", 4, Interconnect::noc_for_tiles(4)).unwrap();
+    let a_fsl = platform_area(&fsl, 3);
+    let a_noc = platform_area(&noc, 3);
+    println!(
+        "  FSL: {} slices interconnect, {} total",
+        a_fsl.interconnect.slices, a_fsl.total.slices
+    );
+    println!(
+        "  NoC: {} slices interconnect, {} total",
+        a_noc.interconnect.slices, a_noc.total.slices
+    );
+    assert!(a_noc.interconnect.slices > a_fsl.interconnect.slices);
+
+    c.bench_function("noc_area/platform_area_model", |b| {
+        b.iter(|| std::hint::black_box(platform_area(&noc, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! §6.3: overhead studies.
+//!
+//! * The communication-assist what-if: replacing PE-side (de-)serialization
+//!   with a CA (same actor binding) raises the predicted throughput — the
+//!   paper reports up to 300 %.
+//! * The modelling-overhead breakdown: the fixed VLD output rate (padding)
+//!   and the per-MCU subHeader tokens as fractions of the communication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mamps_bench::{bench_stream_config, short_criterion};
+use mamps_core::experiments::{ca_overhead_experiment, ca_overhead_vs_serialization_cost};
+use mamps_mjpeg::app_model::fig5_graph;
+use mamps_mjpeg::cost;
+use mamps_platform::interconnect::Interconnect;
+use mamps_sdf::repetition::repetition_vector;
+
+fn communication_breakdown() {
+    let cfg = bench_stream_config();
+    let g = fig5_graph(&cfg);
+    let q = repetition_vector(&g).unwrap();
+    let mut total = 0u64;
+    let mut sub = 0u64;
+    let mut padding = 0u64;
+    for (_, ch) in g.channels() {
+        if ch.is_self_edge() {
+            continue;
+        }
+        let words = q.of(ch.src()) * ch.production_rate() * ch.token_size().div_ceil(4);
+        total += words;
+        if ch.name().starts_with("subHeader") {
+            sub += words;
+        }
+        if ch.name() == "vld2iqzz" {
+            let pad_tokens =
+                cost::MAX_BLOCKS_PER_MCU - cfg.blocks_per_mcu() as u64;
+            padding += pad_tokens * ch.token_size().div_ceil(4);
+        }
+    }
+    println!("communication breakdown (words per MCU):");
+    println!("  total:            {total}");
+    println!(
+        "  subHeader init:   {sub} ({:.1} %)  [paper: ~1 %]",
+        100.0 * sub as f64 / total as f64
+    );
+    println!(
+        "  VLD rate padding: {padding} ({:.1} %)",
+        100.0 * padding as f64 / total as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_stream_config();
+    let r = ca_overhead_experiment(&cfg, 3, Interconnect::fsl()).expect("experiment runs");
+    println!("\nSection 6.3 - communication assist what-if (same binding):");
+    println!(
+        "  PE serialization bound: {:.4e} it/cycle",
+        r.plain_bound
+    );
+    println!("  CA offload bound:       {:.4e} it/cycle", r.ca_bound);
+    println!(
+        "  predicted improvement:  {:.0} % (paper: up to 300 %)",
+        (r.speedup() - 1.0) * 100.0
+    );
+    assert!(r.speedup() > 1.0);
+
+    // Sensitivity: the speedup depends on the serialization/computation
+    // ratio; sweeping the per-word software cost shows the crossover into
+    // the paper's "up to 300 %" regime.
+    println!("\n  speedup vs software serialization cost (5 tiles):");
+    let sweep =
+        ca_overhead_vs_serialization_cost(&cfg, 5, &[4, 16, 48, 96]).expect("sweep runs");
+    for (cpw, s) in &sweep {
+        println!("    {cpw:>3} cycles/word: +{:.0} %", (s - 1.0) * 100.0);
+    }
+    assert!(
+        sweep.last().unwrap().1 > 3.0,
+        "the sweep should reach the paper's regime"
+    );
+    communication_breakdown();
+
+    c.bench_function("overhead_ca/what_if_analysis", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                ca_overhead_experiment(&cfg, 3, Interconnect::fsl()).unwrap().speedup(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table 1: designer effort. The manual rows are quoted from the paper;
+//! the automated rows are measured on this machine — both as a one-shot
+//! table and as Criterion benchmarks of each automated step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mamps_bench::{bench_stream_config, short_criterion};
+use mamps_codegen::generate_project;
+use mamps_core::experiments::table1;
+use mamps_core::flow::{run_flow, FlowOptions};
+use mamps_core::report::render_table1;
+use mamps_mapping::flow::{map_application, MapOptions};
+use mamps_mjpeg::app_model::mjpeg_application;
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
+use mamps_sim::{System, WcetTimes};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_stream_config();
+    let app = mjpeg_application(&cfg, None).unwrap();
+
+    // One-shot table.
+    let flow = run_flow(&app, 3, Interconnect::fsl(), &FlowOptions::default()).unwrap();
+    println!("\n{}", render_table1(&table1(&flow.timings)));
+
+    // Step benchmarks.
+    c.bench_function("table1/generate_architecture_model", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Architecture::homogeneous("auto", 3, Interconnect::fsl()).unwrap(),
+            )
+        })
+    });
+    let arch = Architecture::homogeneous("auto", 3, Interconnect::fsl()).unwrap();
+    c.bench_function("table1/mapping_sdf3", |b| {
+        b.iter(|| {
+            std::hint::black_box(map_application(&app, &arch, &MapOptions::default()).unwrap())
+        })
+    });
+    let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+    c.bench_function("table1/generate_project_mamps", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                generate_project(&app, app.graph(), &mapped.mapping, &arch, "bench").unwrap(),
+            )
+        })
+    });
+    let wcet = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+    c.bench_function("table1/synthesis_boot", |b| {
+        b.iter(|| {
+            let sys = System::new(app.graph(), &mapped.mapping, &arch, &wcet).unwrap();
+            std::hint::black_box(sys.run(3, 1_000_000_000).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

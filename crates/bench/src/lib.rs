@@ -1,0 +1,44 @@
+//! # mamps-bench — the benchmark harness regenerating the paper's tables
+//! and figures
+//!
+//! Each bench target regenerates one evaluation artefact (printed to
+//! stdout before the timing runs) and times the computational kernel
+//! behind it with Criterion:
+//!
+//! | target | artefact |
+//! |---|---|
+//! | `fig6_fsl` | Fig. 6(a): worst-case vs expected vs measured, FSL |
+//! | `fig6_noc` | Fig. 6(b): the same over the SDM NoC |
+//! | `table1_effort` | Table 1: automated design steps, timed live |
+//! | `overhead_ca` | §6.3: CA what-if speedup + communication breakdown |
+//! | `noc_area` | §5.3.1: NoC flow-control slice overhead (~12 %) |
+//! | `analysis_ablation` | state-space vs HSDF+MCR throughput analysis |
+//! | `buffer_sweep` | guaranteed throughput vs buffer capacity |
+//! | `mesh_scaling` | MJPEG bound vs platform size, FSL and NoC |
+//!
+//! Run all with `cargo bench`, or a single artefact with e.g.
+//! `cargo bench -p mamps-bench --bench fig6_fsl`.
+
+use criterion::Criterion;
+
+/// A Criterion configuration short enough for the full suite to run in a
+/// few minutes while still averaging over several samples.
+pub fn short_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+/// The stream geometry used by all benches: one frame of the small
+/// configuration (12 MCUs), enough for stable steady-state measurement
+/// with cycled traces.
+pub fn bench_stream_config() -> mamps_mjpeg::encoder::StreamConfig {
+    mamps_mjpeg::encoder::StreamConfig {
+        frames: 1,
+        ..mamps_mjpeg::encoder::StreamConfig::small()
+    }
+}
+
+/// Simulated MCUs per measured point in the Fig. 6 benches.
+pub const SIM_ITERATIONS: u64 = 150;

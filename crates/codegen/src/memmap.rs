@@ -1,0 +1,159 @@
+//! Memory-map calculation (paper §5.2: "Memory sizes are calculated for
+//! each tile based on the mapped buffers, actors and the size of the
+//! scheduling and communication layer").
+
+use mamps_platform::arch::Architecture;
+use mamps_platform::tile::MAX_TILE_MEMORY_BYTES;
+use mamps_platform::types::TileId;
+use mamps_sdf::graph::SdfGraph;
+use mamps_sdf::model::ApplicationModel;
+
+use mamps_mapping::mapping::Mapping;
+
+use crate::GenError;
+
+/// Size of the scheduling + communication runtime library per tile.
+pub const RUNTIME_IMEM_BYTES: u64 = 8 * 1024;
+/// Data segment of the runtime (schedule table, channel descriptors, stack).
+pub const RUNTIME_DMEM_BYTES: u64 = 4 * 1024;
+
+/// The computed memory map of one tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileMemoryMap {
+    /// Tile index.
+    pub tile: TileId,
+    /// Instruction memory required, in bytes (rounded to 4 kB).
+    pub imem_bytes: u64,
+    /// Data memory required, in bytes (rounded to 4 kB).
+    pub dmem_bytes: u64,
+    /// Portion of data memory holding channel buffers.
+    pub buffer_bytes: u64,
+}
+
+fn round_4k(bytes: u64) -> u64 {
+    bytes.div_ceil(4096) * 4096
+}
+
+/// Computes per-tile memory maps for a mapped application.
+///
+/// Buffers are charged to the tiles of their endpoints: local channels
+/// entirely on their tile, cross-tile channels `alpha_src` tokens at the
+/// source and `alpha_dst` tokens at the destination.
+///
+/// # Errors
+///
+/// [`GenError::Invalid`] if a tile exceeds the MAMPS 256 kB memory limit.
+pub fn memory_maps(
+    app: &ApplicationModel,
+    graph: &SdfGraph,
+    mapping: &Mapping,
+    arch: &Architecture,
+) -> Result<Vec<TileMemoryMap>, GenError> {
+    let binding = &mapping.binding;
+    let mut maps = Vec::with_capacity(arch.tile_count());
+    for t in 0..arch.tile_count() {
+        let tile = TileId(t);
+        let mut imem = RUNTIME_IMEM_BYTES;
+        let mut dmem = RUNTIME_DMEM_BYTES;
+        let mut buffers = 0u64;
+        for a in binding.actors_on(tile) {
+            let im = app
+                .implementation_for(a, arch.tile(tile).processor().name())
+                .ok_or_else(|| {
+                    GenError::Invalid(format!(
+                        "actor `{}` lacks an implementation for tile {tile}",
+                        graph.actor(a).name()
+                    ))
+                })?;
+            imem += im.instruction_memory;
+            dmem += im.data_memory;
+        }
+        for (cid, ch) in graph.channels() {
+            let alloc = mapping.channels[cid.0];
+            if ch.is_self_edge() {
+                continue;
+            }
+            let src_here = binding.tile_of[ch.src().0] == tile;
+            let dst_here = binding.tile_of[ch.dst().0] == tile;
+            if src_here && dst_here {
+                buffers += alloc.local_capacity * ch.token_size();
+            } else if src_here {
+                buffers += alloc.alpha_src * ch.token_size();
+            } else if dst_here {
+                buffers += alloc.alpha_dst * ch.token_size();
+            }
+        }
+        dmem += buffers;
+        let map = TileMemoryMap {
+            tile,
+            imem_bytes: round_4k(imem),
+            dmem_bytes: round_4k(dmem),
+            buffer_bytes: buffers,
+        };
+        if map.imem_bytes + map.dmem_bytes > MAX_TILE_MEMORY_BYTES {
+            return Err(GenError::Invalid(format!(
+                "tile {tile} needs {} + {} bytes, exceeding the {MAX_TILE_MEMORY_BYTES}-byte limit",
+                map.imem_bytes, map.dmem_bytes
+            )));
+        }
+        maps.push(map);
+    }
+    Ok(maps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_mapping::flow::{map_application, MapOptions};
+    use mamps_platform::interconnect::Interconnect;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::HomogeneousModelBuilder;
+
+    fn setup() -> (ApplicationModel, Architecture, Mapping) {
+        let mut b = SdfGraphBuilder::new("app");
+        let x = b.add_actor("x", 1);
+        let y = b.add_actor("y", 1);
+        b.add_channel_full("e", x, 1, y, 1, 0, 64);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("x", 50, 10 * 1024, 2048).actor("y", 60, 12 * 1024, 1024);
+        let app = mb.finish(g, None).unwrap();
+        let arch = Architecture::homogeneous("m", 2, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        (app, arch, mapped.mapping)
+    }
+
+    #[test]
+    fn maps_cover_all_tiles_and_round_to_4k() {
+        let (app, arch, mapping) = setup();
+        let maps = memory_maps(&app, app.graph(), &mapping, &arch).unwrap();
+        assert_eq!(maps.len(), 2);
+        for m in &maps {
+            assert_eq!(m.imem_bytes % 4096, 0);
+            assert_eq!(m.dmem_bytes % 4096, 0);
+            assert!(m.imem_bytes >= RUNTIME_IMEM_BYTES);
+            assert!(m.dmem_bytes >= RUNTIME_DMEM_BYTES);
+        }
+    }
+
+    #[test]
+    fn buffers_charged_to_endpoint_tiles() {
+        let (app, arch, mapping) = setup();
+        let maps = memory_maps(&app, app.graph(), &mapping, &arch).unwrap();
+        // Cross-tile channel: both tiles hold buffer bytes.
+        if mapping.binding.tile_of[0] != mapping.binding.tile_of[1] {
+            assert!(maps[0].buffer_bytes > 0);
+            assert!(maps[1].buffer_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn oversized_buffers_rejected() {
+        let (app, arch, mut mapping) = setup();
+        mapping.channels[0].alpha_src = 10_000; // 640 kB of 64-byte tokens
+        assert!(matches!(
+            memory_maps(&app, app.graph(), &mapping, &arch),
+            Err(GenError::Invalid(_))
+        ));
+    }
+}

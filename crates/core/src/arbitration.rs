@@ -1,0 +1,184 @@
+//! Shared-peripheral arbitration at the flow level (paper §7 future work).
+//!
+//! Actors that access board peripherals declare their worst-case access
+//! count per firing; on an architecture with a [`TdmArbiter`](mamps_platform::arbiter::TdmArbiter), each such
+//! actor's WCET is inflated by the arbiter's worst-case access latency
+//! before mapping. The result stays fully predictable: the inflated WCETs
+//! are sound upper bounds under any interleaving of requestors, so every
+//! downstream guarantee (throughput bound, simulation) carries over.
+
+use std::collections::HashMap;
+
+use mamps_platform::arch::Architecture;
+use mamps_platform::types::TileId;
+use mamps_sdf::graph::ActorId;
+use mamps_sdf::model::ApplicationModel;
+use mamps_sdf::SdfError;
+
+/// Peripheral accesses per firing, per actor.
+pub type PeripheralAccesses = Vec<(ActorId, u64)>;
+
+/// Errors of the arbitration pre-pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArbitrationError {
+    /// The architecture has no peripheral arbiter but sharing is required.
+    NoArbiter,
+    /// WCET inflation failed; the message names the tile.
+    Inflation(String),
+    /// Rebuilding the application model failed.
+    Model(SdfError),
+}
+
+impl std::fmt::Display for ArbitrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArbitrationError::NoArbiter => {
+                write!(f, "architecture has no peripheral arbiter")
+            }
+            ArbitrationError::Inflation(m) => write!(f, "cannot bound access latency: {m}"),
+            ArbitrationError::Model(e) => write!(f, "model rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArbitrationError {}
+
+/// Returns a copy of `app` whose peripheral-accessing actors carry WCETs
+/// inflated by the arbiter's worst-case access latency.
+///
+/// The inflation is binding-independent: it uses the worst latency over
+/// all tiles in the TDM table, so the bound holds wherever the binder
+/// places the actor.
+///
+/// # Errors
+///
+/// [`ArbitrationError`] if the architecture has no arbiter or the table is
+/// unusable.
+pub fn apply_peripheral_arbitration(
+    app: &ApplicationModel,
+    arch: &Architecture,
+    accesses: &PeripheralAccesses,
+) -> Result<ApplicationModel, ArbitrationError> {
+    if accesses.iter().all(|&(_, n)| n == 0) {
+        return Ok(app.clone());
+    }
+    let arbiter = arch
+        .peripheral_arbiter()
+        .ok_or(ArbitrationError::NoArbiter)?;
+    // Binding-independent bound: the worst access latency over every tile
+    // appearing in the table.
+    let worst = arbiter
+        .table()
+        .iter()
+        .filter_map(|&t| arbiter.worst_case_access(t))
+        .max()
+        .ok_or_else(|| ArbitrationError::Inflation("empty TDM table".into()))?;
+    let _ = TileId(0); // (tile-specific refinement is a future extension)
+
+    let by_actor: HashMap<ActorId, u64> = accesses.iter().copied().collect();
+    let graph = app.graph().clone();
+    let mut implementations = HashMap::new();
+    for (aid, actor) in graph.actors() {
+        let extra = by_actor.get(&aid).copied().unwrap_or(0) * worst;
+        let impls: Vec<_> = app
+            .implementations(aid)
+            .iter()
+            .cloned()
+            .map(|mut im| {
+                im.wcet += extra;
+                im
+            })
+            .collect();
+        implementations.insert(actor.name().to_string(), impls);
+    }
+    let mut graph = graph;
+    for (aid, _) in app.graph().actors() {
+        let extra = by_actor.get(&aid).copied().unwrap_or(0) * worst;
+        let new = graph.actor(aid).execution_time() + extra;
+        graph.actor_mut(aid).set_execution_time(new);
+    }
+    ApplicationModel::new(graph, implementations, app.throughput_constraint())
+        .map_err(ArbitrationError::Model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_platform::arbiter::TdmArbiter;
+    use mamps_platform::interconnect::Interconnect;
+    use mamps_platform::tile::TileConfig;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::HomogeneousModelBuilder;
+
+    fn app() -> ApplicationModel {
+        let mut b = SdfGraphBuilder::new("a");
+        let x = b.add_actor("x", 1);
+        let y = b.add_actor("y", 1);
+        b.add_channel("e", x, 1, y, 1);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("x", 100, 2048, 256).actor("y", 100, 2048, 256);
+        mb.finish(g, None).unwrap()
+    }
+
+    fn shared_arch() -> Architecture {
+        let tiles = vec![TileConfig::master("m0"), TileConfig::master("m1")];
+        let arbiter = TdmArbiter::round_robin(10, &[TileId(0), TileId(1)]);
+        Architecture::with_peripheral_arbiter("sh", tiles, Interconnect::fsl(), arbiter)
+            .unwrap()
+    }
+
+    #[test]
+    fn inflation_applies_to_declared_actors_only() {
+        let app = app();
+        let arch = shared_arch();
+        let x = app.graph().actor_by_name("x").unwrap();
+        let y = app.graph().actor_by_name("y").unwrap();
+        // Round-robin over 2 tiles, 10-cycle slots: worst = 2*10 + 10 = 30.
+        let inflated =
+            apply_peripheral_arbitration(&app, &arch, &vec![(x, 2)]).unwrap();
+        assert_eq!(inflated.graph().actor(x).execution_time(), 100 + 60);
+        assert_eq!(inflated.graph().actor(y).execution_time(), 100);
+        assert_eq!(inflated.wcet(x, "microblaze"), Some(160));
+    }
+
+    #[test]
+    fn no_accesses_is_identity() {
+        let app = app();
+        let arch = shared_arch();
+        let out = apply_peripheral_arbitration(&app, &arch, &vec![]).unwrap();
+        let x = app.graph().actor_by_name("x").unwrap();
+        assert_eq!(out.graph().actor(x).execution_time(), 100);
+    }
+
+    #[test]
+    fn missing_arbiter_rejected() {
+        let app = app();
+        let arch = Architecture::homogeneous("p", 2, Interconnect::fsl()).unwrap();
+        let x = app.graph().actor_by_name("x").unwrap();
+        assert!(matches!(
+            apply_peripheral_arbitration(&app, &arch, &vec![(x, 1)]),
+            Err(ArbitrationError::NoArbiter)
+        ));
+    }
+
+    #[test]
+    fn two_masters_require_the_arbiter() {
+        let tiles = vec![TileConfig::master("m0"), TileConfig::master("m1")];
+        assert!(Architecture::new("bad", tiles, Interconnect::fsl()).is_err());
+        let _ = shared_arch(); // with the arbiter it is accepted
+    }
+
+    #[test]
+    fn master_without_slot_rejected() {
+        let tiles = vec![TileConfig::master("m0"), TileConfig::master("m1")];
+        let arbiter = TdmArbiter::round_robin(10, &[TileId(0)]);
+        assert!(Architecture::with_peripheral_arbiter(
+            "bad",
+            tiles,
+            Interconnect::fsl(),
+            arbiter
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Design-space exploration (paper §7 lists improved automated DSE as
+//! future work; this module provides the straightforward sweep the flow's
+//! speed enables: "designers \[can\] perform a very fast design space
+//! exploration").
+
+use mamps_platform::area::platform_area;
+use mamps_platform::interconnect::Interconnect;
+use mamps_sdf::model::ApplicationModel;
+
+use crate::flow::{run_flow, FlowOptions};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsePoint {
+    /// Tile count.
+    pub tiles: usize,
+    /// Interconnect kind (`"fsl"` / `"noc"`).
+    pub interconnect: &'static str,
+    /// Guaranteed throughput (iterations/cycle).
+    pub guaranteed: f64,
+    /// Total platform slices (area model).
+    pub slices: u64,
+}
+
+/// Sweeps tile counts and interconnects, returning all feasible points
+/// sorted by descending guaranteed throughput (ties: fewer slices first).
+pub fn explore(
+    app: &ApplicationModel,
+    tile_counts: &[usize],
+    include_noc: bool,
+) -> Vec<DsePoint> {
+    let mut points = Vec::new();
+    for &tiles in tile_counts {
+        let mut configs = vec![("fsl", Interconnect::fsl())];
+        if include_noc {
+            configs.push(("noc", Interconnect::noc_for_tiles(tiles)));
+        }
+        for (name, ic) in configs {
+            if let Ok(flow) = run_flow(app, tiles, ic, &FlowOptions::default()) {
+                let cross_links = app
+                    .graph()
+                    .channels()
+                    .filter(|(_, c)| {
+                        !c.is_self_edge()
+                            && flow
+                                .mapped
+                                .mapping
+                                .binding
+                                .crosses_tiles(c.src(), c.dst())
+                    })
+                    .count();
+                let area = platform_area(&flow.arch, cross_links);
+                points.push(DsePoint {
+                    tiles,
+                    interconnect: name,
+                    guaranteed: flow.guaranteed_throughput(),
+                    slices: area.total.slices,
+                });
+            }
+        }
+    }
+    points.sort_by(|a, b| {
+        b.guaranteed
+            .partial_cmp(&a.guaranteed)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.slices.cmp(&b.slices))
+    });
+    points
+}
+
+/// The Pareto front of `points` over (throughput up, slices down).
+pub fn pareto_front(points: &[DsePoint]) -> Vec<DsePoint> {
+    let mut front: Vec<DsePoint> = Vec::new();
+    for p in points {
+        let dominated = points.iter().any(|q| {
+            (q.guaranteed > p.guaranteed && q.slices <= p.slices)
+                || (q.guaranteed >= p.guaranteed && q.slices < p.slices)
+        });
+        if !dominated {
+            front.push(p.clone());
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::HomogeneousModelBuilder;
+
+    fn app() -> ApplicationModel {
+        let mut b = SdfGraphBuilder::new("a");
+        let ids: Vec<_> = (0..3).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
+        for i in 0..2 {
+            b.add_channel_full(format!("e{i}"), ids[i], 1, ids[i + 1], 1, 0, 16);
+        }
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        for i in 0..3 {
+            mb.actor(format!("a{i}"), 100, 2048, 256);
+        }
+        mb.finish(g, None).unwrap()
+    }
+
+    #[test]
+    fn exploration_returns_sorted_points() {
+        let points = explore(&app(), &[1, 2, 3], true);
+        assert!(points.len() >= 4);
+        for w in points.windows(2) {
+            assert!(w[0].guaranteed >= w[1].guaranteed - 1e-15);
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_subset_and_nondominated() {
+        let points = explore(&app(), &[1, 2, 3], true);
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        assert!(front.len() <= points.len());
+        for p in &front {
+            for q in &points {
+                assert!(
+                    !(q.guaranteed > p.guaranteed && q.slices < p.slices),
+                    "{p:?} dominated by {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_tiles_cost_more_area() {
+        let points = explore(&app(), &[1, 3], false);
+        let p1 = points.iter().find(|p| p.tiles == 1).unwrap();
+        let p3 = points.iter().find(|p| p.tiles == 3).unwrap();
+        assert!(p3.slices > p1.slices);
+    }
+}

@@ -1,0 +1,221 @@
+//! The automated design flow (paper §5, Fig. 1): architecture generation,
+//! SDF3 mapping, MAMPS platform generation, and "synthesis" (elaboration of
+//! the executable platform model). Each automated step is timed, feeding
+//! the Table 1 designer-effort report.
+
+use std::time::{Duration, Instant};
+
+use mamps_codegen::project::{generate_project, Project};
+use mamps_codegen::GenError;
+use mamps_mapping::flow::{map_application, MapOptions, MappedApplication};
+use mamps_mapping::MapError;
+use mamps_platform::arch::{ArchError, Architecture};
+use mamps_platform::interconnect::Interconnect;
+use mamps_sdf::model::ApplicationModel;
+use mamps_sim::{SimError, System, WcetTimes};
+
+/// Errors of the end-to-end flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Architecture construction failed.
+    Arch(ArchError),
+    /// Mapping failed.
+    Map(MapError),
+    /// Platform generation failed.
+    Gen(GenError),
+    /// The simulated platform failed to run.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Arch(e) => write!(f, "architecture step failed: {e}"),
+            FlowError::Map(e) => write!(f, "mapping step failed: {e}"),
+            FlowError::Gen(e) => write!(f, "generation step failed: {e}"),
+            FlowError::Sim(e) => write!(f, "platform run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<ArchError> for FlowError {
+    fn from(e: ArchError) -> Self {
+        FlowError::Arch(e)
+    }
+}
+impl From<MapError> for FlowError {
+    fn from(e: MapError) -> Self {
+        FlowError::Map(e)
+    }
+}
+impl From<GenError> for FlowError {
+    fn from(e: GenError) -> Self {
+        FlowError::Gen(e)
+    }
+}
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+/// Wall-clock durations of the automated flow steps (Table 1 bottom half).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimings {
+    /// "Generating architecture model".
+    pub architecture_generation: Duration,
+    /// "Mapping the design (SDF3)".
+    pub mapping: Duration,
+    /// "Generating Xilinx project (MAMPS)".
+    pub platform_generation: Duration,
+    /// "Synthesis of the system" — here: elaborating the executable
+    /// platform model and verifying it boots (runs a warm-up iteration).
+    pub synthesis: Duration,
+}
+
+/// Options of the flow.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Mapping options.
+    pub map: MapOptions,
+    /// Name of the generated project.
+    pub project_name: String,
+    /// Iterations of the warm-up/validation run in the synthesis step.
+    pub boot_iterations: u64,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            map: MapOptions::default(),
+            project_name: "mamps_system".into(),
+            boot_iterations: 3,
+        }
+    }
+}
+
+/// Result of a complete flow run.
+#[derive(Debug)]
+pub struct FlowResult {
+    /// The (possibly auto-generated) architecture.
+    pub arch: Architecture,
+    /// The mapping with its guaranteed throughput.
+    pub mapped: MappedApplication,
+    /// The generated platform project.
+    pub project: Project,
+    /// Step timings for the designer-effort report.
+    pub timings: StepTimings,
+}
+
+impl FlowResult {
+    /// The guaranteed worst-case throughput in iterations per cycle.
+    pub fn guaranteed_throughput(&self) -> f64 {
+        self.mapped.analysis.as_f64()
+    }
+}
+
+/// Runs the flow with an auto-generated homogeneous architecture of
+/// `tiles` tiles over `interconnect`.
+///
+/// # Errors
+///
+/// Any step may fail; see [`FlowError`].
+pub fn run_flow(
+    app: &ApplicationModel,
+    tiles: usize,
+    interconnect: Interconnect,
+    opts: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
+    let t0 = Instant::now();
+    let arch = Architecture::homogeneous("auto", tiles, interconnect)?;
+    let architecture_generation = t0.elapsed();
+    run_flow_on(app, arch, opts, architecture_generation)
+}
+
+/// Runs the flow on a user-provided architecture (e.g. with CA tiles).
+///
+/// # Errors
+///
+/// Any step may fail; see [`FlowError`].
+pub fn run_flow_with_arch(
+    app: &ApplicationModel,
+    arch: Architecture,
+    opts: &FlowOptions,
+) -> Result<FlowResult, FlowError> {
+    run_flow_on(app, arch, opts, Duration::ZERO)
+}
+
+fn run_flow_on(
+    app: &ApplicationModel,
+    arch: Architecture,
+    opts: &FlowOptions,
+    architecture_generation: Duration,
+) -> Result<FlowResult, FlowError> {
+    let t1 = Instant::now();
+    let mapped = map_application(app, &arch, &opts.map)?;
+    let mapping_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let project = generate_project(app, app.graph(), &mapped.mapping, &arch, &opts.project_name)?;
+    let platform_generation = t2.elapsed();
+
+    // "Synthesis": elaborate the executable platform and verify it boots.
+    let t3 = Instant::now();
+    let wcet = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+    let system = System::new(app.graph(), &mapped.mapping, &arch, &wcet)?;
+    let _boot = system.run(opts.boot_iterations, 1_000_000_000)?;
+    let synthesis = t3.elapsed();
+
+    Ok(FlowResult {
+        arch,
+        mapped,
+        project,
+        timings: StepTimings {
+            architecture_generation,
+            mapping: mapping_time,
+            platform_generation,
+            synthesis,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::HomogeneousModelBuilder;
+
+    fn app() -> ApplicationModel {
+        let mut b = SdfGraphBuilder::new("a");
+        let x = b.add_actor("x", 1);
+        let y = b.add_actor("y", 1);
+        b.add_channel_full("e", x, 1, y, 1, 0, 32);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("x", 40, 2048, 256).actor("y", 70, 2048, 256);
+        mb.finish(g, None).unwrap()
+    }
+
+    #[test]
+    fn flow_end_to_end() {
+        let r = run_flow(&app(), 2, Interconnect::fsl(), &FlowOptions::default()).unwrap();
+        assert!(r.guaranteed_throughput() > 0.0);
+        assert!(r.project.file_count() >= 5);
+        assert!(r.timings.mapping > Duration::ZERO);
+    }
+
+    #[test]
+    fn flow_with_custom_arch() {
+        let arch = Architecture::homogeneous_with_ca("ca", 2, Interconnect::fsl()).unwrap();
+        let r = run_flow_with_arch(&app(), arch, &FlowOptions::default()).unwrap();
+        assert!(r.guaranteed_throughput() > 0.0);
+    }
+
+    #[test]
+    fn flow_errors_propagate() {
+        let r = run_flow(&app(), 0, Interconnect::fsl(), &FlowOptions::default());
+        assert!(matches!(r, Err(FlowError::Arch(_))));
+    }
+}

@@ -1,0 +1,49 @@
+//! # mamps-core — the automated MAMPS design flow
+//!
+//! Ties the reproduction together (paper Fig. 1): application model +
+//! architecture template → SDF3 mapping with the Fig. 4 interconnect model
+//! → guaranteed worst-case throughput → MAMPS platform generation → the
+//! executable platform ("FPGA") → measured throughput and guarantee
+//! validation. Step timings feed the Table 1 designer-effort report, and
+//! [`experiments`] packages the paper's evaluation (Fig. 6, Table 1, the
+//! §6.3 CA study, the §5.3.1 area figure) for benches and examples.
+//!
+//! ## Example
+//!
+//! ```
+//! use mamps_core::flow::{run_flow, FlowOptions};
+//! use mamps_platform::interconnect::Interconnect;
+//! use mamps_sdf::graph::SdfGraphBuilder;
+//! use mamps_sdf::model::HomogeneousModelBuilder;
+//!
+//! let mut b = SdfGraphBuilder::new("app");
+//! let x = b.add_actor("x", 1);
+//! let y = b.add_actor("y", 1);
+//! b.add_channel("e", x, 1, y, 1);
+//! let graph = b.build().unwrap();
+//! let mut mb = HomogeneousModelBuilder::new("microblaze");
+//! mb.actor("x", 40, 2048, 256).actor("y", 70, 2048, 256);
+//! let app = mb.finish(graph, None).unwrap();
+//!
+//! let result = run_flow(&app, 2, Interconnect::fsl(), &FlowOptions::default()).unwrap();
+//! assert!(result.guaranteed_throughput() > 0.0);
+//! assert!(result.project.files.contains_key("system.tcl"));
+//! ```
+
+pub mod arbitration;
+pub mod dse;
+pub mod experiments;
+pub mod flow;
+pub mod predict;
+pub mod report;
+pub mod validate;
+
+pub use arbitration::{apply_peripheral_arbitration, ArbitrationError, PeripheralAccesses};
+pub use dse::{explore, pareto_front, DsePoint};
+pub use experiments::{
+    ca_overhead_experiment, ca_overhead_vs_serialization_cost, fig6_experiment,
+    noc_flow_control_overhead, table1, CaOverheadResult, Fig6Row, Table1Row,
+};
+pub use flow::{run_flow, run_flow_with_arch, FlowError, FlowOptions, FlowResult, StepTimings};
+pub use predict::predicted_throughput;
+pub use validate::GuaranteeReport;

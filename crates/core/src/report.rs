@@ -1,0 +1,116 @@
+//! Text rendering of the evaluation artefacts (figures as tables).
+
+use std::fmt::Write as _;
+
+use crate::dse::DsePoint;
+use crate::experiments::{Fig6Row, Table1Row};
+
+/// Renders Fig. 6 rows as an aligned text table; throughputs are shown in
+/// MCUs per MHz per second (iterations/cycle x 1e6), the paper's unit.
+pub fn render_fig6(title: &str, rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>14} {:>14} {:>9}",
+        "sequence", "worst-case", "expected", "measured", "margin"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>14.3} {:>14.3} {:>14.3} {:>8.2}x",
+            r.sequence,
+            r.worst_case * 1e6,
+            r.expected * 1e6,
+            r.measured * 1e6,
+            r.guarantee().margin
+        );
+    }
+    out
+}
+
+/// Renders Table 1.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: designer effort (a = automated)");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<38} {:>20} {}",
+            r.step,
+            r.time,
+            if r.automated { "a" } else { "" }
+        );
+    }
+    out
+}
+
+/// Renders a DSE sweep.
+pub fn render_dse(points: &[DsePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:<6} {:>16} {:>10}",
+        "tiles", "ic", "it/cycle", "slices"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<6} {:>16.3e} {:>10}",
+            p.tiles, p.interconnect, p.guaranteed, p.slices
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_table_contains_all_sequences() {
+        let rows = vec![
+            Fig6Row {
+                sequence: "synthetic".into(),
+                worst_case: 1e-5,
+                expected: 1.1e-5,
+                measured: 1.05e-5,
+            },
+            Fig6Row {
+                sequence: "portrait".into(),
+                worst_case: 1e-5,
+                expected: 3e-5,
+                measured: 2.9e-5,
+            },
+        ];
+        let s = render_fig6("Fig 6(a) FSL", &rows);
+        assert!(s.contains("synthetic"));
+        assert!(s.contains("portrait"));
+        assert!(s.contains("Fig 6(a)"));
+        assert!(s.contains("10.500")); // measured x 1e6
+    }
+
+    #[test]
+    fn table1_render() {
+        let rows = vec![Table1Row {
+            step: "Mapping the design (SDF3)".into(),
+            time: "3.0 ms".into(),
+            automated: true,
+        }];
+        let s = render_table1(&rows);
+        assert!(s.contains("Mapping"));
+        assert!(s.trim_end().ends_with('a'));
+    }
+
+    #[test]
+    fn dse_render() {
+        let s = render_dse(&[DsePoint {
+            tiles: 2,
+            interconnect: "fsl",
+            guaranteed: 1e-5,
+            slices: 1234,
+        }]);
+        assert!(s.contains("fsl"));
+        assert!(s.contains("1234"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Guarantee validation: the flow's contract is
+//! `measured throughput >= guaranteed bound`.
+
+/// Comparison of a measured throughput against the analysed bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuaranteeReport {
+    /// The analysed worst-case bound (iterations/cycle).
+    pub bound: f64,
+    /// The measured long-term throughput (iterations/cycle).
+    pub measured: f64,
+    /// `measured / bound` — at least 1 when the guarantee holds.
+    pub margin: f64,
+}
+
+impl GuaranteeReport {
+    /// Builds the report.
+    pub fn new(bound: f64, measured: f64) -> GuaranteeReport {
+        GuaranteeReport {
+            bound,
+            measured,
+            margin: if bound > 0.0 { measured / bound } else { f64::INFINITY },
+        }
+    }
+
+    /// True when the measured throughput honours the guarantee (with a tiny
+    /// tolerance for floating-point summarization of exact cycle counts).
+    pub fn holds(&self) -> bool {
+        self.measured >= self.bound * (1.0 - 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_and_holds() {
+        let ok = GuaranteeReport::new(0.5, 0.6);
+        assert!(ok.holds());
+        assert!((ok.margin - 1.2).abs() < 1e-12);
+        let bad = GuaranteeReport::new(0.5, 0.4);
+        assert!(!bad.holds());
+        let free = GuaranteeReport::new(0.0, 0.1);
+        assert!(free.holds());
+    }
+}

@@ -1,0 +1,294 @@
+//! Actor-to-tile binding.
+//!
+//! A deterministic greedy list binder: actors are placed in order of
+//! decreasing work (WCET x repetitions); each actor goes to the feasible
+//! tile with the lowest weighted cost ([`crate::cost`]). Feasibility
+//! requires an implementation for the tile's processor type and sufficient
+//! tile memory. The algorithm mirrors the load-balancing binder of SDF3
+//! (paper §5.1 keeps "the algorithms used during mapping ... from \[14\]").
+
+use std::collections::HashMap;
+
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
+use mamps_platform::types::{words_per_token, TileId};
+use mamps_sdf::graph::ActorId;
+use mamps_sdf::model::ApplicationModel;
+use mamps_sdf::repetition::repetition_vector;
+
+use crate::cost::{CostBreakdown, CostWeights};
+use crate::error::MapError;
+use crate::mapping::Binding;
+
+/// Options for the binder.
+#[derive(Debug, Clone, Default)]
+pub struct BindOptions {
+    /// Cost weights (defaults favour processing balance).
+    pub weights: CostWeights,
+    /// Force specific actors onto specific tiles (e.g. peripherals-needing
+    /// actors onto the master tile).
+    pub pinned: Vec<(ActorId, TileId)>,
+}
+
+/// Binds the application's actors to the architecture's tiles.
+///
+/// # Errors
+///
+/// * [`MapError::Sdf`] if the graph is inconsistent.
+/// * [`MapError::Infeasible`] if some actor fits no tile (no implementation
+///   for any tile's processor type, or memory exhausted everywhere).
+pub fn bind(
+    app: &ApplicationModel,
+    arch: &Architecture,
+    opts: &BindOptions,
+) -> Result<Binding, MapError> {
+    let graph = app.graph();
+    let q = repetition_vector(graph)?;
+    let n = graph.actor_count();
+
+    // Work per actor: max WCET over its implementations x repetitions
+    // (placement order heuristic only).
+    let mut order: Vec<ActorId> = (0..n).map(ActorId).collect();
+    let work = |a: ActorId| -> u64 {
+        app.implementations(a)
+            .iter()
+            .map(|im| im.wcet)
+            .max()
+            .unwrap_or(0)
+            * q.of(a)
+    };
+    order.sort_by_key(|&a| std::cmp::Reverse((work(a), std::cmp::Reverse(a.0))));
+
+    let total_work: f64 = (0..n).map(|i| work(ActorId(i)) as f64).sum::<f64>().max(1.0);
+    let total_comm: f64 = graph
+        .channels()
+        .map(|(_, c)| {
+            (q.of(c.src()) * c.production_rate() * words_per_token(c.token_size())) as f64
+        })
+        .sum::<f64>()
+        .max(1.0);
+    let mesh_diameter = match arch.interconnect() {
+        Interconnect::Noc(noc) => (noc.width + noc.height - 2).max(1) as f64,
+        Interconnect::Fsl { .. } => 1.0,
+    };
+
+    let pinned: HashMap<ActorId, TileId> = opts.pinned.iter().copied().collect();
+    let mut tile_load = vec![0f64; arch.tile_count()];
+    let mut tile_mem = vec![0u64; arch.tile_count()];
+    let mut placed: Vec<Option<TileId>> = vec![None; n];
+
+    for &a in &order {
+        let candidates: Vec<TileId> = match pinned.get(&a) {
+            Some(&t) => vec![t],
+            None => (0..arch.tile_count()).map(TileId).collect(),
+        };
+        let mut best: Option<(f64, TileId)> = None;
+        for t in candidates {
+            let tile = arch.tile(t);
+            let im = match app.implementation_for(a, tile.processor().name()) {
+                Some(im) => im,
+                None => continue,
+            };
+            let mem_needed = im.instruction_memory + im.data_memory;
+            if tile_mem[t.0] + mem_needed > tile.imem_bytes() + tile.dmem_bytes() {
+                continue;
+            }
+            let mut comm = 0f64;
+            let mut lat = 0f64;
+            let mut neighbours = 0u32;
+            for (_, ch) in graph.channels() {
+                let (other, volume) = if ch.src() == a {
+                    (
+                        ch.dst(),
+                        (q.of(a) * ch.production_rate() * words_per_token(ch.token_size())) as f64,
+                    )
+                } else if ch.dst() == a {
+                    (
+                        ch.src(),
+                        (q.of(ch.src())
+                            * ch.production_rate()
+                            * words_per_token(ch.token_size())) as f64,
+                    )
+                } else {
+                    continue;
+                };
+                if other == a {
+                    continue;
+                }
+                if let Some(ot) = placed[other.0] {
+                    if ot != t {
+                        let hops = match arch.interconnect() {
+                            Interconnect::Noc(noc) => noc.hops(t, ot).max(1) as f64,
+                            Interconnect::Fsl { .. } => 1.0,
+                        };
+                        comm += volume * hops;
+                        lat += hops;
+                        neighbours += 1;
+                    }
+                }
+            }
+            let breakdown = CostBreakdown {
+                processing: (tile_load[t.0] + work(a) as f64) / total_work,
+                memory: (tile_mem[t.0] + mem_needed) as f64
+                    / (tile.imem_bytes() + tile.dmem_bytes()).max(1) as f64,
+                communication: comm / total_comm,
+                latency: if neighbours > 0 {
+                    lat / neighbours as f64 / mesh_diameter
+                } else {
+                    0.0
+                },
+            };
+            let cost = breakdown.weighted(&opts.weights);
+            let better = match best {
+                None => true,
+                // Tie-break on tile id for determinism.
+                Some((bc, bt)) => cost < bc - 1e-12 || (cost <= bc + 1e-12 && t.0 < bt.0),
+            };
+            if better {
+                best = Some((cost, t));
+            }
+        }
+        match best {
+            Some((_, t)) => {
+                placed[a.0] = Some(t);
+                tile_load[t.0] += work(a) as f64;
+                let im = app
+                    .implementation_for(a, arch.tile(t).processor().name())
+                    .expect("feasibility checked above");
+                tile_mem[t.0] += im.instruction_memory + im.data_memory;
+            }
+            None => {
+                return Err(MapError::Infeasible(format!(
+                    "actor `{}` fits no tile (implementations: {:?})",
+                    graph.actor(a).name(),
+                    app.implementations(a)
+                        .iter()
+                        .map(|i| i.processor_type.as_str())
+                        .collect::<Vec<_>>()
+                )));
+            }
+        }
+    }
+
+    let tile_of: Vec<TileId> = placed.into_iter().map(|p| p.expect("all placed")).collect();
+    let processor_of = tile_of
+        .iter()
+        .map(|&t| arch.tile(t).processor().clone())
+        .collect();
+    let wcet_of = (0..n)
+        .map(|i| {
+            app.implementation_for(ActorId(i), arch.tile(tile_of[i]).processor().name())
+                .expect("chosen tiles have implementations")
+                .wcet
+        })
+        .collect();
+    Ok(Binding {
+        tile_of,
+        processor_of,
+        wcet_of,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_platform::interconnect::Interconnect;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::HomogeneousModelBuilder;
+
+    fn pipeline_app(n: usize, wcets: &[u64]) -> ApplicationModel {
+        let mut b = SdfGraphBuilder::new("pipe");
+        let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
+        for i in 0..n - 1 {
+            b.add_channel(format!("e{i}"), ids[i], 1, ids[i + 1], 1);
+        }
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        for i in 0..n {
+            mb.actor(format!("a{i}"), wcets[i], 4096, 512);
+        }
+        mb.finish(g, None).unwrap()
+    }
+
+    #[test]
+    fn heavy_actors_spread_over_tiles() {
+        let app = pipeline_app(4, &[100, 100, 100, 100]);
+        let arch = Architecture::homogeneous("a", 4, Interconnect::fsl()).unwrap();
+        let b = bind(&app, &arch, &BindOptions::default()).unwrap();
+        // Equal heavy work: every actor gets its own tile.
+        let mut tiles: Vec<usize> = b.tile_of.iter().map(|t| t.0).collect();
+        tiles.sort_unstable();
+        tiles.dedup();
+        assert_eq!(tiles.len(), 4);
+    }
+
+    #[test]
+    fn communication_pull_groups_light_actors() {
+        // Two heavy + two very light actors, two tiles: the light actors
+        // co-locate with their communication partners rather than spreading.
+        let app = pipeline_app(4, &[1000, 1, 1, 1000]);
+        let arch = Architecture::homogeneous("a", 2, Interconnect::fsl()).unwrap();
+        let b = bind(&app, &arch, &BindOptions::default()).unwrap();
+        let g = app.graph();
+        let a0 = g.actor_by_name("a0").unwrap();
+        let a3 = g.actor_by_name("a3").unwrap();
+        assert_ne!(
+            b.tile_of[a0.0], b.tile_of[a3.0],
+            "heavy actors should be load-balanced apart"
+        );
+    }
+
+    #[test]
+    fn pinning_respected() {
+        let app = pipeline_app(3, &[10, 10, 10]);
+        let arch = Architecture::homogeneous("a", 3, Interconnect::fsl()).unwrap();
+        let a2 = app.graph().actor_by_name("a2").unwrap();
+        let opts = BindOptions {
+            pinned: vec![(a2, TileId(0))],
+            ..Default::default()
+        };
+        let b = bind(&app, &arch, &opts).unwrap();
+        assert_eq!(b.tile_of[a2.0], TileId(0));
+    }
+
+    #[test]
+    fn no_implementation_is_infeasible() {
+        let app = pipeline_app(2, &[1, 1]);
+        let mut tiles = vec![mamps_platform::tile::TileConfig::master("t0")];
+        tiles[0] = tiles[0]
+            .clone()
+            .with_processor(mamps_platform::types::ProcessorType::custom("dsp"));
+        let arch = Architecture::new("a", tiles, Interconnect::fsl()).unwrap();
+        assert!(matches!(
+            bind(&app, &arch, &BindOptions::default()),
+            Err(MapError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn memory_exhaustion_is_infeasible() {
+        // Actors that almost fill a tile each, on a single tile.
+        let mut b = SdfGraphBuilder::new("m");
+        let x = b.add_actor("x", 1);
+        let y = b.add_actor("y", 1);
+        b.add_channel("e", x, 1, y, 1);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("x", 1, 200 * 1024, 0).actor("y", 1, 200 * 1024, 0);
+        let app = mb.finish(g, None).unwrap();
+        let arch = Architecture::homogeneous("a", 1, Interconnect::fsl()).unwrap();
+        assert!(matches!(
+            bind(&app, &arch, &BindOptions::default()),
+            Err(MapError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn binding_is_deterministic() {
+        let app = pipeline_app(5, &[7, 3, 9, 4, 6]);
+        let arch = Architecture::homogeneous("a", 3, Interconnect::noc_for_tiles(3)).unwrap();
+        let b1 = bind(&app, &arch, &BindOptions::default()).unwrap();
+        let b2 = bind(&app, &arch, &BindOptions::default()).unwrap();
+        assert_eq!(b1, b2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Generic cost functions steering the binding (paper §5.1: "SDF3 uses
+//! generic cost functions to steer the binding of the application to the
+//! architecture based on processing, memory usage, communication, and
+//! latency").
+
+use serde::{Deserialize, Serialize};
+
+/// Weights of the four binding cost dimensions. All costs are normalized to
+/// roughly comparable magnitudes before weighting; the defaults favour
+/// processing balance with a significant communication penalty, which is the
+/// SDF3 default behaviour for throughput-constrained mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Weight of per-tile processing load (WCET x repetitions).
+    pub processing: f64,
+    /// Weight of per-tile memory usage.
+    pub memory: f64,
+    /// Weight of inter-tile communication volume (words x hops).
+    pub communication: f64,
+    /// Weight of connection latency (hops).
+    pub latency: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            processing: 1.0,
+            memory: 0.05,
+            communication: 0.25,
+            latency: 0.02,
+        }
+    }
+}
+
+/// The raw cost components of placing an actor on a candidate tile.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// Processing load of the tile after placement, normalized by the total
+    /// application work.
+    pub processing: f64,
+    /// Memory fraction of the tile used after placement.
+    pub memory: f64,
+    /// Words crossing tiles to already-placed neighbours, x hops,
+    /// normalized by the total communication volume.
+    pub communication: f64,
+    /// Mean hops to already-placed neighbours, normalized by mesh diameter.
+    pub latency: f64,
+}
+
+impl CostBreakdown {
+    /// Scalarizes the breakdown with the given weights.
+    pub fn weighted(&self, w: &CostWeights) -> f64 {
+        w.processing * self.processing
+            + w.memory * self.memory
+            + w.communication * self.communication
+            + w.latency * self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_combination() {
+        let b = CostBreakdown {
+            processing: 1.0,
+            memory: 0.5,
+            communication: 2.0,
+            latency: 0.25,
+        };
+        let w = CostWeights {
+            processing: 1.0,
+            memory: 2.0,
+            communication: 0.5,
+            latency: 4.0,
+        };
+        assert!((b.weighted(&w) - (1.0 + 1.0 + 1.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_weights_emphasize_processing() {
+        let w = CostWeights::default();
+        assert!(w.processing > w.memory);
+        assert!(w.processing > w.latency);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type of the mapping flow.
+
+use std::error::Error;
+use std::fmt;
+
+use mamps_platform::noc::WireAllocationError;
+use mamps_sdf::SdfError;
+
+/// Errors produced by binding, scheduling and buffer allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// An underlying SDF analysis failed.
+    Sdf(SdfError),
+    /// No feasible placement exists; the message names the actor.
+    Infeasible(String),
+    /// NoC wire allocation failed.
+    Wires(WireAllocationError),
+    /// The throughput constraint cannot be met; the message reports the
+    /// best achievable bound.
+    ConstraintUnmet(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Sdf(e) => write!(f, "sdf analysis failed: {e}"),
+            MapError::Infeasible(m) => write!(f, "infeasible binding: {m}"),
+            MapError::Wires(e) => write!(f, "wire allocation failed: {e}"),
+            MapError::ConstraintUnmet(m) => write!(f, "throughput constraint unmet: {m}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Sdf(e) => Some(e),
+            MapError::Wires(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for MapError {
+    fn from(e: SdfError) -> Self {
+        MapError::Sdf(e)
+    }
+}
+
+impl From<WireAllocationError> for MapError {
+    fn from(e: WireAllocationError) -> Self {
+        MapError::Wires(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MapError = SdfError::Disconnected.into();
+        assert!(e.to_string().contains("sdf"));
+        assert!(matches!(e, MapError::Sdf(_)));
+        let w = MapError::Infeasible("actor x".into());
+        assert!(w.to_string().contains("actor x"));
+    }
+}

@@ -1,0 +1,361 @@
+//! The complete mapping step of the design flow (paper §5.1): bind, allocate
+//! NoC wires, schedule, size buffers, and compute the guaranteed throughput
+//! of the resulting bound graph.
+
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
+use mamps_platform::noc::WireAllocator;
+use mamps_sdf::buffer::capacity_lower_bound;
+use mamps_sdf::model::ApplicationModel;
+use mamps_sdf::ratio::Ratio;
+use mamps_sdf::state_space::{throughput, AnalysisOptions, ThroughputResult};
+use mamps_sdf::SdfError;
+
+use crate::binding::{bind, BindOptions};
+use crate::comm_expand::{expand, ExpandedGraph};
+use crate::error::MapError;
+use crate::mapping::{ChannelAlloc, Mapping};
+use crate::schedule::build_schedules;
+
+/// Options of the mapping flow.
+#[derive(Debug, Clone)]
+pub struct MapOptions {
+    /// Binder options (cost weights, pinning).
+    pub bind: BindOptions,
+    /// Throughput target in iterations/cycle; `None` uses the application's
+    /// constraint, and if that is absent too, buffers grow until saturation.
+    pub target: Option<Ratio>,
+    /// SDM wires requested per NoC connection (clamped to availability).
+    pub wires_per_connection: u32,
+    /// Budget of greedy buffer-growth steps.
+    pub growth_budget: usize,
+    /// State-space analysis limits.
+    pub max_states: usize,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            bind: BindOptions::default(),
+            target: None,
+            wires_per_connection: 2,
+            growth_budget: 32,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// A mapped application: the mapping, the expanded analysis graph it was
+/// verified on, and the throughput analysis result.
+#[derive(Debug, Clone)]
+pub struct MappedApplication {
+    /// The mapping (common input format for platform generation).
+    pub mapping: Mapping,
+    /// The Fig. 4-expanded, statically-ordered analysis graph.
+    pub expanded: ExpandedGraph,
+    /// The worst-case throughput analysis of `expanded`.
+    pub analysis: ThroughputResult,
+}
+
+fn analysis_options(max_states: usize) -> AnalysisOptions {
+    AnalysisOptions {
+        auto_concurrency: true,
+        max_states,
+        ..AnalysisOptions::default()
+    }
+}
+
+/// Maps `app` onto `arch`: the automated "Mapping (SDF3)" step of Table 1.
+///
+/// # Errors
+///
+/// * Binding errors ([`MapError::Infeasible`], [`MapError::Wires`]).
+/// * [`MapError::ConstraintUnmet`] if buffer growth saturates below the
+///   throughput target.
+/// * Propagated analysis errors.
+pub fn map_application(
+    app: &ApplicationModel,
+    arch: &Architecture,
+    opts: &MapOptions,
+) -> Result<MappedApplication, MapError> {
+    let binding = bind(app, arch, &opts.bind)?;
+    let graph = app.graph();
+
+    // WCET-annotated graph for analysis.
+    let wcet_graph = {
+        let mut g = graph.clone();
+        for (aid, _) in graph.actors() {
+            g.actor_mut(aid).set_execution_time(binding.wcet_of[aid.0]);
+        }
+        g
+    };
+
+    // NoC wire allocation, one connection per cross-tile channel.
+    let mut wires = vec![0u32; graph.channel_count()];
+    if let Interconnect::Noc(noc) = arch.interconnect() {
+        let mut alloc = WireAllocator::new(*noc);
+        for (cid, ch) in graph.channels() {
+            if ch.is_self_edge() || !binding.crosses_tiles(ch.src(), ch.dst()) {
+                continue;
+            }
+            let from = binding.tile_of[ch.src().0];
+            let to = binding.tile_of[ch.dst().0];
+            let avail = alloc.max_allocatable(from, to);
+            let want = opts.wires_per_connection.min(avail).max(1);
+            alloc.allocate(from, to, want)?;
+            wires[cid.0] = want;
+        }
+    }
+
+    let (schedules, rounds) = build_schedules(graph, &binding, arch)?;
+
+    // Initial buffer allocation.
+    let mut channels: Vec<ChannelAlloc> = graph
+        .channels()
+        .map(|(cid, ch)| ChannelAlloc {
+            wires: wires[cid.0],
+            alpha_src: ch.initial_tokens() + 2 * ch.production_rate(),
+            alpha_dst: 2 * ch.consumption_rate(),
+            local_capacity: capacity_lower_bound(graph, cid),
+        })
+        .collect();
+
+    let target = opts.target.or_else(|| {
+        app.throughput_constraint()
+            .map(|c| c.as_ratio())
+    });
+
+    let build_mapping = |channels: &[ChannelAlloc]| Mapping {
+        binding: binding.clone(),
+        schedules: schedules.clone(),
+        rounds_per_iteration: rounds.clone(),
+        channels: channels.to_vec(),
+        guaranteed_iterations: 0,
+        guaranteed_cycles: 1,
+    };
+    let analyse = |channels: &[ChannelAlloc]| -> Result<(ExpandedGraph, ThroughputResult), MapError> {
+        let m = build_mapping(channels);
+        let e = expand(&wcet_graph, &m, arch)?;
+        let t = throughput(&e.graph, &analysis_options(opts.max_states)).map_err(MapError::Sdf)?;
+        Ok((e, t))
+    };
+
+    // Phase 1: reach liveness by doubling buffers on deadlock.
+    let mut attempt = 0;
+    let mut current = loop {
+        match analyse(&channels) {
+            Ok(r) => break r,
+            Err(MapError::Sdf(SdfError::Deadlock(msg))) => {
+                attempt += 1;
+                if attempt > 12 {
+                    return Err(MapError::Sdf(SdfError::Deadlock(msg)));
+                }
+                for (cid, ch) in graph.channels() {
+                    let c = &mut channels[cid.0];
+                    c.alpha_src += ch.production_rate().max(ch.initial_tokens());
+                    c.alpha_dst += ch.consumption_rate();
+                    c.local_capacity +=
+                        mamps_sdf::ratio::gcd(ch.production_rate(), ch.consumption_rate());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    // Phase 2: greedy growth toward the target (or saturation when no
+    // target is set, bounded by the growth budget).
+    let mut budget = opts.growth_budget;
+    loop {
+        let met = match target {
+            Some(t) => current.1.iterations_per_cycle >= t,
+            None => false,
+        };
+        if met || budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let mut best: Option<(usize, u8, (ExpandedGraph, ThroughputResult))> = None;
+        for (cid, ch) in graph.channels() {
+            if ch.is_self_edge() {
+                continue;
+            }
+            let steps: &[(u8, u64)] = if binding.crosses_tiles(ch.src(), ch.dst()) {
+                &[(0, 1), (1, 1)] // grow alpha_src / alpha_dst
+            } else {
+                &[(2, 1)] // grow local capacity
+            };
+            for &(kind, _) in steps {
+                let mut trial = channels.clone();
+                match kind {
+                    0 => trial[cid.0].alpha_src += ch.production_rate(),
+                    1 => trial[cid.0].alpha_dst += ch.consumption_rate(),
+                    _ => {
+                        trial[cid.0].local_capacity +=
+                            mamps_sdf::ratio::gcd(ch.production_rate(), ch.consumption_rate())
+                    }
+                }
+                if let Ok(r) = analyse(&trial) {
+                    let better = match &best {
+                        None => r.1.iterations_per_cycle > current.1.iterations_per_cycle,
+                        Some((_, _, b)) => r.1.iterations_per_cycle > b.1.iterations_per_cycle,
+                    };
+                    if better {
+                        best = Some((cid.0, kind, r));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((idx, kind, r)) => {
+                let ch = graph.channel(mamps_sdf::graph::ChannelId(idx));
+                match kind {
+                    0 => channels[idx].alpha_src += ch.production_rate(),
+                    1 => channels[idx].alpha_dst += ch.consumption_rate(),
+                    _ => {
+                        channels[idx].local_capacity +=
+                            mamps_sdf::ratio::gcd(ch.production_rate(), ch.consumption_rate())
+                    }
+                }
+                current = r;
+            }
+            None => break, // saturated
+        }
+    }
+
+    if let Some(t) = target {
+        if current.1.iterations_per_cycle < t {
+            return Err(MapError::ConstraintUnmet(format!(
+                "target {t}, achieved {}",
+                current.1.iterations_per_cycle
+            )));
+        }
+    }
+
+    let mut mapping = build_mapping(&channels);
+    mapping.guaranteed_iterations = current.1.iterations_per_cycle.numer().max(0) as u64;
+    mapping.guaranteed_cycles = current.1.iterations_per_cycle.denom() as u64;
+    Ok(MappedApplication {
+        mapping,
+        expanded: current.0,
+        analysis: current.1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::{HomogeneousModelBuilder, ThroughputConstraint};
+
+    fn pipeline_app(wcets: &[u64], token_size: u64) -> ApplicationModel {
+        let n = wcets.len();
+        let mut b = SdfGraphBuilder::new("pipe");
+        let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
+        for i in 0..n - 1 {
+            b.add_channel_full(format!("e{i}"), ids[i], 1, ids[i + 1], 1, 0, token_size);
+        }
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        for (i, &w) in wcets.iter().enumerate() {
+            mb.actor(format!("a{i}"), w, 4096, 512);
+        }
+        mb.finish(g, None).unwrap()
+    }
+
+    #[test]
+    fn map_two_actor_pipeline_fsl() {
+        let app = pipeline_app(&[100, 100], 16);
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let t = mapped.analysis.as_f64();
+        assert!(t > 0.0);
+        // Upper bound: one actor of 100 cycles per iteration -> <= 1/100.
+        assert!(t <= 1.0 / 100.0 + 1e-9);
+        assert_eq!(mapped.mapping.guaranteed(), mapped.analysis.iterations_per_cycle);
+    }
+
+    #[test]
+    fn map_on_noc_allocates_wires() {
+        let app = pipeline_app(&[50, 50, 50, 50], 16);
+        let arch = Architecture::homogeneous("x", 4, Interconnect::noc_for_tiles(4)).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let cross: Vec<_> = mapped
+            .mapping
+            .channels
+            .iter()
+            .filter(|c| c.wires > 0)
+            .collect();
+        assert!(!cross.is_empty(), "pipeline over 4 tiles must cross tiles");
+        assert!(mapped.analysis.as_f64() > 0.0);
+    }
+
+    #[test]
+    fn single_tile_mapping_matches_sum_of_wcets() {
+        let app = pipeline_app(&[30, 70], 4);
+        let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        // Sequential execution: period >= 100 cycles.
+        assert!(mapped.analysis.cycles_per_iteration() >= 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn constraint_met_or_error() {
+        let app = pipeline_app(&[100, 100], 4);
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        // Unreachable target: 1 iteration per 10 cycles.
+        let opts = MapOptions {
+            target: Some(Ratio::new(1, 10)),
+            ..MapOptions::default()
+        };
+        assert!(matches!(
+            map_application(&app, &arch, &opts),
+            Err(MapError::ConstraintUnmet(_))
+        ));
+    }
+
+    #[test]
+    fn constraint_from_model_applied() {
+        let mut b = SdfGraphBuilder::new("c");
+        let a = b.add_actor("a", 1);
+        let c = b.add_actor("c", 1);
+        b.add_channel("e", a, 1, c, 1);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("a", 40, 1024, 64).actor("c", 60, 1024, 64);
+        let app = mb
+            .finish(
+                g,
+                Some(ThroughputConstraint {
+                    iterations: 1,
+                    cycles: 100_000,
+                }),
+            )
+            .unwrap();
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        assert!(mapped.analysis.iterations_per_cycle >= Ratio::new(1, 100_000));
+    }
+
+    #[test]
+    fn more_tiles_do_not_hurt() {
+        let app = pipeline_app(&[80, 80, 80], 8);
+        let t1 = {
+            let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+            map_application(&app, &arch, &MapOptions::default())
+                .unwrap()
+                .analysis
+                .as_f64()
+        };
+        let t3 = {
+            let arch = Architecture::homogeneous("x", 3, Interconnect::fsl()).unwrap();
+            map_application(&app, &arch, &MapOptions::default())
+                .unwrap()
+                .analysis
+                .as_f64()
+        };
+        assert!(
+            t3 >= t1,
+            "pipelining over 3 tiles ({t3}) should beat 1 tile ({t1})"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Mapping data structures: the output of the SDF3-style mapping flow and
+//! the common input format shared with the platform generator (the paper's
+//! §2 contribution: one format for both tools, no manual translation).
+
+use serde::{Deserialize, Serialize};
+
+use mamps_platform::types::{ProcessorType, TileId};
+use mamps_sdf::graph::{ActorId, ChannelId};
+use mamps_sdf::ratio::Ratio;
+
+/// Actor-to-tile binding with the chosen implementations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// Tile of each actor (indexed by actor id).
+    pub tile_of: Vec<TileId>,
+    /// Processor type whose implementation was chosen, per actor.
+    pub processor_of: Vec<ProcessorType>,
+    /// WCET of the chosen implementation, per actor.
+    pub wcet_of: Vec<u64>,
+}
+
+impl Binding {
+    /// Actors bound to `tile`, in id order.
+    pub fn actors_on(&self, tile: TileId) -> Vec<ActorId> {
+        self.tile_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == tile)
+            .map(|(i, _)| ActorId(i))
+            .collect()
+    }
+
+    /// True if the channel's endpoints are on different tiles.
+    pub fn crosses_tiles(&self, src: ActorId, dst: ActorId) -> bool {
+        self.tile_of[src.0] != self.tile_of[dst.0]
+    }
+}
+
+/// Resources allocated to one application channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelAlloc {
+    /// SDM wires on a NoC route (0 for FSL or same-tile channels).
+    pub wires: u32,
+    /// Source-side buffer capacity in tokens (`alpha_src` in Fig. 4).
+    pub alpha_src: u64,
+    /// Destination-side buffer capacity in tokens (`alpha_dst` in Fig. 4).
+    pub alpha_dst: u64,
+    /// Buffer capacity in tokens for same-tile channels.
+    pub local_capacity: u64,
+}
+
+/// One step of a tile's static-order schedule round.
+///
+/// The schedule is the *common input format* consumed by the throughput
+/// analysis (as static-order constraint channels), by the platform generator
+/// (as the C lookup table) and by the simulator — guaranteeing all three
+/// agree on the execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleEntry {
+    /// Fire an actor `reps` times.
+    Fire {
+        /// The actor to fire.
+        actor: ActorId,
+        /// Consecutive firings in this slot.
+        reps: u64,
+    },
+    /// Serialize and send `reps` tokens of a channel (PE-executed
+    /// serialization on plain tiles; absent on CA tiles).
+    Send {
+        /// The channel whose tokens are sent.
+        channel: ChannelId,
+        /// Tokens sent in this slot.
+        reps: u64,
+    },
+    /// Receive and de-serialize `reps` tokens of a channel.
+    Receive {
+        /// The channel whose tokens are received.
+        channel: ChannelId,
+        /// Tokens received in this slot.
+        reps: u64,
+    },
+}
+
+impl ScheduleEntry {
+    /// Repetitions of this slot within the round.
+    pub fn reps(&self) -> u64 {
+        match *self {
+            ScheduleEntry::Fire { reps, .. }
+            | ScheduleEntry::Send { reps, .. }
+            | ScheduleEntry::Receive { reps, .. } => reps,
+        }
+    }
+}
+
+/// A complete mapping: binding, per-tile schedules, channel resources, and
+/// the throughput the analysis guarantees for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// The actor binding.
+    pub binding: Binding,
+    /// Static-order schedule round per tile (indexed by tile id). A round
+    /// executes `rounds_per_iteration[tile]` times per graph iteration.
+    pub schedules: Vec<Vec<ScheduleEntry>>,
+    /// Rounds per graph iteration, per tile.
+    pub rounds_per_iteration: Vec<u64>,
+    /// Channel resource allocation (indexed by channel id).
+    pub channels: Vec<ChannelAlloc>,
+    /// Guaranteed throughput in iterations per cycle (numerator,
+    /// denominator) — the worst-case bound of the analysis.
+    pub guaranteed_iterations: u64,
+    /// Denominator of the guaranteed throughput.
+    pub guaranteed_cycles: u64,
+}
+
+impl Mapping {
+    /// Guaranteed throughput as an exact ratio.
+    pub fn guaranteed(&self) -> Ratio {
+        if self.guaranteed_cycles == 0 {
+            Ratio::ZERO
+        } else {
+            Ratio::new(
+                self.guaranteed_iterations as i128,
+                self.guaranteed_cycles as i128,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_queries() {
+        let b = Binding {
+            tile_of: vec![TileId(0), TileId(1), TileId(0)],
+            processor_of: vec![
+                ProcessorType::microblaze(),
+                ProcessorType::microblaze(),
+                ProcessorType::microblaze(),
+            ],
+            wcet_of: vec![1, 2, 3],
+        };
+        assert_eq!(b.actors_on(TileId(0)), vec![ActorId(0), ActorId(2)]);
+        assert!(b.crosses_tiles(ActorId(0), ActorId(1)));
+        assert!(!b.crosses_tiles(ActorId(0), ActorId(2)));
+    }
+
+    #[test]
+    fn schedule_entry_reps() {
+        assert_eq!(
+            ScheduleEntry::Fire {
+                actor: ActorId(0),
+                reps: 3
+            }
+            .reps(),
+            3
+        );
+        assert_eq!(
+            ScheduleEntry::Send {
+                channel: ChannelId(1),
+                reps: 5
+            }
+            .reps(),
+            5
+        );
+    }
+
+    #[test]
+    fn guaranteed_ratio() {
+        let m = Mapping {
+            binding: Binding {
+                tile_of: vec![],
+                processor_of: vec![],
+                wcet_of: vec![],
+            },
+            schedules: vec![],
+            rounds_per_iteration: vec![],
+            channels: vec![],
+            guaranteed_iterations: 1,
+            guaranteed_cycles: 250,
+        };
+        assert_eq!(m.guaranteed(), Ratio::new(1, 250));
+    }
+}

@@ -1,0 +1,570 @@
+//! The five MJPEG decoder actors (paper Fig. 5) with cycle accounting, and
+//! the functional decode harness that profiles per-firing execution times.
+//!
+//! Actor granularity follows the SDF graph exactly:
+//!
+//! * **VLD** — one firing per MCU: parses and Huffman-decodes up to 10
+//!   blocks (fixed output rate 10, unused slots padded — the modelling
+//!   overhead of §6.3), and forwards the stream header on the two
+//!   `subHeader` channels every iteration.
+//! * **IQZZ**, **IDCT** — one firing per block (10 per iteration).
+//! * **CC** — one firing per MCU: 10 blocks to RGB pixels.
+//! * **Raster** — one firing per MCU: pixels into the frame buffer
+//!   (stateful: write position, modelled by the `rasterState` self-edge).
+
+use crate::bitstream::BitReader;
+use crate::color::ycbcr_to_rgb;
+use crate::cost::{self, CycleCounter};
+use crate::dct::idct;
+use crate::encoder::Frame;
+use crate::huffman::{ac_code, dc_code, decode_magnitude, HuffmanCode, EOB, ZRL};
+use crate::quant::{dequantize, scaled_table, CHROMA_BASE, LUMA_BASE};
+use crate::zigzag::from_zigzag;
+
+/// One 8x8 coefficient or sample block token.
+pub type Block = [i16; 64];
+
+/// The per-MCU header token carried on `subHeader1`/`subHeader2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubHeader {
+    /// Frame width in pixels.
+    pub width: u16,
+    /// Frame height in pixels.
+    pub height: u16,
+    /// Luma blocks per MCU (1, 2 or 4).
+    pub y_blocks: u8,
+    /// Quality factor.
+    pub quality: u8,
+}
+
+impl SubHeader {
+    /// MCU dimensions.
+    pub fn mcu_size(&self) -> (usize, usize) {
+        match self.y_blocks {
+            1 => (8, 8),
+            2 => (16, 8),
+            _ => (16, 16),
+        }
+    }
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream does not start with the `MAMJ` magic.
+    BadMagic,
+    /// The stream ended unexpectedly; the message locates the failure.
+    Truncated(String),
+    /// Invalid field values in the header.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad stream magic"),
+            DecodeError::Truncated(m) => write!(f, "truncated stream: {m}"),
+            DecodeError::BadHeader(m) => write!(f, "bad header: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The VLD actor: header parsing plus per-MCU entropy decoding.
+pub struct Vld<'a> {
+    reader: BitReader<'a>,
+    header: SubHeader,
+    frames: u16,
+    blocks_per_mcu: usize,
+    mcus_per_frame: usize,
+    dc: HuffmanCode,
+    ac: HuffmanCode,
+    dc_pred: [i32; 3],
+    mcu_in_frame: usize,
+}
+
+impl<'a> Vld<'a> {
+    /// Parses the stream header and prepares MCU decoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn new(stream: &'a [u8]) -> Result<Vld<'a>, DecodeError> {
+        if stream.len() < 12 || &stream[..4] != b"MAMJ" {
+            return Err(DecodeError::BadMagic);
+        }
+        let width = u16::from_be_bytes([stream[4], stream[5]]);
+        let height = u16::from_be_bytes([stream[6], stream[7]]);
+        let quality = stream[8];
+        let y_blocks = stream[9];
+        let frames = u16::from_be_bytes([stream[10], stream[11]]);
+        if !matches!(y_blocks, 1 | 2 | 4) {
+            return Err(DecodeError::BadHeader(format!(
+                "y_blocks {y_blocks} not in {{1,2,4}}"
+            )));
+        }
+        if !(1..=100).contains(&quality) {
+            return Err(DecodeError::BadHeader(format!("quality {quality}")));
+        }
+        let header = SubHeader {
+            width,
+            height,
+            y_blocks,
+            quality,
+        };
+        let (mw, mh) = header.mcu_size();
+        if width as usize % mw != 0 || height as usize % mh != 0 {
+            return Err(DecodeError::BadHeader("frame not MCU-aligned".into()));
+        }
+        let mcus_per_frame = (width as usize / mw) * (height as usize / mh);
+        Ok(Vld {
+            reader: BitReader::new(&stream[12..]),
+            header,
+            frames,
+            blocks_per_mcu: y_blocks as usize + 2,
+            mcus_per_frame,
+            dc: dc_code(),
+            ac: ac_code(),
+            dc_pred: [0; 3],
+            mcu_in_frame: 0,
+        })
+    }
+
+    /// The stream header.
+    pub fn header(&self) -> SubHeader {
+        self.header
+    }
+
+    /// MCUs in the whole sequence.
+    pub fn total_mcus(&self) -> usize {
+        self.mcus_per_frame * self.frames as usize
+    }
+
+    /// MCUs per frame.
+    pub fn mcus_per_frame(&self) -> usize {
+        self.mcus_per_frame
+    }
+
+    /// Decodes one entropy-coded block in zig-zag order.
+    fn decode_block(
+        &mut self,
+        component: usize,
+        cycles: &mut CycleCounter,
+    ) -> Result<Block, DecodeError> {
+        cycles.charge(cost::VLD_BLOCK_OVERHEAD);
+        let mut zz = [0i16; 64];
+        // DC.
+        let (size, bits) = self
+            .dc
+            .decode(&mut self.reader)
+            .ok_or_else(|| DecodeError::Truncated("dc symbol".into()))?;
+        cycles.charge(bits as u64 * cost::BIT_DECODE);
+        let mag = self
+            .reader
+            .get_bits(size as u8)
+            .ok_or_else(|| DecodeError::Truncated("dc magnitude".into()))?;
+        cycles.charge(size as u64 * cost::MAGNITUDE_BIT);
+        let diff = decode_magnitude(mag, size as u8);
+        self.dc_pred[component] += diff;
+        zz[0] = self.dc_pred[component] as i16;
+        cycles.charge(cost::COEF_STORE);
+        // AC.
+        let mut k = 1usize;
+        while k < 64 {
+            let (sym, bits) = self
+                .ac
+                .decode(&mut self.reader)
+                .ok_or_else(|| DecodeError::Truncated("ac symbol".into()))?;
+            cycles.charge(bits as u64 * cost::BIT_DECODE);
+            if sym == EOB {
+                break;
+            }
+            if sym == ZRL {
+                k += 16;
+                continue;
+            }
+            let run = sym / 16;
+            let size = (sym % 16) as u8;
+            k += run;
+            if k >= 64 {
+                return Err(DecodeError::Truncated("run past block end".into()));
+            }
+            let mag = self
+                .reader
+                .get_bits(size)
+                .ok_or_else(|| DecodeError::Truncated("ac magnitude".into()))?;
+            cycles.charge(size as u64 * cost::MAGNITUDE_BIT);
+            zz[k] = decode_magnitude(mag, size) as i16;
+            cycles.charge(cost::COEF_STORE);
+            k += 1;
+        }
+        Ok(zz)
+    }
+
+    /// Fires once: decodes one MCU into exactly
+    /// [`cost::MAX_BLOCKS_PER_MCU`] block tokens (padded with zero blocks)
+    /// plus the two sub-header tokens. Returns the cycles spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn fire(&mut self) -> Result<(Vec<Block>, SubHeader, SubHeader, u64), DecodeError> {
+        let mut cycles = CycleCounter::default();
+        cycles.charge(cost::VLD_MCU_OVERHEAD);
+        if self.mcu_in_frame == 0 {
+            self.dc_pred = [0; 3]; // per-frame predictor reset
+        }
+        let mut blocks = Vec::with_capacity(cost::MAX_BLOCKS_PER_MCU as usize);
+        let luma = self.blocks_per_mcu - 2;
+        for b in 0..self.blocks_per_mcu {
+            let comp = if b < luma {
+                0
+            } else if b == luma {
+                1
+            } else {
+                2
+            };
+            blocks.push(self.decode_block(comp, &mut cycles)?);
+        }
+        while blocks.len() < cost::MAX_BLOCKS_PER_MCU as usize {
+            blocks.push([0i16; 64]); // fixed-rate padding
+        }
+        self.mcu_in_frame = (self.mcu_in_frame + 1) % self.mcus_per_frame;
+        Ok((blocks, self.header, self.header, cycles.take()))
+    }
+}
+
+/// The IQZZ actor: de-quantization and zig-zag reordering of one block.
+pub struct Iqzz {
+    luma_q: [u16; 64],
+    chroma_q: [u16; 64],
+    blocks_per_mcu: usize,
+    block_index: usize,
+}
+
+impl Iqzz {
+    /// Configures the actor for a stream (quality and sampling are
+    /// compile-time constants of the generated platform).
+    pub fn new(header: SubHeader) -> Iqzz {
+        Iqzz {
+            luma_q: scaled_table(&LUMA_BASE, header.quality),
+            chroma_q: scaled_table(&CHROMA_BASE, header.quality),
+            blocks_per_mcu: header.y_blocks as usize + 2,
+            block_index: 0,
+        }
+    }
+
+    /// Fires once on one block token; returns the raster-order coefficient
+    /// block and the cycles spent (data-independent).
+    pub fn fire(&mut self, zz: &Block) -> (Block, u64) {
+        let mut cycles = CycleCounter::default();
+        cycles.charge(cost::IQZZ_BLOCK_OVERHEAD + 64 * cost::IQZZ_PER_COEF);
+        let luma = self.blocks_per_mcu - 2;
+        let table = if self.block_index < luma {
+            &self.luma_q
+        } else {
+            &self.chroma_q
+        };
+        // Padded blocks (index >= blocks_per_mcu) are all-zero; the
+        // arithmetic is harmless and charged identically.
+        let deq = dequantize(&from_zigzag(zz), table);
+        self.block_index = (self.block_index + 1) % cost::MAX_BLOCKS_PER_MCU as usize;
+        (deq, cycles.take())
+    }
+}
+
+/// The IDCT actor: sparse inverse DCT of one block.
+#[derive(Debug, Clone, Default)]
+pub struct Idct;
+
+impl Idct {
+    /// Fires once; cost scales with the non-zero input coefficients.
+    pub fn fire(&mut self, block: &Block) -> (Block, u64) {
+        let mut cycles = CycleCounter::default();
+        let nonzero = block.iter().filter(|&&c| c != 0).count() as u64;
+        cycles.charge(cost::IDCT_BLOCK_OVERHEAD + nonzero * cost::IDCT_PER_NONZERO);
+        let out = if nonzero == 0 { [0i16; 64] } else { idct(block) };
+        (out, cycles.take())
+    }
+}
+
+/// One decoded MCU of RGB pixels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McuPixels {
+    /// MCU width.
+    pub width: usize,
+    /// MCU height.
+    pub height: usize,
+    /// Row-major RGB.
+    pub rgb: Vec<(u8, u8, u8)>,
+}
+
+/// The CC actor: colour conversion of one MCU.
+#[derive(Debug, Clone, Default)]
+pub struct ColorConversion;
+
+impl ColorConversion {
+    /// Fires once on the 10 block tokens of an MCU plus the sub-header.
+    pub fn fire(&mut self, blocks: &[Block], header: SubHeader) -> (McuPixels, u64) {
+        let (mw, mh) = header.mcu_size();
+        let mut cycles = CycleCounter::default();
+        cycles.charge(cost::CC_MCU_OVERHEAD + (mw * mh) as u64 * cost::CC_PER_PIXEL);
+        let luma = header.y_blocks as usize;
+        let cb = &blocks[luma];
+        let cr = &blocks[luma + 1];
+        let (sx, sy) = (mw / 8, mh / 8);
+        let mut rgb = Vec::with_capacity(mw * mh);
+        for y in 0..mh {
+            for x in 0..mw {
+                // Luma block layout: raster order of 8x8 blocks.
+                let (bx, by) = (x / 8, y / 8);
+                let yblk = &blocks[by * (mw / 8) + bx];
+                let ys = (yblk[(y % 8) * 8 + (x % 8)] as i32 + 128).clamp(0, 255) as u8;
+                let (cxs, cys) = (x / sx, y / sy);
+                let cbv = (cb[cys * 8 + cxs] as i32 + 128).clamp(0, 255) as u8;
+                let crv = (cr[cys * 8 + cxs] as i32 + 128).clamp(0, 255) as u8;
+                rgb.push(ycbcr_to_rgb(ys, cbv, crv));
+            }
+        }
+        (
+            McuPixels {
+                width: mw,
+                height: mh,
+                rgb,
+            },
+            cycles.take(),
+        )
+    }
+}
+
+/// The Raster actor: stateful placement of MCUs into frames.
+#[derive(Debug, Clone, Default)]
+pub struct Raster {
+    frame: Vec<(u8, u8, u8)>,
+    mcu_index: usize,
+    /// Completed frames.
+    pub frames: Vec<Frame>,
+}
+
+impl Raster {
+    /// Fires once: writes one MCU into the frame buffer; pushes the frame
+    /// to [`Raster::frames`] when complete. Returns the cycles spent.
+    pub fn fire(&mut self, mcu: &McuPixels, header: SubHeader) -> u64 {
+        let mut cycles = CycleCounter::default();
+        cycles
+            .charge(cost::RASTER_MCU_OVERHEAD + (mcu.width * mcu.height) as u64 * cost::RASTER_PER_PIXEL);
+        let (fw, fh) = (header.width as usize, header.height as usize);
+        if self.frame.is_empty() {
+            self.frame = vec![(0, 0, 0); fw * fh];
+        }
+        let mcus_x = fw / mcu.width;
+        let (mx, my) = (self.mcu_index % mcus_x, self.mcu_index / mcus_x);
+        for y in 0..mcu.height {
+            for x in 0..mcu.width {
+                self.frame[(my * mcu.height + y) * fw + mx * mcu.width + x] =
+                    mcu.rgb[y * mcu.width + x];
+            }
+        }
+        self.mcu_index += 1;
+        if self.mcu_index == mcus_x * (fh / mcu.height) {
+            self.frames.push(Frame {
+                width: fw,
+                height: fh,
+                rgb: std::mem::take(&mut self.frame),
+            });
+            self.mcu_index = 0;
+        }
+        cycles.take()
+    }
+}
+
+/// Per-actor, per-firing cycle profile of a decoded sequence.
+#[derive(Debug, Clone, Default)]
+pub struct CostProfile {
+    /// VLD cycles per MCU firing.
+    pub vld: Vec<u64>,
+    /// IQZZ cycles per block firing.
+    pub iqzz: Vec<u64>,
+    /// IDCT cycles per block firing.
+    pub idct: Vec<u64>,
+    /// CC cycles per MCU firing.
+    pub cc: Vec<u64>,
+    /// Raster cycles per MCU firing.
+    pub raster: Vec<u64>,
+}
+
+/// Result of a functional decode.
+#[derive(Debug, Clone)]
+pub struct DecodeResult {
+    /// The decoded frames.
+    pub frames: Vec<Frame>,
+    /// The stream header.
+    pub header: SubHeader,
+    /// Per-firing execution-time profile.
+    pub profile: CostProfile,
+}
+
+/// Decodes a complete stream functionally, recording the cost profile.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn decode_stream(stream: &[u8]) -> Result<DecodeResult, DecodeError> {
+    let mut vld = Vld::new(stream)?;
+    let header = vld.header();
+    let mut iqzz = Iqzz::new(header);
+    let mut idct = Idct;
+    let mut cc = ColorConversion;
+    let mut raster = Raster::default();
+    let mut profile = CostProfile::default();
+
+    for _ in 0..vld.total_mcus() {
+        let (blocks, sh1, sh2, c) = vld.fire()?;
+        profile.vld.push(c);
+        let mut spatial = Vec::with_capacity(blocks.len());
+        for b in &blocks {
+            let (deq, ci) = iqzz.fire(b);
+            profile.iqzz.push(ci);
+            let (px, cd) = idct.fire(&deq);
+            profile.idct.push(cd);
+            spatial.push(px);
+        }
+        let (mcu, ccy) = cc.fire(&spatial, sh1);
+        profile.cc.push(ccy);
+        profile.raster.push(raster.fire(&mcu, sh2));
+    }
+    Ok(DecodeResult {
+        frames: std::mem::take(&mut raster.frames),
+        header,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode_sequence, generate_frame, Content, StreamConfig};
+
+    #[test]
+    fn decode_matches_frame_count() {
+        let cfg = StreamConfig::small();
+        let stream = encode_sequence(&cfg, Content::Gradient, 9);
+        let res = decode_stream(&stream).unwrap();
+        assert_eq!(res.frames.len(), cfg.frames as usize);
+        assert_eq!(res.frames[0].width, 64);
+        assert_eq!(res.frames[0].height, 48);
+        assert_eq!(res.profile.vld.len(), cfg.total_mcus());
+        assert_eq!(res.profile.iqzz.len(), cfg.total_mcus() * 10);
+    }
+
+    #[test]
+    fn flat_content_roundtrips_closely() {
+        let cfg = StreamConfig {
+            quality: 95,
+            ..StreamConfig::small()
+        };
+        let stream = encode_sequence(&cfg, Content::Flat, 5);
+        let res = decode_stream(&stream).unwrap();
+        let original = generate_frame(&cfg, Content::Flat, 0, 5);
+        let mut max_err = 0i32;
+        for (a, b) in original.rgb.iter().zip(res.frames[0].rgb.iter()) {
+            max_err = max_err
+                .max((a.0 as i32 - b.0 as i32).abs())
+                .max((a.1 as i32 - b.1 as i32).abs())
+                .max((a.2 as i32 - b.2 as i32).abs());
+        }
+        assert!(max_err <= 24, "flat reconstruction error {max_err} too big");
+    }
+
+    #[test]
+    fn gradient_roundtrip_mean_error_small() {
+        let cfg = StreamConfig {
+            quality: 90,
+            ..StreamConfig::small()
+        };
+        let stream = encode_sequence(&cfg, Content::Gradient, 11);
+        let res = decode_stream(&stream).unwrap();
+        let original = generate_frame(&cfg, Content::Gradient, 0, 11);
+        let mut total = 0u64;
+        for (a, b) in original.rgb.iter().zip(res.frames[0].rgb.iter()) {
+            total += (a.0 as i64 - b.0 as i64).unsigned_abs()
+                + (a.1 as i64 - b.1 as i64).unsigned_abs()
+                + (a.2 as i64 - b.2 as i64).unsigned_abs();
+        }
+        let mean = total as f64 / (3 * original.rgb.len()) as f64;
+        assert!(mean < 8.0, "mean abs error {mean} too large");
+    }
+
+    #[test]
+    fn actual_costs_never_exceed_wcet() {
+        let cfg = StreamConfig::small();
+        for content in [
+            Content::Flat,
+            Content::Photo,
+            Content::Detail,
+            Content::Text,
+            Content::SyntheticRandom,
+        ] {
+            let stream = encode_sequence(&cfg, content, 3);
+            let res = decode_stream(&stream).unwrap();
+            let px = cfg.mcu_pixels() as u64;
+            assert!(res.profile.vld.iter().all(|&c| c <= cost::wcet_vld(6)));
+            assert!(res.profile.iqzz.iter().all(|&c| c <= cost::wcet_iqzz()));
+            assert!(res.profile.idct.iter().all(|&c| c <= cost::wcet_idct()));
+            assert!(res.profile.cc.iter().all(|&c| c <= cost::wcet_cc(px)));
+            assert!(res
+                .profile
+                .raster
+                .iter()
+                .all(|&c| c <= cost::wcet_raster(px)));
+        }
+    }
+
+    #[test]
+    fn synthetic_is_near_worst_case_real_is_not() {
+        let cfg = StreamConfig::small();
+        let synth = decode_stream(&encode_sequence(&cfg, Content::SyntheticRandom, 3)).unwrap();
+        let flat = decode_stream(&encode_sequence(&cfg, Content::Flat, 3)).unwrap();
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        let wcet = cost::wcet_vld(6) as f64;
+        let synth_ratio = mean(&synth.profile.vld) / wcet;
+        let flat_ratio = mean(&flat.profile.vld) / wcet;
+        assert!(
+            synth_ratio > 0.5,
+            "synthetic VLD should be near worst case: {synth_ratio}"
+        );
+        assert!(
+            flat_ratio < 0.35,
+            "flat VLD should be far from worst case: {flat_ratio}"
+        );
+        assert!(synth_ratio > 1.5 * flat_ratio);
+    }
+
+    #[test]
+    fn bad_streams_rejected() {
+        assert_eq!(decode_stream(b"NOPE").unwrap_err(), DecodeError::BadMagic);
+        let mut s = encode_sequence(&StreamConfig::small(), Content::Flat, 1);
+        s.truncate(40);
+        assert!(matches!(
+            decode_stream(&s),
+            Err(DecodeError::Truncated(_))
+        ));
+        // Corrupt y_blocks.
+        let mut s2 = encode_sequence(&StreamConfig::small(), Content::Flat, 1);
+        s2[9] = 7;
+        assert!(matches!(
+            decode_stream(&s2),
+            Err(DecodeError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn iqzz_cost_is_data_independent() {
+        let cfg = StreamConfig::small();
+        let res = decode_stream(&encode_sequence(&cfg, Content::Detail, 2)).unwrap();
+        let first = res.profile.iqzz[0];
+        assert!(res.profile.iqzz.iter().all(|&c| c == first));
+        assert_eq!(first, cost::wcet_iqzz());
+    }
+}

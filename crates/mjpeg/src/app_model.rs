@@ -1,0 +1,188 @@
+//! The MJPEG application model: the SDF graph of paper Fig. 5 plus the
+//! actor metrics, packaged as a [`ApplicationModel`] for the design flow.
+
+use std::collections::HashMap;
+
+use mamps_sdf::graph::{SdfGraph, SdfGraphBuilder};
+use mamps_sdf::model::{
+    ActorImplementation, ApplicationModel, ArgBinding, ArgDirection, ThroughputConstraint,
+};
+use mamps_sdf::SdfError;
+
+use crate::cost;
+use crate::encoder::StreamConfig;
+
+/// Actor names in graph order (actor ids 0..5).
+pub const ACTOR_NAMES: [&str; 5] = ["VLD", "IQZZ", "IDCT", "CC", "Raster"];
+
+/// Builds the Fig. 5 SDF graph for the given stream geometry, with WCET
+/// execution times from the cost model.
+///
+/// Rates: `vld2iqzz` 10:1, `iqzz2idct` 1:1, `idct2cc` 1:10, `cc2raster`
+/// 1:1, plus the `subHeader1`/`subHeader2` forwarding channels and the
+/// `vldState`/`rasterState` self-edges. One iteration decodes one MCU
+/// (q = [1, 10, 10, 1, 1]).
+pub fn fig5_graph(cfg: &StreamConfig) -> SdfGraph {
+    let pixels = cfg.mcu_pixels() as u64;
+    let mut b = SdfGraphBuilder::new("mjpeg");
+    let vld = b.add_actor("VLD", cost::wcet_vld(cfg.blocks_per_mcu() as u64));
+    let iqzz = b.add_actor("IQZZ", cost::wcet_iqzz());
+    let idct = b.add_actor("IDCT", cost::wcet_idct());
+    let cc = b.add_actor("CC", cost::wcet_cc(pixels));
+    let raster = b.add_actor("Raster", cost::wcet_raster(pixels));
+
+    let block_bytes = 64 * 2; // 64 i16 coefficients
+    b.add_channel_full("vld2iqzz", vld, 10, iqzz, 1, 0, block_bytes);
+    b.add_channel_full("iqzz2idct", iqzz, 1, idct, 1, 0, block_bytes);
+    b.add_channel_full("idct2cc", idct, 1, cc, 10, 0, block_bytes);
+    b.add_channel_full("cc2raster", cc, 1, raster, 1, 0, pixels * 3);
+    b.add_channel_full("subHeader1", vld, 1, cc, 1, 0, 8);
+    b.add_channel_full("subHeader2", vld, 1, raster, 1, 0, 8);
+    b.add_channel_with_tokens("vldState", vld, 1, vld, 1, 1);
+    b.add_channel_with_tokens("rasterState", raster, 1, raster, 1, 1);
+    b.build().expect("Fig. 5 graph is valid")
+}
+
+/// Instruction/data memory footprints of the actor implementations (bytes),
+/// indicative MicroBlaze figures.
+fn memory_of(actor: &str) -> (u64, u64) {
+    match actor {
+        "VLD" => (14 * 1024, 6 * 1024),
+        "IQZZ" => (3 * 1024, 1024),
+        "IDCT" => (8 * 1024, 2 * 1024),
+        "CC" => (4 * 1024, 2 * 1024),
+        "Raster" => (3 * 1024, 4 * 1024),
+        _ => (4 * 1024, 1024),
+    }
+}
+
+/// Builds the complete MJPEG application model (graph + implementations).
+///
+/// # Errors
+///
+/// Propagates model validation errors (none expected for this fixed graph).
+pub fn mjpeg_application(
+    cfg: &StreamConfig,
+    constraint: Option<ThroughputConstraint>,
+) -> Result<ApplicationModel, SdfError> {
+    let graph = fig5_graph(cfg);
+    let mut implementations = HashMap::new();
+    for (aid, actor) in graph.actors() {
+        let (imem, dmem) = memory_of(actor.name());
+        let mut args = Vec::new();
+        let mut idx = 0usize;
+        for &cid in graph.incoming(aid) {
+            let ch = graph.channel(cid);
+            if ch.is_self_edge() {
+                continue;
+            }
+            args.push(ArgBinding {
+                arg_index: idx,
+                channel: ch.name().to_string(),
+                direction: ArgDirection::Input,
+            });
+            idx += 1;
+        }
+        for &cid in graph.outgoing(aid) {
+            let ch = graph.channel(cid);
+            if ch.is_self_edge() {
+                continue;
+            }
+            args.push(ArgBinding {
+                arg_index: idx,
+                channel: ch.name().to_string(),
+                direction: ArgDirection::Output,
+            });
+            idx += 1;
+        }
+        implementations.insert(
+            actor.name().to_string(),
+            vec![ActorImplementation {
+                processor_type: "microblaze".into(),
+                function_name: format!("actor_{}", actor.name().to_lowercase()),
+                wcet: actor.execution_time(),
+                instruction_memory: imem,
+                data_memory: dmem,
+                args,
+            }],
+        );
+    }
+    ApplicationModel::new(graph, implementations, constraint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_sdf::repetition::repetition_vector;
+    use mamps_sdf::state_space::{throughput, AnalysisOptions};
+
+    #[test]
+    fn fig5_repetition_vector() {
+        let g = fig5_graph(&StreamConfig::small());
+        let q = repetition_vector(&g).unwrap();
+        let of = |n: &str| q.of(g.actor_by_name(n).unwrap());
+        assert_eq!(of("VLD"), 1);
+        assert_eq!(of("IQZZ"), 10);
+        assert_eq!(of("IDCT"), 10);
+        assert_eq!(of("CC"), 1);
+        assert_eq!(of("Raster"), 1);
+    }
+
+    #[test]
+    fn fig5_is_live_and_analysable() {
+        let g = fig5_graph(&StreamConfig::small());
+        assert!(mamps_sdf::liveness::check_liveness(&g).is_ok());
+        let t = throughput(&g, &AnalysisOptions::default()).unwrap();
+        assert!(t.as_f64() > 0.0);
+        // Single-processor-free upper bound sanity: the pipeline bottleneck
+        // is at most the VLD WCET or the 10x block chain.
+        let cy = t.cycles_per_iteration();
+        assert!(cy >= cost::wcet_vld(6) as f64);
+    }
+
+    #[test]
+    fn application_model_validates() {
+        let app = mjpeg_application(&StreamConfig::small(), None).unwrap();
+        let vld = app.graph().actor_by_name("VLD").unwrap();
+        let im = app.implementation_for(vld, "microblaze").unwrap();
+        assert_eq!(im.wcet, cost::wcet_vld(6));
+        // VLD binds 3 explicit channels (vld2iqzz + the 2 subheaders; no
+        // inputs besides the implicit state edge).
+        assert_eq!(im.args.len(), 3);
+        assert!(im.args.iter().all(|a| a.direction == ArgDirection::Output));
+    }
+
+    #[test]
+    fn token_sizes_reflect_geometry() {
+        let g = fig5_graph(&StreamConfig::small());
+        let c = g
+            .channel(g.channel_by_name("cc2raster").unwrap())
+            .token_size();
+        assert_eq!(c, 256 * 3);
+        let b = g
+            .channel(g.channel_by_name("vld2iqzz").unwrap())
+            .token_size();
+        assert_eq!(b, 128);
+    }
+
+    #[test]
+    fn subheader_traffic_is_small_fraction() {
+        // Paper §6.3: initialization tokens use ~1 % of the communication.
+        let g = fig5_graph(&StreamConfig::small());
+        let q = repetition_vector(&g).unwrap();
+        let mut total = 0u64;
+        let mut sub = 0u64;
+        for (_, ch) in g.channels() {
+            if ch.is_self_edge() {
+                continue;
+            }
+            let words = q.of(ch.src()) * ch.production_rate() * ch.token_size().div_ceil(4);
+            total += words;
+            if ch.name().starts_with("subHeader") {
+                sub += words;
+            }
+        }
+        let frac = sub as f64 / total as f64;
+        assert!(frac < 0.02, "subHeader fraction {frac} should be ~1 %");
+    }
+}

@@ -1,0 +1,152 @@
+//! MSB-first bit-level reader and writer for the MJPEG-like bitstream.
+
+/// Writes bits MSB-first into a byte vector.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the current (last) byte.
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the `count` least-significant bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn put_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "at most 32 bits per call");
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn get_bit(&mut self) -> Option<u8> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `count` bits MSB-first; `None` if the stream ends early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn get_bits(&mut self, count: u8) -> Option<u32> {
+        assert!(count <= 32, "at most 32 bits per call");
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | self.get_bit()? as u32;
+        }
+        Some(v)
+    }
+
+    /// Bits consumed so far.
+    pub fn bits_read(&self) -> usize {
+        self.pos
+    }
+
+    /// True when all bits are consumed (ignoring byte padding).
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xFF, 8);
+        w.put_bits(0, 1);
+        w.put_bits(0x12345, 20);
+        let len = w.bit_len();
+        assert_eq!(len, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(3), Some(0b101));
+        assert_eq!(r.get_bits(8), Some(0xFF));
+        assert_eq!(r.get_bits(1), Some(0));
+        assert_eq!(r.get_bits(20), Some(0x12345));
+        assert_eq!(r.bits_read(), 32);
+    }
+
+    #[test]
+    fn zero_count_is_noop() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xFFFF, 0);
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(0), Some(0));
+    }
+
+    #[test]
+    fn end_of_stream() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b11, 2);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(8), Some(0b1100_0000)); // padded byte readable
+        assert_eq!(r.get_bit(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        for b in [1u32, 0, 1, 1, 0, 0, 1, 0, 1] {
+            w.put_bits(b, 1);
+        }
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for b in [1u8, 0, 1, 1, 0, 0, 1, 0, 1] {
+            assert_eq!(r.get_bit(), Some(b));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Integer YCbCr <-> RGB conversion (ITU-R BT.601 full range, fixed point).
+
+/// Converts one RGB pixel to YCbCr (all components 0..=255).
+pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
+    let (r, g, b) = (r as i32, g as i32, b as i32);
+    let y = (77 * r + 150 * g + 29 * b + 128) >> 8;
+    let cb = ((-43 * r - 85 * g + 128 * b + 128) >> 8) + 128;
+    let cr = ((128 * r - 107 * g - 21 * b + 128) >> 8) + 128;
+    (
+        y.clamp(0, 255) as u8,
+        cb.clamp(0, 255) as u8,
+        cr.clamp(0, 255) as u8,
+    )
+}
+
+/// Converts one YCbCr pixel back to RGB.
+pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
+    let y = y as i32;
+    let cb = cb as i32 - 128;
+    let cr = cr as i32 - 128;
+    let r = y + ((359 * cr + 128) >> 8);
+    let g = y - ((88 * cb + 183 * cr + 128) >> 8);
+    let b = y + ((454 * cb + 128) >> 8);
+    (
+        r.clamp(0, 255) as u8,
+        g.clamp(0, 255) as u8,
+        b.clamp(0, 255) as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grey_is_fixed_point() {
+        for v in [0u8, 64, 128, 200, 255] {
+            let (y, cb, cr) = rgb_to_ycbcr(v, v, v);
+            assert!((y as i32 - v as i32).abs() <= 1);
+            assert!((cb as i32 - 128).abs() <= 1);
+            assert!((cr as i32 - 128).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        for r in (0..=255).step_by(17) {
+            for g in (0..=255).step_by(19) {
+                for b in (0..=255).step_by(23) {
+                    let (y, cb, cr) = rgb_to_ycbcr(r, g, b);
+                    let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+                    assert!((r as i32 - r2 as i32).abs() <= 3);
+                    assert!((g as i32 - g2 as i32).abs() <= 3);
+                    assert!((b as i32 - b2 as i32).abs() <= 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn primaries_have_expected_chroma() {
+        let (_, cb_r, cr_r) = rgb_to_ycbcr(255, 0, 0);
+        assert!(cr_r > 200, "red has high Cr");
+        assert!(cb_r < 128);
+        let (_, cb_b, _) = rgb_to_ycbcr(0, 0, 255);
+        assert!(cb_b > 200, "blue has high Cb");
+    }
+}

@@ -1,0 +1,155 @@
+//! The deterministic cycle-cost model of the MJPEG actors.
+//!
+//! On the real platform, per-firing execution times come from running actor
+//! C code on a MicroBlaze; the paper derives WCETs with a scenario-based
+//! method plus measurement (§6). Here every actor charges cycles through
+//! this model as it does its actual work (bits parsed, coefficients stored,
+//! pixels written), so:
+//!
+//! * per-firing **actual** costs are deterministic and data-dependent, and
+//! * per-actor **WCETs** follow analytically from the same constants with
+//!   worst-case parameters, guaranteeing `actual <= WCET` structurally —
+//!   the property that makes the flow's throughput bound conservative.
+//!
+//! The constants approximate a MicroBlaze-class in-order core (a few cycles
+//! per arithmetic op, branches, memory accesses) — absolute values are
+//! indicative, relative weights realistic.
+
+use crate::huffman::{ac_code, dc_code};
+
+/// Cycles to decode one Huffman-coded bit (table walk + shift).
+pub const BIT_DECODE: u64 = 2;
+/// Cycles per magnitude bit read (same bit loop as the Huffman walk).
+pub const MAGNITUDE_BIT: u64 = 2;
+/// Cycles to store one decoded coefficient (bounds check + write).
+pub const COEF_STORE: u64 = 2;
+/// Fixed VLD cycles per block (loop setup, DC predictor update).
+pub const VLD_BLOCK_OVERHEAD: u64 = 40;
+/// Fixed VLD cycles per MCU (component loop, header bookkeeping).
+pub const VLD_MCU_OVERHEAD: u64 = 120;
+
+/// IQZZ: cycles per coefficient (dequantize multiply + zig-zag move).
+pub const IQZZ_PER_COEF: u64 = 5;
+/// IQZZ fixed cycles per block.
+pub const IQZZ_BLOCK_OVERHEAD: u64 = 30;
+
+/// IDCT fixed cycles per block (row/column pass setup, output clamp).
+pub const IDCT_BLOCK_OVERHEAD: u64 = 300;
+/// IDCT cycles per *non-zero* input coefficient (sparse IDCT: zero
+/// coefficients contribute nothing and are skipped, the classic decoder
+/// optimization that makes IDCT time data-dependent).
+pub const IDCT_PER_NONZERO: u64 = 26;
+
+/// CC cycles per pixel (3 multiplies + clamps).
+pub const CC_PER_PIXEL: u64 = 8;
+/// CC fixed cycles per MCU.
+pub const CC_MCU_OVERHEAD: u64 = 60;
+
+/// Raster cycles per pixel (address computation + store).
+pub const RASTER_PER_PIXEL: u64 = 3;
+/// Raster fixed cycles per MCU.
+pub const RASTER_MCU_OVERHEAD: u64 = 50;
+
+/// Maximum blocks per MCU: the paper's VLD "produces up to 10 frequency
+/// blocks per MCU depending on the sampling settings"; the SDF rate is
+/// fixed at 10 and unused slots are padding (the modelling overhead of
+/// §6.3).
+pub const MAX_BLOCKS_PER_MCU: u64 = 10;
+
+/// A running cycle counter, threaded through actor implementations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleCounter(pub u64);
+
+impl CycleCounter {
+    /// Charges `cycles`.
+    pub fn charge(&mut self, cycles: u64) {
+        self.0 += cycles;
+    }
+
+    /// Takes the accumulated count, resetting to zero.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+/// Worst-case bits to decode one 8x8 block: every coefficient non-zero at
+/// maximum magnitude (DC size 11, AC size 10), using the actual maximum
+/// code lengths of the shared Huffman tables.
+pub fn worst_case_block_bits() -> u64 {
+    let dc = dc_code();
+    let ac = ac_code();
+    let dc_bits = dc.max_code_len() as u64 + 11;
+    let ac_bits = 63 * (ac.max_code_len() as u64 + 10);
+    dc_bits + ac_bits
+}
+
+/// WCET of one VLD firing: one MCU with `blocks_per_mcu` *parsed* blocks of
+/// worst-case density. The SDF output rate is fixed at
+/// [`MAX_BLOCKS_PER_MCU`]; the unparsed slots are zero-padding whose cost is
+/// in the fixed MCU overhead. The sampling (hence `blocks_per_mcu`) is a
+/// compile-time property of the stream, known to the WCET analysis exactly
+/// like the quantization tables are known to IQZZ.
+pub fn wcet_vld(blocks_per_mcu: u64) -> u64 {
+    let per_block =
+        VLD_BLOCK_OVERHEAD + worst_case_block_bits() * BIT_DECODE + 64 * COEF_STORE;
+    VLD_MCU_OVERHEAD + blocks_per_mcu.min(MAX_BLOCKS_PER_MCU) * per_block
+}
+
+/// WCET of one IQZZ firing (one block; data-independent).
+pub fn wcet_iqzz() -> u64 {
+    IQZZ_BLOCK_OVERHEAD + 64 * IQZZ_PER_COEF
+}
+
+/// WCET of one IDCT firing (one block, all coefficients non-zero).
+pub fn wcet_idct() -> u64 {
+    IDCT_BLOCK_OVERHEAD + 64 * IDCT_PER_NONZERO
+}
+
+/// WCET of one CC firing (one MCU of `pixels` pixels).
+pub fn wcet_cc(pixels: u64) -> u64 {
+    CC_MCU_OVERHEAD + pixels * CC_PER_PIXEL
+}
+
+/// WCET of one Raster firing.
+pub fn wcet_raster(pixels: u64) -> u64 {
+    RASTER_MCU_OVERHEAD + pixels * RASTER_PER_PIXEL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_charges_and_takes() {
+        let mut c = CycleCounter::default();
+        c.charge(5);
+        c.charge(7);
+        assert_eq!(c.take(), 12);
+        assert_eq!(c.take(), 0);
+    }
+
+    #[test]
+    fn wcets_are_positive_and_ordered() {
+        assert!(wcet_vld(6) > wcet_iqzz());
+        assert!(wcet_idct() > wcet_iqzz());
+        assert!(wcet_cc(256) > 0);
+        assert!(wcet_raster(256) > 0);
+        assert!(wcet_vld(10) > wcet_vld(6));
+    }
+
+    #[test]
+    fn worst_case_bits_dominated_by_ac() {
+        let b = worst_case_block_bits();
+        assert!(b > 63 * 10, "at least the magnitude bits: {b}");
+        assert!(b < 63 * 64, "sane upper bound: {b}");
+    }
+
+    #[test]
+    fn vld_wcet_scales_with_parsed_blocks() {
+        let per_block =
+            VLD_BLOCK_OVERHEAD + worst_case_block_bits() * BIT_DECODE + 64 * COEF_STORE;
+        assert_eq!(wcet_vld(6), VLD_MCU_OVERHEAD + 6 * per_block);
+        // Requests beyond the fixed rate clamp at 10.
+        assert_eq!(wcet_vld(12), wcet_vld(10));
+    }
+}

@@ -1,0 +1,134 @@
+//! Integer 8x8 forward and inverse DCT (separable, fixed-point).
+//!
+//! A straightforward 13-bit fixed-point implementation of the type-II DCT
+//! and its inverse, accurate enough that quantize(fdct(idct(x))) is stable
+//! — which is all an MJPEG codec needs.
+
+const N: usize = 8;
+const FRAC_BITS: i64 = 13;
+
+/// Cosine table in fixed point: `C[u][x] = cos((2x+1) u pi / 16) << 13`.
+fn cos_table() -> [[i64; N]; N] {
+    let mut t = [[0i64; N]; N];
+    for (u, row) in t.iter_mut().enumerate() {
+        for (x, v) in row.iter_mut().enumerate() {
+            let angle = ((2 * x + 1) as f64) * (u as f64) * std::f64::consts::PI / 16.0;
+            *v = (angle.cos() * (1i64 << FRAC_BITS) as f64).round() as i64;
+        }
+    }
+    t
+}
+
+/// Rounding fixed-point rescale by `FRAC_BITS`.
+fn rescale(x: i64) -> i64 {
+    (x + (1 << (FRAC_BITS - 1))) >> FRAC_BITS
+}
+
+fn alpha(u: usize) -> f64 {
+    if u == 0 {
+        (1.0f64 / N as f64).sqrt()
+    } else {
+        (2.0f64 / N as f64).sqrt()
+    }
+}
+
+/// Scale factors `alpha(u) * alpha(v)` in fixed point.
+fn alpha_table() -> [[i64; N]; N] {
+    let mut t = [[0i64; N]; N];
+    for (u, row) in t.iter_mut().enumerate() {
+        for (v, val) in row.iter_mut().enumerate() {
+            *val = ((alpha(u) * alpha(v)) * (1i64 << FRAC_BITS) as f64).round() as i64;
+        }
+    }
+    t
+}
+
+/// Forward 8x8 DCT of pixel-domain samples (centred around 0, i.e. the
+/// caller subtracts 128 from unsigned pixels first).
+pub fn fdct(block: &[i16; 64]) -> [i16; 64] {
+    let cos = cos_table();
+    let al = alpha_table();
+    let mut out = [0i16; 64];
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc: i64 = 0;
+            for x in 0..N {
+                for y in 0..N {
+                    // (pixel * cos) * cos, rescaled to 2^FRAC_BITS.
+                    let t = block[x * N + y] as i64 * cos[u][x];
+                    acc += rescale(t * cos[v][y]);
+                }
+            }
+            let scaled = rescale(acc * al[u][v]);
+            out[u * N + v] = rescale(scaled).clamp(-32768, 32767) as i16;
+        }
+    }
+    out
+}
+
+/// Inverse 8x8 DCT back to (centred) pixel-domain samples.
+pub fn idct(block: &[i16; 64]) -> [i16; 64] {
+    let cos = cos_table();
+    let al = alpha_table();
+    let mut out = [0i16; 64];
+    for x in 0..N {
+        for y in 0..N {
+            let mut acc: i64 = 0;
+            for u in 0..N {
+                for v in 0..N {
+                    // alpha * F (scale 2^13), times both cosines; one
+                    // rescale in between keeps everything in i64 range.
+                    let c = al[u][v] * block[u * N + v] as i64;
+                    let t = rescale(c * cos[u][x]);
+                    acc += t * cos[v][y];
+                }
+            }
+            out[x * N + y] = rescale(rescale(acc)).clamp(-32768, 32767) as i16;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_only_block() {
+        // A flat block transforms to a single DC coefficient.
+        let flat = [64i16; 64];
+        let f = fdct(&flat);
+        assert!(f[0] > 0, "DC must be positive: {}", f[0]);
+        for (i, &c) in f.iter().enumerate().skip(1) {
+            assert!(c.abs() <= 1, "AC coefficient {i} = {c} should be ~0");
+        }
+    }
+
+    #[test]
+    fn roundtrip_accuracy() {
+        let mut block = [0i16; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (((i * 37) % 256) as i16) - 128;
+        }
+        let rec = idct(&fdct(&block));
+        for (a, b) in block.iter().zip(rec.iter()) {
+            assert!(
+                (a - b).abs() <= 2,
+                "roundtrip error too large: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let mut x = [0i16; 64];
+        x[9] = 100;
+        let fx = fdct(&x);
+        let mut x2 = [0i16; 64];
+        x2[9] = 200;
+        let fx2 = fdct(&x2);
+        for (a, b) in fx.iter().zip(fx2.iter()) {
+            assert!((2 * a - b).abs() <= 3, "2*{a} vs {b}");
+        }
+    }
+}

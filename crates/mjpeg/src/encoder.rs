@@ -1,0 +1,410 @@
+//! MJPEG-like stream format and encoder / test-sequence generator.
+//!
+//! The format is a simplified baseline-JPEG relative: a byte-aligned stream
+//! header (dimensions, quality, sampling), then per frame the MCUs in
+//! raster order, each MCU holding its blocks Huffman-coded with DC
+//! prediction and AC run-length coding. The shared Huffman tables come from
+//! [`crate::huffman`]; quantization from [`crate::quant`].
+//!
+//! Six content classes generate the evaluation material of paper §6: five
+//! "real-life" classes with decreasing smoothness, and the synthetic
+//! worst-case class that codes dense random coefficients directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bitstream::BitWriter;
+use crate::color::rgb_to_ycbcr;
+use crate::dct::fdct;
+use crate::huffman::{ac_code, dc_code, magnitude_bits, size_category, EOB, ZRL};
+use crate::quant::{quantize, scaled_table, CHROMA_BASE, LUMA_BASE};
+use crate::zigzag::to_zigzag;
+
+/// Stream configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Frame width in pixels (multiple of the MCU width).
+    pub width: u16,
+    /// Frame height in pixels (multiple of the MCU height).
+    pub height: u16,
+    /// JPEG-style quality factor (1..=100).
+    pub quality: u8,
+    /// Luma blocks per MCU: 1 (8x8 MCU), 2 (16x8) or 4 (16x16, 4:2:0).
+    pub y_blocks: u8,
+    /// Number of frames in the sequence.
+    pub frames: u16,
+}
+
+impl StreamConfig {
+    /// A small default sequence: QCIF-ish 64x48, 4:2:0, quality 75.
+    pub fn small() -> StreamConfig {
+        StreamConfig {
+            width: 64,
+            height: 48,
+            quality: 75,
+            y_blocks: 4,
+            frames: 2,
+        }
+    }
+
+    /// MCU dimensions in pixels.
+    pub fn mcu_size(&self) -> (usize, usize) {
+        match self.y_blocks {
+            1 => (8, 8),
+            2 => (16, 8),
+            4 => (16, 16),
+            _ => panic!("y_blocks must be 1, 2 or 4"),
+        }
+    }
+
+    /// Blocks carried per MCU (luma + Cb + Cr).
+    pub fn blocks_per_mcu(&self) -> usize {
+        self.y_blocks as usize + 2
+    }
+
+    /// MCUs per frame.
+    pub fn mcus_per_frame(&self) -> usize {
+        let (mw, mh) = self.mcu_size();
+        (self.width as usize / mw) * (self.height as usize / mh)
+    }
+
+    /// Total MCUs in the sequence.
+    pub fn total_mcus(&self) -> usize {
+        self.mcus_per_frame() * self.frames as usize
+    }
+
+    /// Pixels per MCU.
+    pub fn mcu_pixels(&self) -> usize {
+        let (w, h) = self.mcu_size();
+        w * h
+    }
+}
+
+/// Content classes of the test sequences (paper §6: five real-life
+/// sequences plus one synthetic random sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Content {
+    /// Nearly uniform frames (video conferencing background).
+    Flat,
+    /// Smooth large-scale gradients.
+    Gradient,
+    /// Photographic: smooth with moderate texture.
+    Photo,
+    /// Detailed texture (foliage-like).
+    Detail,
+    /// High-contrast text/graphics.
+    Text,
+    /// Dense random coefficients coded directly — the worst-case synthetic
+    /// sequence.
+    SyntheticRandom,
+}
+
+/// An RGB frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major RGB triples.
+    pub rgb: Vec<(u8, u8, u8)>,
+}
+
+impl Frame {
+    /// Pixel accessor.
+    pub fn pixel(&self, x: usize, y: usize) -> (u8, u8, u8) {
+        self.rgb[y * self.width + x]
+    }
+}
+
+/// Generates frame `index` of a content class.
+pub fn generate_frame(cfg: &StreamConfig, content: Content, index: u16, seed: u64) -> Frame {
+    let (w, h) = (cfg.width as usize, cfg.height as usize);
+    let mut rng = StdRng::seed_from_u64(seed ^ ((index as u64) << 32));
+    let mut rgb = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let px = match content {
+                Content::Flat => {
+                    let base = 120u8.wrapping_add((index % 8) as u8);
+                    let n: i16 = rng.gen_range(-2..=2);
+                    let v = (base as i16 + n).clamp(0, 255) as u8;
+                    (v, v, v)
+                }
+                Content::Gradient => {
+                    let r = ((x * 255) / w.max(1)) as u8;
+                    let g = ((y * 255) / h.max(1)) as u8;
+                    let b = ((x + y + index as usize) % 256) as u8;
+                    (r, g, b)
+                }
+                Content::Photo => {
+                    // Low-frequency sinusoids plus mild noise.
+                    let fx = x as f64 / 16.0 + index as f64 * 0.3;
+                    let fy = y as f64 / 12.0;
+                    let base = 128.0 + 60.0 * (fx.sin() * fy.cos());
+                    let n: i16 = rng.gen_range(-8..=8);
+                    let v = (base as i16 + n).clamp(0, 255) as u8;
+                    (v, (v / 2 + 60), (255 - v / 3))
+                }
+                Content::Detail => {
+                    let n: u8 = rng.gen_range(0..=255);
+                    let s = (((x / 2 + y / 2) % 2) * 120) as u8;
+                    (n / 2 + s / 2, n / 3 + s / 2, n / 2)
+                }
+                Content::Text => {
+                    let on = (x / 3 + 7 * (y / 5) + index as usize) % 7 < 2;
+                    if on {
+                        (10, 10, 20)
+                    } else {
+                        (245, 245, 235)
+                    }
+                }
+                Content::SyntheticRandom => {
+                    // Pixels irrelevant: the encoder bypasses the DCT for
+                    // this class; still produce something valid.
+                    (rng.gen(), rng.gen(), rng.gen())
+                }
+            };
+            rgb.push(px);
+        }
+    }
+    Frame {
+        width: w,
+        height: h,
+        rgb,
+    }
+}
+
+/// Extracts one 8x8 plane block at (bx, by) from a sampled plane.
+fn plane_block(plane: &[i16], w: usize, bx: usize, by: usize) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for r in 0..8 {
+        for c in 0..8 {
+            out[r * 8 + c] = plane[(by * 8 + r) * w + bx * 8 + c];
+        }
+    }
+    out
+}
+
+/// Encodes one quantized, zig-zagged block into the bitstream. Returns the
+/// new DC predictor.
+fn encode_block(
+    zz: &[i16; 64],
+    dc_pred: i32,
+    dc: &crate::huffman::HuffmanCode,
+    ac: &crate::huffman::HuffmanCode,
+    out: &mut BitWriter,
+) -> i32 {
+    let dc_val = zz[0] as i32;
+    let diff = dc_val - dc_pred;
+    let (bits, size) = magnitude_bits(diff);
+    dc.encode(size as usize, out);
+    out.put_bits(bits, size);
+    let mut run = 0u32;
+    for &c in &zz[1..] {
+        if c == 0 {
+            run += 1;
+            continue;
+        }
+        while run >= 16 {
+            ac.encode(ZRL, out);
+            run -= 16;
+        }
+        let s = size_category(c as i32);
+        let sym = (run as usize) * 16 + s as usize;
+        ac.encode(sym, out);
+        let (mb, _) = magnitude_bits(c as i32);
+        out.put_bits(mb, s);
+        run = 0;
+    }
+    if run > 0 {
+        ac.encode(EOB, out);
+    }
+    dc_val
+}
+
+/// Encodes a complete sequence, returning the stream bytes.
+///
+/// # Panics
+///
+/// Panics if the frame dimensions are not multiples of the MCU size or
+/// `y_blocks` is invalid.
+pub fn encode_sequence(cfg: &StreamConfig, content: Content, seed: u64) -> Vec<u8> {
+    let (mw, mh) = cfg.mcu_size();
+    assert!(
+        cfg.width as usize % mw == 0 && cfg.height as usize % mh == 0,
+        "frame dimensions must be MCU-aligned"
+    );
+    let dc = dc_code();
+    let ac = ac_code();
+    let luma_q = scaled_table(&LUMA_BASE, cfg.quality);
+    let chroma_q = scaled_table(&CHROMA_BASE, cfg.quality);
+
+    // Byte-aligned header.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"MAMJ");
+    bytes.extend_from_slice(&cfg.width.to_be_bytes());
+    bytes.extend_from_slice(&cfg.height.to_be_bytes());
+    bytes.push(cfg.quality);
+    bytes.push(cfg.y_blocks);
+    bytes.extend_from_slice(&cfg.frames.to_be_bytes());
+
+    let mut w = BitWriter::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+
+    for frame_idx in 0..cfg.frames {
+        let frame = generate_frame(cfg, content, frame_idx, seed);
+        // Build Y/Cb/Cr planes; chroma subsampled to one 8x8 block per MCU.
+        let (fw, fh) = (frame.width, frame.height);
+        let mut yp = vec![0i16; fw * fh];
+        for (i, &(r, g, b)) in frame.rgb.iter().enumerate() {
+            let (y, _, _) = rgb_to_ycbcr(r, g, b);
+            yp[i] = y as i16 - 128;
+        }
+        let (cw, ch) = (fw / (mw / 8), fh / (mh / 8));
+        let mut cbp = vec![0i16; cw * ch];
+        let mut crp = vec![0i16; cw * ch];
+        let (sx, sy) = (mw / 8, mh / 8);
+        for cy in 0..ch {
+            for cx in 0..cw {
+                // Average the sampling window.
+                let (mut sb, mut sr, mut cnt) = (0i32, 0i32, 0i32);
+                for dy in 0..sy {
+                    for dx in 0..sx {
+                        let (px, py) = (cx * sx + dx, cy * sy + dy);
+                        let (r, g, b) = frame.pixel(px, py);
+                        let (_, cb, cr) = rgb_to_ycbcr(r, g, b);
+                        sb += cb as i32;
+                        sr += cr as i32;
+                        cnt += 1;
+                    }
+                }
+                cbp[cy * cw + cx] = (sb / cnt - 128) as i16;
+                crp[cy * cw + cx] = (sr / cnt - 128) as i16;
+            }
+        }
+
+        let mcus_x = fw / mw;
+        let mcus_y = fh / mh;
+        let mut dc_pred = [0i32; 3]; // Y, Cb, Cr — reset per frame
+        for my in 0..mcus_y {
+            for mx in 0..mcus_x {
+                // Luma blocks in raster order within the MCU.
+                let (ybx, yby) = (mw / 8, mh / 8);
+                for by in 0..yby {
+                    for bx in 0..ybx {
+                        let zz = if content == Content::SyntheticRandom {
+                            random_dense_block(&mut rng)
+                        } else {
+                            let blk =
+                                plane_block(&yp, fw, mx * ybx + bx, my * yby + by);
+                            to_zigzag(&quantize(&fdct(&blk), &luma_q))
+                        };
+                        dc_pred[0] = encode_block(&zz, dc_pred[0], &dc, &ac, &mut w);
+                    }
+                }
+                for (comp, plane) in [(1usize, &cbp), (2usize, &crp)] {
+                    let zz = if content == Content::SyntheticRandom {
+                        random_dense_block(&mut rng)
+                    } else {
+                        let blk = plane_block(plane, cw, mx, my);
+                        to_zigzag(&quantize(&fdct(&blk), &chroma_q))
+                    };
+                    dc_pred[comp] = encode_block(&zz, dc_pred[comp], &dc, &ac, &mut w);
+                }
+            }
+        }
+    }
+    bytes.extend_from_slice(&w.finish());
+    bytes
+}
+
+/// A dense random coefficient block in zig-zag order (worst-case class):
+/// every coefficient non-zero at near-maximal magnitude (size category 10),
+/// driving the variable-length decoder close to its WCET with very little
+/// execution-time variation.
+fn random_dense_block(rng: &mut StdRng) -> [i16; 64] {
+    let mut zz = [0i16; 64];
+    for c in zz.iter_mut() {
+        let mag: i16 = rng.gen_range(512..=1023);
+        *c = if rng.gen() { mag } else { -mag };
+    }
+    zz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_geometry() {
+        let cfg = StreamConfig::small();
+        assert_eq!(cfg.mcu_size(), (16, 16));
+        assert_eq!(cfg.blocks_per_mcu(), 6);
+        assert_eq!(cfg.mcus_per_frame(), 4 * 3);
+        assert_eq!(cfg.total_mcus(), 24);
+        assert_eq!(cfg.mcu_pixels(), 256);
+    }
+
+    #[test]
+    fn sampling_variants() {
+        let mut cfg = StreamConfig::small();
+        cfg.y_blocks = 1;
+        assert_eq!(cfg.mcu_size(), (8, 8));
+        assert_eq!(cfg.blocks_per_mcu(), 3);
+        cfg.y_blocks = 2;
+        assert_eq!(cfg.mcu_size(), (16, 8));
+        assert_eq!(cfg.blocks_per_mcu(), 4);
+    }
+
+    #[test]
+    fn frames_are_deterministic() {
+        let cfg = StreamConfig::small();
+        let a = generate_frame(&cfg, Content::Photo, 1, 42);
+        let b = generate_frame(&cfg, Content::Photo, 1, 42);
+        assert_eq!(a, b);
+        let c = generate_frame(&cfg, Content::Photo, 2, 42);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_nonempty() {
+        let cfg = StreamConfig::small();
+        let s1 = encode_sequence(&cfg, Content::Gradient, 7);
+        let s2 = encode_sequence(&cfg, Content::Gradient, 7);
+        assert_eq!(s1, s2);
+        assert!(s1.len() > 16);
+        assert_eq!(&s1[..4], b"MAMJ");
+    }
+
+    #[test]
+    fn synthetic_streams_are_much_larger() {
+        let cfg = StreamConfig::small();
+        let flat = encode_sequence(&cfg, Content::Flat, 1).len();
+        let synth = encode_sequence(&cfg, Content::SyntheticRandom, 1).len();
+        assert!(
+            synth > 4 * flat,
+            "synthetic {synth} should dwarf flat {flat}"
+        );
+    }
+
+    #[test]
+    fn content_classes_order_by_complexity() {
+        let cfg = StreamConfig::small();
+        let flat = encode_sequence(&cfg, Content::Flat, 3).len();
+        let photo = encode_sequence(&cfg, Content::Photo, 3).len();
+        let detail = encode_sequence(&cfg, Content::Detail, 3).len();
+        assert!(flat < photo, "flat {flat} < photo {photo}");
+        assert!(photo < detail, "photo {photo} < detail {detail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "MCU-aligned")]
+    fn misaligned_dimensions_panic() {
+        let cfg = StreamConfig {
+            width: 60, // not a multiple of 16
+            ..StreamConfig::small()
+        };
+        let _ = encode_sequence(&cfg, Content::Flat, 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! Huffman coding for the MJPEG-like bitstream.
+//!
+//! The encoder and decoder share deterministic code tables built with the
+//! classic Huffman construction from fixed symbol-weight tables (JPEG-style
+//! DC size categories and AC run/size symbols). Building the tables in code
+//! rather than embedding the JPEG Annex K constants keeps both sides
+//! provably consistent; the coding *scheme* (size categories, run-lengths,
+//! EOB/ZRL) follows baseline JPEG.
+
+use crate::bitstream::{BitReader, BitWriter};
+
+/// A canonical Huffman code over symbols `0..n`.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// Code and bit length per symbol.
+    codes: Vec<(u32, u8)>,
+    /// Decode tree: nodes of (left, right); negative values encode leaves
+    /// as `-(symbol + 1)`.
+    tree: Vec<(i32, i32)>,
+}
+
+impl HuffmanCode {
+    /// Builds an optimal prefix code for the given positive weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two symbols are given or a weight is zero.
+    pub fn from_weights(weights: &[u64]) -> HuffmanCode {
+        assert!(weights.len() >= 2, "need at least two symbols");
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        // Huffman tree via two-pass sorted merge (stable, deterministic).
+        // Node ids: 0..n are leaves, n.. are internal.
+        let n = weights.len();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| std::cmp::Reverse((w, i)))
+            .collect();
+        let mut children: Vec<(usize, usize)> = Vec::new();
+        while heap.len() > 1 {
+            let std::cmp::Reverse((w1, a)) = heap.pop().expect("len > 1");
+            let std::cmp::Reverse((w2, b)) = heap.pop().expect("len > 1");
+            let id = n + children.len();
+            children.push((a, b));
+            heap.push(std::cmp::Reverse((w1 + w2, id)));
+        }
+        let root = heap.pop().expect("one root").0 .1;
+
+        // Assign codes by DFS (left = 0, right = 1).
+        let mut codes = vec![(0u32, 0u8); n];
+        let mut stack = vec![(root, 0u32, 0u8)];
+        while let Some((node, code, len)) = stack.pop() {
+            if node < n {
+                codes[node] = (code, len.max(1));
+                // A degenerate single-child tree cannot occur with >= 2
+                // symbols; len >= 1 always holds except for the root leaf.
+            } else {
+                let (l, r) = children[node - n];
+                stack.push((l, code << 1, len + 1));
+                stack.push((r, (code << 1) | 1, len + 1));
+            }
+        }
+
+        // Decode tree in flat form.
+        let mut tree: Vec<(i32, i32)> = vec![(-0, -0); 1];
+        tree[0] = (i32::MIN, i32::MIN);
+        for (sym, &(code, len)) in codes.iter().enumerate() {
+            let mut node = 0usize;
+            for i in (0..len).rev() {
+                let bit = (code >> i) & 1;
+                if i == 0 {
+                    let leaf = -(sym as i32) - 1;
+                    if bit == 0 {
+                        tree[node].0 = leaf;
+                    } else {
+                        tree[node].1 = leaf;
+                    }
+                } else {
+                    let existing = if bit == 0 { tree[node].0 } else { tree[node].1 };
+                    let next = if existing == i32::MIN {
+                        let id = tree.len() as i32;
+                        tree.push((i32::MIN, i32::MIN));
+                        if bit == 0 {
+                            tree[node].0 = id;
+                        } else {
+                            tree[node].1 = id;
+                        }
+                        id
+                    } else {
+                        existing
+                    };
+                    node = next as usize;
+                }
+            }
+        }
+        HuffmanCode { codes, tree }
+    }
+
+    /// Encodes `symbol` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is out of range.
+    pub fn encode(&self, symbol: usize, out: &mut BitWriter) {
+        let (code, len) = self.codes[symbol];
+        out.put_bits(code, len);
+    }
+
+    /// Decodes one symbol, returning `(symbol, bits_consumed)`; `None` on a
+    /// truncated or invalid stream.
+    pub fn decode(&self, input: &mut BitReader<'_>) -> Option<(usize, u32)> {
+        let mut node = 0usize;
+        let mut bits = 0u32;
+        loop {
+            let bit = input.get_bit()?;
+            bits += 1;
+            let slot = if bit == 0 {
+                self.tree[node].0
+            } else {
+                self.tree[node].1
+            };
+            if slot == i32::MIN {
+                return None; // invalid code path
+            }
+            if slot < 0 {
+                return Some(((-slot - 1) as usize, bits));
+            }
+            node = slot as usize;
+        }
+    }
+
+    /// Code length of `symbol` in bits.
+    pub fn code_len(&self, symbol: usize) -> u8 {
+        self.codes[symbol].1
+    }
+
+    /// The longest code length (worst case bits per symbol).
+    pub fn max_code_len(&self) -> u8 {
+        self.codes.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+}
+
+/// Number of DC size categories (JPEG baseline: 0..=11).
+pub const DC_SYMBOLS: usize = 12;
+
+/// AC symbol space: `run * 16 + size` for `run` 0..=15 and `size` 0..=10,
+/// where `size == 0` is meaningful only for EOB (run 0) and ZRL (run 15).
+pub const AC_SYMBOLS: usize = 256;
+
+/// End-of-block AC symbol.
+pub const EOB: usize = 0x00;
+
+/// Zero-run-length (16 zeros) AC symbol.
+pub const ZRL: usize = 0xF0;
+
+/// The shared DC code: smaller size categories are more frequent.
+pub fn dc_code() -> HuffmanCode {
+    let weights: Vec<u64> = (0..DC_SYMBOLS)
+        .map(|s| 1 + (1u64 << (12 - s.min(11))))
+        .collect();
+    HuffmanCode::from_weights(&weights)
+}
+
+/// The shared AC code: EOB and short runs with small sizes dominate. The
+/// weight skew is moderate, keeping the worst-case code length close to the
+/// lengths of the common symbols (a flat-ish table keeps the WCET bound
+/// tight, at a small compression cost on easy content).
+pub fn ac_code() -> HuffmanCode {
+    let mut weights = vec![1u64; AC_SYMBOLS];
+    for run in 0..16u64 {
+        for size in 0..11u64 {
+            let sym = (run * 16 + size) as usize;
+            // Frequency falls off with both run and size.
+            weights[sym] = 1 + (1u64 << 10) / ((1 + run) * (1 + size));
+        }
+    }
+    weights[EOB] = 1 << 11;
+    weights[ZRL] = 1 << 6;
+    HuffmanCode::from_weights(&weights)
+}
+
+/// Size category of a coefficient value (bits of `|v|`), as in JPEG.
+pub fn size_category(v: i32) -> u8 {
+    (32 - (v.unsigned_abs()).leading_zeros()) as u8
+}
+
+/// Encodes the magnitude bits of `v` (JPEG one's-complement style).
+pub fn magnitude_bits(v: i32) -> (u32, u8) {
+    let s = size_category(v);
+    if v >= 0 {
+        (v as u32, s)
+    } else {
+        ((v - 1 + (1 << s)) as u32, s)
+    }
+}
+
+/// Decodes magnitude bits back into a value.
+pub fn decode_magnitude(bits: u32, size: u8) -> i32 {
+    if size == 0 {
+        return 0;
+    }
+    let v = bits as i32;
+    if v < (1 << (size - 1)) {
+        v - (1 << size) + 1
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_code_roundtrip() {
+        let code = HuffmanCode::from_weights(&[50, 30, 10, 5, 5]);
+        let symbols = [0usize, 1, 2, 3, 4, 0, 0, 1, 4, 2];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            code.encode(s, &mut w);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            let (got, _) = code.decode(&mut r).unwrap();
+            assert_eq!(got, s);
+        }
+    }
+
+    #[test]
+    fn frequent_symbols_get_short_codes() {
+        let code = HuffmanCode::from_weights(&[1000, 10, 10, 10]);
+        assert!(code.code_len(0) < code.code_len(1));
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        // A Huffman code is complete: sum of 2^-len == 1.
+        let code = HuffmanCode::from_weights(&[7, 5, 3, 2, 1, 1]);
+        let sum: f64 = (0..6).map(|s| 2f64.powi(-(code.code_len(s) as i32))).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_roundtrip() {
+        for v in -1024..=1024 {
+            let (bits, size) = magnitude_bits(v);
+            assert_eq!(decode_magnitude(bits, size), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn size_categories_match_jpeg() {
+        assert_eq!(size_category(0), 0);
+        assert_eq!(size_category(1), 1);
+        assert_eq!(size_category(-1), 1);
+        assert_eq!(size_category(2), 2);
+        assert_eq!(size_category(-3), 2);
+        assert_eq!(size_category(255), 8);
+        assert_eq!(size_category(-1024), 11);
+    }
+
+    #[test]
+    fn shared_tables_roundtrip() {
+        let dc = dc_code();
+        let ac = ac_code();
+        let mut w = BitWriter::new();
+        dc.encode(3, &mut w);
+        ac.encode(EOB, &mut w);
+        ac.encode(ZRL, &mut w);
+        ac.encode(0x23, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dc.decode(&mut r).unwrap().0, 3);
+        assert_eq!(ac.decode(&mut r).unwrap().0, EOB);
+        assert_eq!(ac.decode(&mut r).unwrap().0, ZRL);
+        assert_eq!(ac.decode(&mut r).unwrap().0, 0x23);
+    }
+
+    #[test]
+    fn eob_is_short() {
+        let ac = ac_code();
+        assert!(ac.code_len(EOB) <= 4, "EOB should be among the shortest");
+    }
+
+    #[test]
+    fn invalid_stream_detected_or_exhausted() {
+        let code = HuffmanCode::from_weights(&[1, 1]);
+        let bytes: Vec<u8> = vec![];
+        let mut r = BitReader::new(&bytes);
+        assert!(code.decode(&mut r).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Quantization tables and (de)quantization.
+
+/// The classic JPEG luminance quantization matrix (quality 50 base).
+pub const LUMA_BASE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The classic JPEG chrominance quantization matrix.
+pub const CHROMA_BASE: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Scales a base matrix by a JPEG-style quality factor (1..=100).
+///
+/// # Panics
+///
+/// Panics if `quality` is 0 or above 100.
+pub fn scaled_table(base: &[u16; 64], quality: u8) -> [u16; 64] {
+    assert!((1..=100).contains(&quality), "quality must be 1..=100");
+    let scale: u32 = if quality < 50 {
+        5000 / quality as u32
+    } else {
+        200 - 2 * quality as u32
+    };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base.iter()) {
+        *o = ((b as u32 * scale + 50) / 100).clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// Quantizes a coefficient block (rounding to nearest).
+pub fn quantize(block: &[i16; 64], table: &[u16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        let q = table[i] as i32;
+        let v = block[i] as i32;
+        out[i] = ((v + if v >= 0 { q / 2 } else { -q / 2 }) / q) as i16;
+    }
+    out
+}
+
+/// De-quantizes a coefficient block.
+pub fn dequantize(block: &[i16; 64], table: &[u16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for i in 0..64 {
+        out[i] = (block[i] as i32 * table[i] as i32).clamp(-32768, 32767) as i16;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_scaling_monotone() {
+        let q25 = scaled_table(&LUMA_BASE, 25);
+        let q50 = scaled_table(&LUMA_BASE, 50);
+        let q90 = scaled_table(&LUMA_BASE, 90);
+        for i in 0..64 {
+            assert!(q25[i] >= q50[i]);
+            assert!(q50[i] >= q90[i]);
+            assert!(q90[i] >= 1);
+        }
+        // Quality 50 is the base table.
+        assert_eq!(q50, LUMA_BASE);
+    }
+
+    #[test]
+    fn quant_dequant_bounded_error() {
+        let table = scaled_table(&LUMA_BASE, 75);
+        let mut block = [0i16; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = (i as i16 - 32) * 13;
+        }
+        let rec = dequantize(&quantize(&block, &table), &table);
+        for i in 0..64 {
+            let err = (block[i] - rec[i]).abs() as u16;
+            assert!(err <= table[i] / 2 + 1, "error {err} exceeds q/2 at {i}");
+        }
+    }
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let table = scaled_table(&CHROMA_BASE, 50);
+        let zero = [0i16; 64];
+        assert_eq!(quantize(&zero, &table), zero);
+        assert_eq!(dequantize(&zero, &table), zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality")]
+    fn zero_quality_panics() {
+        let _ = scaled_table(&LUMA_BASE, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The evaluation sequences of paper §6.1: five real-life test sequences
+//! and one synthetic worst-case sequence, plus profiling helpers that turn
+//! a decode run into per-actor execution-time traces for the simulator and
+//! mean times for the "expected" analysis.
+
+use crate::actors::{decode_stream, CostProfile, DecodeError, DecodeResult};
+
+use crate::cost;
+use crate::encoder::{encode_sequence, Content, StreamConfig};
+
+/// A named test sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestSequence {
+    /// Display name.
+    pub name: &'static str,
+    /// Content class.
+    pub content: Content,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// The five real-life test sequences.
+pub fn test_set() -> Vec<TestSequence> {
+    vec![
+        TestSequence {
+            name: "conference",
+            content: Content::Flat,
+            seed: 11,
+        },
+        TestSequence {
+            name: "sunset",
+            content: Content::Gradient,
+            seed: 23,
+        },
+        TestSequence {
+            name: "portrait",
+            content: Content::Photo,
+            seed: 37,
+        },
+        TestSequence {
+            name: "foliage",
+            content: Content::Detail,
+            seed: 53,
+        },
+        TestSequence {
+            name: "slides",
+            content: Content::Text,
+            seed: 71,
+        },
+    ]
+}
+
+/// The synthetic worst-case sequence.
+pub fn synthetic() -> TestSequence {
+    TestSequence {
+        name: "synthetic",
+        content: Content::SyntheticRandom,
+        seed: 97,
+    }
+}
+
+/// Encodes and decodes one sequence, returning frames and the cost profile.
+///
+/// # Errors
+///
+/// Propagates decode errors (none expected for generated streams).
+pub fn profile_sequence(
+    cfg: &StreamConfig,
+    seq: TestSequence,
+) -> Result<DecodeResult, DecodeError> {
+    let stream = encode_sequence(cfg, seq.content, seq.seed);
+    decode_stream(&stream)
+}
+
+/// Converts a profile into per-actor firing traces in graph actor order
+/// (`VLD`, `IQZZ`, `IDCT`, `CC`, `Raster`), for
+/// [`TraceTimes`](../../mamps_sim/exec_time/struct.TraceTimes.html).
+pub fn traces_of(profile: &CostProfile) -> Vec<Vec<u64>> {
+    vec![
+        profile.vld.clone(),
+        profile.iqzz.clone(),
+        profile.idct.clone(),
+        profile.cc.clone(),
+        profile.raster.clone(),
+    ]
+}
+
+/// Mean execution time per actor (rounded up), graph actor order.
+pub fn mean_times(profile: &CostProfile) -> Vec<u64> {
+    traces_of(profile)
+        .iter()
+        .map(|t| {
+            if t.is_empty() {
+                0
+            } else {
+                let s: u128 = t.iter().map(|&x| x as u128).sum();
+                s.div_ceil(t.len() as u128) as u64
+            }
+        })
+        .collect()
+}
+
+/// WCETs per actor for the given geometry, graph actor order.
+pub fn wcets(cfg: &StreamConfig) -> Vec<u64> {
+    let px = cfg.mcu_pixels() as u64;
+    vec![
+        cost::wcet_vld(cfg.blocks_per_mcu() as u64),
+        cost::wcet_iqzz(),
+        cost::wcet_idct(),
+        cost::wcet_cc(px),
+        cost::wcet_raster(px),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_sequences() {
+        let mut names: Vec<&str> = test_set().iter().map(|s| s.name).collect();
+        names.push(synthetic().name);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn profiles_cover_all_actors() {
+        let cfg = StreamConfig::small();
+        let res = profile_sequence(&cfg, synthetic()).unwrap();
+        let traces = traces_of(&res.profile);
+        assert_eq!(traces.len(), crate::app_model::ACTOR_NAMES.len());
+        assert!(traces.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn means_bounded_by_wcets() {
+        let cfg = StreamConfig::small();
+        for seq in test_set().into_iter().chain([synthetic()]) {
+            let res = profile_sequence(&cfg, seq).unwrap();
+            let means = mean_times(&res.profile);
+            let w = wcets(&cfg);
+            for (m, w) in means.iter().zip(w.iter()) {
+                assert!(m <= w, "{}: mean {m} above wcet {w}", seq.name);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_vld_mean_highest() {
+        let cfg = StreamConfig::small();
+        let synth_mean = mean_times(&profile_sequence(&cfg, synthetic()).unwrap().profile)[0];
+        for seq in test_set() {
+            let m = mean_times(&profile_sequence(&cfg, seq).unwrap().profile)[0];
+            assert!(
+                synth_mean > m,
+                "synthetic VLD {synth_mean} must exceed {} ({m})",
+                seq.name
+            );
+        }
+    }
+}

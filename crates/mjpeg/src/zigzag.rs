@@ -1,0 +1,86 @@
+//! Zig-zag scan order for 8x8 blocks, computed rather than hard-coded.
+
+/// Block dimension.
+pub const N: usize = 8;
+
+/// Returns the zig-zag order: `order[k]` is the raster index of the `k`-th
+/// coefficient in zig-zag order.
+pub fn zigzag_order() -> [usize; 64] {
+    let mut order = [0usize; 64];
+    let mut k = 0;
+    for s in 0..(2 * N - 1) {
+        // Walk each anti-diagonal, alternating direction.
+        let range: Vec<(usize, usize)> = (0..=s)
+            .filter_map(|i| {
+                let j = s - i;
+                if i < N && j < N {
+                    Some((i, j))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let iter: Box<dyn Iterator<Item = &(usize, usize)>> = if s % 2 == 0 {
+            Box::new(range.iter().rev()) // up-right on even diagonals
+        } else {
+            Box::new(range.iter())
+        };
+        for &(i, j) in iter {
+            order[k] = i * N + j;
+            k += 1;
+        }
+    }
+    order
+}
+
+/// Reorders a raster-order block into zig-zag order.
+pub fn to_zigzag(block: &[i16; 64]) -> [i16; 64] {
+    let order = zigzag_order();
+    let mut out = [0i16; 64];
+    for (k, &idx) in order.iter().enumerate() {
+        out[k] = block[idx];
+    }
+    out
+}
+
+/// Reorders a zig-zag-order block back into raster order.
+pub fn from_zigzag(zz: &[i16; 64]) -> [i16; 64] {
+    let order = zigzag_order();
+    let mut out = [0i16; 64];
+    for (k, &idx) in order.iter().enumerate() {
+        out[idx] = zz[k];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_a_permutation() {
+        let order = zigzag_order();
+        let mut seen = [false; 64];
+        for &i in &order {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn known_prefix() {
+        // The canonical JPEG zig-zag starts (0,0),(0,1),(1,0),(2,0),(1,1),(0,2)...
+        let order = zigzag_order();
+        assert_eq!(&order[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(order[63], 63);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut block = [0i16; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = i as i16 * 3 - 50;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the MJPEG codec: generated streams of every content
+//! class and geometry decode without error, reconstruct the right frame
+//! count, and never exceed the analytic WCETs.
+
+use proptest::prelude::*;
+
+use mamps_mjpeg::actors::decode_stream;
+use mamps_mjpeg::cost;
+use mamps_mjpeg::encoder::{encode_sequence, Content, StreamConfig};
+
+fn any_content() -> impl Strategy<Value = Content> {
+    prop_oneof![
+        Just(Content::Flat),
+        Just(Content::Gradient),
+        Just(Content::Photo),
+        Just(Content::Detail),
+        Just(Content::Text),
+        Just(Content::SyntheticRandom),
+    ]
+}
+
+fn any_config() -> impl Strategy<Value = StreamConfig> {
+    (
+        prop_oneof![Just(1u8), Just(2), Just(4)],
+        1u16..4,      // MCU columns
+        1u16..4,      // MCU rows
+        prop_oneof![Just(30u8), Just(50), Just(75), Just(95)],
+        1u16..3,      // frames
+    )
+        .prop_map(|(y_blocks, mcols, mrows, quality, frames)| {
+            let (mw, mh) = match y_blocks {
+                1 => (8u16, 8u16),
+                2 => (16, 8),
+                _ => (16, 16),
+            };
+            StreamConfig {
+                width: mcols * mw,
+                height: mrows * mh,
+                quality,
+                y_blocks,
+                frames,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_generated_stream_decodes(
+        cfg in any_config(),
+        content in any_content(),
+        seed in 0u64..1000,
+    ) {
+        let stream = encode_sequence(&cfg, content, seed);
+        let res = decode_stream(&stream).unwrap();
+        prop_assert_eq!(res.frames.len(), cfg.frames as usize);
+        prop_assert_eq!(res.profile.vld.len(), cfg.total_mcus());
+        prop_assert_eq!(
+            res.profile.iqzz.len(),
+            cfg.total_mcus() * cost::MAX_BLOCKS_PER_MCU as usize
+        );
+        for f in &res.frames {
+            prop_assert_eq!(f.width, cfg.width as usize);
+            prop_assert_eq!(f.height, cfg.height as usize);
+        }
+    }
+
+    #[test]
+    fn costs_never_exceed_wcets(
+        cfg in any_config(),
+        content in any_content(),
+        seed in 0u64..1000,
+    ) {
+        let stream = encode_sequence(&cfg, content, seed);
+        let res = decode_stream(&stream).unwrap();
+        let px = cfg.mcu_pixels() as u64;
+        let wcet_vld = cost::wcet_vld(cfg.blocks_per_mcu() as u64);
+        for &c in &res.profile.vld {
+            prop_assert!(c <= wcet_vld, "VLD {c} > {wcet_vld}");
+        }
+        for &c in &res.profile.iqzz {
+            prop_assert!(c <= cost::wcet_iqzz());
+        }
+        for &c in &res.profile.idct {
+            prop_assert!(c <= cost::wcet_idct());
+        }
+        for &c in &res.profile.cc {
+            prop_assert!(c <= cost::wcet_cc(px));
+        }
+        for &c in &res.profile.raster {
+            prop_assert!(c <= cost::wcet_raster(px));
+        }
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(
+        cut in 13usize..200,
+        seed in 0u64..50,
+    ) {
+        let cfg = StreamConfig::small();
+        let mut stream = encode_sequence(&cfg, Content::Photo, seed);
+        stream.truncate(cut.min(stream.len()));
+        // Must return an error or a partial success, never panic.
+        let _ = decode_stream(&stream);
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic(
+        pos in 12usize..500,
+        byte in 0u8..=255,
+        seed in 0u64..50,
+    ) {
+        let cfg = StreamConfig::small();
+        let mut stream = encode_sequence(&cfg, Content::Detail, seed);
+        if pos < stream.len() {
+            stream[pos] = byte;
+        }
+        let _ = decode_stream(&stream);
+    }
+}

@@ -1,0 +1,178 @@
+//! Predictable TDM arbitration for shared resources — the paper's §7
+//! future-work item: "Adding a predictable arbiter could enable multiple
+//! tiles in accessing peripherals while keeping a predictable system",
+//! following the approach of Predator \[1\] (Akesson et al., CODES+ISSS
+//! 2007).
+//!
+//! A [`TdmArbiter`] grants a shared resource (peripheral, SDRAM port) in a
+//! fixed time-division-multiplex table. Each requestor's worst-case service
+//! latency is the longest wait between issuing a request and completing the
+//! access, which is composable into actor WCETs: an actor performing `k`
+//! accesses per firing on a shared peripheral executes at most
+//! `wcet + k * worst_case_access(tile)` cycles. This keeps the whole flow
+//! predictable while lifting the MAMPS restriction of a single
+//! peripheral-owning tile (paper §4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::TileId;
+
+/// A time-division-multiplex arbiter over a shared resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdmArbiter {
+    /// Cycles per TDM slot (one access completes within a slot).
+    slot_cycles: u64,
+    /// The slot table: the tile granted in each slot, repeated cyclically.
+    table: Vec<TileId>,
+}
+
+impl TdmArbiter {
+    /// Creates an arbiter from a slot table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty or `slot_cycles` is zero.
+    pub fn new(slot_cycles: u64, table: Vec<TileId>) -> TdmArbiter {
+        assert!(!table.is_empty(), "TDM table must have at least one slot");
+        assert!(slot_cycles > 0, "slots must be at least one cycle");
+        TdmArbiter { slot_cycles, table }
+    }
+
+    /// An equal-share arbiter: one slot per tile, round robin.
+    pub fn round_robin(slot_cycles: u64, tiles: &[TileId]) -> TdmArbiter {
+        TdmArbiter::new(slot_cycles, tiles.to_vec())
+    }
+
+    /// Cycles per slot.
+    pub fn slot_cycles(&self) -> u64 {
+        self.slot_cycles
+    }
+
+    /// The slot table.
+    pub fn table(&self) -> &[TileId] {
+        &self.table
+    }
+
+    /// The TDM period in cycles.
+    pub fn period_cycles(&self) -> u64 {
+        self.table.len() as u64 * self.slot_cycles
+    }
+
+    /// Number of slots granted to `tile` per period.
+    pub fn slots_of(&self, tile: TileId) -> usize {
+        self.table.iter().filter(|&&t| t == tile).count()
+    }
+
+    /// Worst-case cycles from issuing one access to completing it, for
+    /// `tile`: the longest gap to the tile's next slot (a request can
+    /// arrive one cycle after its slot started) plus the access slot
+    /// itself. Returns `None` if the tile has no slot (it must not access
+    /// the resource at all).
+    pub fn worst_case_access(&self, tile: TileId) -> Option<u64> {
+        let positions: Vec<usize> = self
+            .table
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t == tile)
+            .map(|(i, _)| i)
+            .collect();
+        if positions.is_empty() {
+            return None;
+        }
+        // Largest distance (in slots) from just after one own slot start to
+        // the start of the next own slot, cyclically.
+        let n = self.table.len();
+        let max_gap_slots = positions
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| {
+                let next = positions[(k + 1) % positions.len()];
+                let d = (next + n - p) % n;
+                if d == 0 {
+                    n // single own slot: a miss waits a whole period
+                } else {
+                    d
+                }
+            })
+            .max()
+            .expect("non-empty positions");
+        // The request may just miss its own slot: wait the full gap, then
+        // be served in one slot.
+        Some(max_gap_slots as u64 * self.slot_cycles + self.slot_cycles)
+    }
+
+    /// Inflates an actor WCET with the worst case of `accesses` shared
+    /// accesses per firing from `tile`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the tile has no slot in the table.
+    pub fn inflate_wcet(
+        &self,
+        wcet: u64,
+        tile: TileId,
+        accesses: u64,
+    ) -> Result<u64, String> {
+        if accesses == 0 {
+            return Ok(wcet);
+        }
+        let per_access = self
+            .worst_case_access(tile)
+            .ok_or_else(|| format!("{tile} has no slot in the TDM table"))?;
+        Ok(wcet + accesses * per_access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_worst_case() {
+        // Three tiles, 10-cycle slots: worst case = miss own slot (wait 3
+        // slots to come around) + 1 slot service = 40 cycles.
+        let a = TdmArbiter::round_robin(10, &[TileId(0), TileId(1), TileId(2)]);
+        assert_eq!(a.period_cycles(), 30);
+        for t in 0..3 {
+            assert_eq!(a.worst_case_access(TileId(t)), Some(40));
+        }
+    }
+
+    #[test]
+    fn weighted_table_shortens_the_frequent_requestor() {
+        // Tile 0 gets two slots per period; its worst gap is 2 slots.
+        let a = TdmArbiter::new(10, vec![TileId(0), TileId(1), TileId(0), TileId(2)]);
+        assert_eq!(a.slots_of(TileId(0)), 2);
+        assert_eq!(a.worst_case_access(TileId(0)), Some(30)); // gap 2 + 1
+        assert_eq!(a.worst_case_access(TileId(1)), Some(50)); // gap 4 + 1
+    }
+
+    #[test]
+    fn absent_tile_has_no_bound() {
+        let a = TdmArbiter::round_robin(10, &[TileId(0)]);
+        assert_eq!(a.worst_case_access(TileId(5)), None);
+        assert!(a.inflate_wcet(100, TileId(5), 1).is_err());
+    }
+
+    #[test]
+    fn single_requestor_still_pays_the_table() {
+        // A single-slot table: worst case = just missed it, wait a full
+        // period, then the slot.
+        let a = TdmArbiter::round_robin(8, &[TileId(0)]);
+        assert_eq!(a.worst_case_access(TileId(0)), Some(16));
+    }
+
+    #[test]
+    fn wcet_inflation() {
+        let a = TdmArbiter::round_robin(10, &[TileId(0), TileId(1)]);
+        // Worst case per access: 2 slots gap + 1 slot = 30.
+        assert_eq!(a.inflate_wcet(100, TileId(0), 0).unwrap(), 100);
+        assert_eq!(a.inflate_wcet(100, TileId(0), 3).unwrap(), 100 + 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_table_panics() {
+        let _ = TdmArbiter::new(10, vec![]);
+    }
+}

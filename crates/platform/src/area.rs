@@ -1,0 +1,241 @@
+//! FPGA area model for the platform components.
+//!
+//! The paper reports one area figure: integrating the SDM NoC into MAMPS
+//! required flow control, costing "approximately 12 % more slices on the
+//! FPGA when compared to the original implementation" (§5.3.1). This module
+//! provides a per-component area model, calibrated on published Virtex-6
+//! figures for the MicroBlaze, FSL and SDM router, that reproduces that
+//! relative overhead; absolute numbers are indicative only.
+
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Architecture;
+use crate::interconnect::Interconnect;
+use crate::tile::TileKind;
+
+/// FPGA resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Area {
+    /// Virtex-6 slices.
+    pub slices: u64,
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 kb block RAMs.
+    pub bram36: u64,
+}
+
+impl Add for Area {
+    type Output = Area;
+    fn add(self, rhs: Area) -> Area {
+        Area {
+            slices: self.slices + rhs.slices,
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            bram36: self.bram36 + rhs.bram36,
+        }
+    }
+}
+
+impl std::iter::Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        iter.fold(Area::default(), Add::add)
+    }
+}
+
+/// Area of one MicroBlaze PE (minimal configuration, Virtex-6).
+pub fn microblaze() -> Area {
+    Area {
+        slices: 350,
+        luts: 1100,
+        ffs: 900,
+        bram36: 0,
+    }
+}
+
+/// Area of a network interface (FSL adapters + glue).
+pub fn network_interface() -> Area {
+    Area {
+        slices: 60,
+        luts: 180,
+        ffs: 150,
+        bram36: 0,
+    }
+}
+
+/// Area of a communication assist (CA-MPSoC \[13\] style DMA engine).
+pub fn communication_assist() -> Area {
+    Area {
+        slices: 220,
+        luts: 700,
+        ffs: 550,
+        bram36: 1,
+    }
+}
+
+/// Area of local memory: one BRAM36 per 4 kB.
+pub fn memory(bytes: u64) -> Area {
+    Area {
+        slices: 0,
+        luts: 0,
+        ffs: 0,
+        bram36: bytes.div_ceil(4 * 1024),
+    }
+}
+
+/// Area of one FSL FIFO link.
+pub fn fsl_link(fifo_depth: u64) -> Area {
+    Area {
+        slices: 20 + fifo_depth / 8,
+        luts: 60 + fifo_depth / 2,
+        ffs: 70 + fifo_depth / 2,
+        bram36: 0,
+    }
+}
+
+/// Area of one SDM NoC router, without flow control (as published in \[17\]).
+pub fn noc_router_base(wires_per_link: u32) -> Area {
+    let w = wires_per_link as u64;
+    Area {
+        slices: 150 + 25 * w,
+        luts: 480 + 80 * w,
+        ffs: 380 + 64 * w,
+        bram36: 0,
+    }
+}
+
+/// Area of one SDM NoC router including the credit-based flow control added
+/// for MAMPS; ≈12 % more slices than [`noc_router_base`] (paper §5.3.1).
+pub fn noc_router_with_flow_control(wires_per_link: u32) -> Area {
+    let base = noc_router_base(wires_per_link);
+    Area {
+        slices: base.slices * 112 / 100,
+        luts: base.luts * 112 / 100,
+        ffs: base.ffs * 113 / 100,
+        bram36: base.bram36,
+    }
+}
+
+/// Area summary of a full platform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Per-tile area (PE + NI + memories + optional CA).
+    pub tiles: Vec<Area>,
+    /// Total interconnect area.
+    pub interconnect: Area,
+    /// Grand total.
+    pub total: Area,
+}
+
+/// Computes the area of `arch` assuming `links` point-to-point connections
+/// for an FSL interconnect (NoC area depends only on the mesh).
+pub fn platform_area(arch: &Architecture, links: usize) -> AreaReport {
+    let tiles: Vec<Area> = arch
+        .tiles()
+        .iter()
+        .map(|t| {
+            let pe = match t.kind() {
+                TileKind::HardwareIp => Area {
+                    slices: 500,
+                    luts: 1500,
+                    ffs: 1200,
+                    bram36: 2,
+                },
+                _ => microblaze(),
+            };
+            let ca = match t.kind() {
+                TileKind::CommunicationAssist => communication_assist(),
+                _ => Area::default(),
+            };
+            pe + network_interface() + memory(t.imem_bytes() + t.dmem_bytes()) + ca
+        })
+        .collect();
+    let interconnect = match arch.interconnect() {
+        Interconnect::Fsl { fifo_depth } => (0..links).map(|_| fsl_link(*fifo_depth)).sum(),
+        Interconnect::Noc(noc) => {
+            let per_router = if noc.flow_control {
+                noc_router_with_flow_control(noc.wires_per_link)
+            } else {
+                noc_router_base(noc.wires_per_link)
+            };
+            (0..noc.router_count()).map(|_| per_router).sum()
+        }
+    };
+    let total = tiles.iter().copied().sum::<Area>() + interconnect;
+    AreaReport {
+        tiles,
+        interconnect,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+
+    #[test]
+    fn flow_control_overhead_is_about_12_percent() {
+        for wires in [1u32, 2, 4, 8] {
+            let base = noc_router_base(wires).slices as f64;
+            let fc = noc_router_with_flow_control(wires).slices as f64;
+            let overhead = (fc - base) / base;
+            assert!(
+                (0.10..=0.14).contains(&overhead),
+                "overhead {overhead:.3} for {wires} wires outside 10-14 %"
+            );
+        }
+    }
+
+    #[test]
+    fn area_addition() {
+        let a = microblaze() + network_interface();
+        assert_eq!(a.slices, 410);
+        let sum: Area = vec![memory(4096), memory(8192)].into_iter().sum();
+        assert_eq!(sum.bram36, 3);
+    }
+
+    #[test]
+    fn memory_rounds_up_to_bram() {
+        assert_eq!(memory(1).bram36, 1);
+        assert_eq!(memory(4096).bram36, 1);
+        assert_eq!(memory(4097).bram36, 2);
+        assert_eq!(memory(256 * 1024).bram36, 64);
+    }
+
+    #[test]
+    fn platform_area_totals() {
+        let arch = Architecture::homogeneous("a", 4, Interconnect::fsl()).unwrap();
+        let report = platform_area(&arch, 3);
+        assert_eq!(report.tiles.len(), 4);
+        let tiles_total: Area = report.tiles.iter().copied().sum();
+        assert_eq!(
+            report.total.slices,
+            tiles_total.slices + report.interconnect.slices
+        );
+        assert!(report.total.slices > 0);
+        assert!(report.total.bram36 > 0);
+    }
+
+    #[test]
+    fn noc_platform_larger_than_fsl() {
+        // Paper §5.3.1: the NoC costs "a larger implementation".
+        let fsl = Architecture::homogeneous("f", 4, Interconnect::fsl()).unwrap();
+        let noc = Architecture::homogeneous("n", 4, Interconnect::noc_for_tiles(4)).unwrap();
+        let fsl_area = platform_area(&fsl, 4);
+        let noc_area = platform_area(&noc, 4);
+        assert!(noc_area.interconnect.slices > fsl_area.interconnect.slices);
+    }
+
+    #[test]
+    fn ca_tile_costs_more() {
+        let plain = Architecture::homogeneous("p", 2, Interconnect::fsl()).unwrap();
+        let ca = Architecture::homogeneous_with_ca("c", 2, Interconnect::fsl()).unwrap();
+        let a_plain = platform_area(&plain, 1);
+        let a_ca = platform_area(&ca, 1);
+        assert!(a_ca.total.slices > a_plain.total.slices);
+    }
+}

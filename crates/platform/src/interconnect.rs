@@ -1,0 +1,191 @@
+//! Interconnect variants and the Fig. 4 communication parameters.
+//!
+//! Two interconnects are available (paper §5.3.1): point-to-point Xilinx
+//! Fast Simplex Links (FSL) and the SDM mesh NoC. Both implement the same
+//! network interface, so the tile template composes with either. For every
+//! connection, [`CommParams`] captures the parameters of the paper's Fig. 4
+//! communication model:
+//!
+//! * `w` — initial tokens of the interconnect pipeline: the maximum number
+//!   of words simultaneously in transmission;
+//! * `alpha_n` — words of buffering inside the connection;
+//! * `latency` — execution time of the latency actor `c1`;
+//! * `cycles_per_word` — execution time of the rate actor `c2`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::noc::NocConfig;
+use crate::types::TileId;
+
+/// Depth of an FSL FIFO in 32-bit words (Xilinx default).
+pub const DEFAULT_FSL_DEPTH: u64 = 16;
+
+/// The interconnect of a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// Dedicated point-to-point FIFOs (Xilinx FSL \[15\]).
+    Fsl {
+        /// FIFO depth in words.
+        fifo_depth: u64,
+    },
+    /// The SDM mesh NoC with programmed connections.
+    Noc(NocConfig),
+}
+
+impl Interconnect {
+    /// FSL links with the default FIFO depth.
+    pub fn fsl() -> Interconnect {
+        Interconnect::Fsl {
+            fifo_depth: DEFAULT_FSL_DEPTH,
+        }
+    }
+
+    /// An SDM NoC sized for `tiles` tiles.
+    pub fn noc_for_tiles(tiles: usize) -> Interconnect {
+        Interconnect::Noc(NocConfig::for_tiles(tiles))
+    }
+
+    /// Short, stable name for reports (`"fsl"` / `"noc"`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Interconnect::Fsl { .. } => "fsl",
+            Interconnect::Noc(_) => "noc",
+        }
+    }
+}
+
+/// Fig. 4 model parameters of one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommParams {
+    /// Maximum words simultaneously in transmission (`w` in Fig. 4).
+    pub w: u64,
+    /// Words of buffering within the connection (`alpha_n` in Fig. 4).
+    pub alpha_n: u64,
+    /// Per-word latency through the connection (`c1` execution time).
+    pub latency: u64,
+    /// Sustained cycles per word (`c2` execution time; 1/bandwidth).
+    pub cycles_per_word: u64,
+}
+
+impl CommParams {
+    /// Parameters of a connection over `interconnect` from `src` to `dst`,
+    /// given the SDM wires assigned to it on a NoC (ignored for FSL).
+    ///
+    /// FSL: a dedicated FIFO transfers one word per cycle with one register
+    /// of latency; the FIFO itself is the in-connection buffer.
+    ///
+    /// NoC: an XY route of `h` hops pipelines `h` words (one per router
+    /// stage), buffers `h * buffer_words_per_hop` words, adds
+    /// `h * router_latency` cycles of latency, and sustains one word per
+    /// `ceil(32 / wires)` cycles — each SDM wire carries one bit per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires == 0` on a NoC connection.
+    pub fn for_connection(
+        interconnect: &Interconnect,
+        src: TileId,
+        dst: TileId,
+        wires: u32,
+    ) -> CommParams {
+        match interconnect {
+            Interconnect::Fsl { fifo_depth } => CommParams {
+                w: 1,
+                alpha_n: *fifo_depth,
+                latency: 1,
+                cycles_per_word: 1,
+            },
+            Interconnect::Noc(noc) => {
+                assert!(wires > 0, "NoC connections need at least one SDM wire");
+                let hops = noc.hops(src, dst).max(1);
+                CommParams {
+                    w: hops,
+                    alpha_n: hops * noc.buffer_words_per_hop,
+                    latency: hops * noc.router_latency,
+                    cycles_per_word: 32u64.div_ceil(wires as u64),
+                }
+            }
+        }
+    }
+
+    /// Parameters for a channel whose endpoints share a tile: communication
+    /// happens through local memory, modelled as a single-cycle unbounded
+    /// "connection" (the mapping flow does not expand such channels).
+    pub fn local() -> CommParams {
+        CommParams {
+            w: 1,
+            alpha_n: 1,
+            latency: 0,
+            cycles_per_word: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsl_params() {
+        let p = CommParams::for_connection(&Interconnect::fsl(), TileId(0), TileId(1), 0);
+        assert_eq!(p.w, 1);
+        assert_eq!(p.alpha_n, DEFAULT_FSL_DEPTH);
+        assert_eq!(p.cycles_per_word, 1);
+        assert_eq!(p.latency, 1);
+    }
+
+    #[test]
+    fn noc_params_scale_with_distance() {
+        let ic = Interconnect::noc_for_tiles(9); // 3x3
+        let near = CommParams::for_connection(&ic, TileId(0), TileId(1), 4);
+        let far = CommParams::for_connection(&ic, TileId(0), TileId(8), 4);
+        assert!(far.latency > near.latency);
+        assert!(far.w > near.w);
+        assert!(far.alpha_n > near.alpha_n);
+        assert_eq!(near.cycles_per_word, far.cycles_per_word);
+    }
+
+    #[test]
+    fn noc_bandwidth_scales_with_wires() {
+        let ic = Interconnect::noc_for_tiles(4);
+        let one = CommParams::for_connection(&ic, TileId(0), TileId(1), 1);
+        let four = CommParams::for_connection(&ic, TileId(0), TileId(1), 4);
+        assert_eq!(one.cycles_per_word, 32);
+        assert_eq!(four.cycles_per_word, 8);
+    }
+
+    #[test]
+    fn noc_fsl_latency_comparison() {
+        // Paper §5.3.1: the NoC provides flexibility "at the cost of a
+        // larger implementation and a higher latency".
+        let fsl = CommParams::for_connection(&Interconnect::fsl(), TileId(0), TileId(1), 0);
+        let noc = CommParams::for_connection(
+            &Interconnect::noc_for_tiles(4),
+            TileId(0),
+            TileId(1),
+            4,
+        );
+        assert!(noc.latency > fsl.latency);
+        assert!(noc.cycles_per_word > fsl.cycles_per_word);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SDM wire")]
+    fn zero_wires_panics() {
+        let ic = Interconnect::noc_for_tiles(4);
+        let _ = CommParams::for_connection(&ic, TileId(0), TileId(1), 0);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Interconnect::fsl().kind_name(), "fsl");
+        assert_eq!(Interconnect::noc_for_tiles(2).kind_name(), "noc");
+    }
+
+    #[test]
+    fn local_params_are_free() {
+        let p = CommParams::local();
+        assert_eq!(p.cycles_per_word, 0);
+        assert_eq!(p.latency, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Identifier newtypes and processor types for the MAMPS platform.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a tile within an [`crate::arch::Architecture`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TileId(pub usize);
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tile{}", self.0)
+    }
+}
+
+/// A processor type name, e.g. `"microblaze"`.
+///
+/// Matches the `processor_type` strings of
+/// [`mamps_sdf::model::ActorImplementation`]; the binder only places an
+/// actor on a tile whose processor type has an implementation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessorType(String);
+
+impl ProcessorType {
+    /// The Xilinx MicroBlaze soft core used by the MAMPS tiles (paper §5.3.2).
+    pub fn microblaze() -> ProcessorType {
+        ProcessorType("microblaze".into())
+    }
+
+    /// A dedicated hardware implementation of an actor (Tile 4 in Fig. 3).
+    pub fn hardware_ip() -> ProcessorType {
+        ProcessorType("hardware-ip".into())
+    }
+
+    /// A custom processor type.
+    pub fn custom(name: impl Into<String>) -> ProcessorType {
+        ProcessorType(name.into())
+    }
+
+    /// The type name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ProcessorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The network-interface word size: the MAMPS NI is defined around the
+/// Xilinx Fast Simplex Link, which transfers 32-bit words (paper §4.1).
+pub const NI_WORD_BYTES: u64 = 4;
+
+/// Number of 32-bit words needed to carry a token of `token_size` bytes.
+///
+/// # Examples
+///
+/// ```
+/// use mamps_platform::types::words_per_token;
+/// assert_eq!(words_per_token(4), 1);
+/// assert_eq!(words_per_token(5), 2);
+/// assert_eq!(words_per_token(256), 64);
+/// ```
+pub fn words_per_token(token_size: u64) -> u64 {
+    token_size.div_ceil(NI_WORD_BYTES).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_type_names() {
+        assert_eq!(ProcessorType::microblaze().name(), "microblaze");
+        assert_eq!(ProcessorType::custom("dsp").name(), "dsp");
+        assert_eq!(ProcessorType::microblaze(), ProcessorType::custom("microblaze"));
+    }
+
+    #[test]
+    fn word_fragmentation() {
+        assert_eq!(words_per_token(1), 1);
+        assert_eq!(words_per_token(4), 1);
+        assert_eq!(words_per_token(8), 2);
+        assert_eq!(words_per_token(9), 3);
+        // Degenerate zero-size tokens still occupy one word on the wire.
+        assert_eq!(words_per_token(0), 1);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(TileId(3).to_string(), "tile3");
+        assert_eq!(ProcessorType::microblaze().to_string(), "microblaze");
+    }
+}

@@ -1,0 +1,462 @@
+//! Buffer-capacity analysis: minimal deadlock-free distributions and
+//! throughput-constrained buffer sizing.
+//!
+//! SDF3 computes buffer distributions alongside the mapping (paper §5.1:
+//! "SDF3 also verifies if such a mapping is deadlock free, calculates buffer
+//! distributions, and predicts which throughput can be guaranteed"). The
+//! algorithms here follow the same structure: capacities are modelled as
+//! reverse channels ([`crate::transform::with_buffer_capacities`]), a
+//! minimal live distribution is found by demand-driven growth from the
+//! per-channel lower bound, and throughput targets are met by greedy growth
+//! of the most profitable buffer.
+
+use crate::error::SdfError;
+use crate::graph::{ActorId, ChannelId, SdfGraph};
+use crate::ratio::{gcd, Ratio};
+use crate::repetition::repetition_vector;
+use crate::state_space::{throughput, AnalysisOptions, ThroughputResult};
+use crate::transform::with_buffer_capacities;
+
+/// Per-channel lower bound for a deadlock-free capacity of a single channel
+/// in isolation: `p + c - gcd(p, c)`, raised to the initial token count if
+/// that is larger. (Self-edges keep their own token count.)
+pub fn capacity_lower_bound(graph: &SdfGraph, id: ChannelId) -> u64 {
+    let ch = graph.channel(id);
+    let p = ch.production_rate();
+    let c = ch.consumption_rate();
+    let lb = p + c - gcd(p, c);
+    lb.max(ch.initial_tokens())
+}
+
+/// Computes a minimal-ish deadlock-free buffer distribution.
+///
+/// Starting from every channel's isolated lower bound, the abstract
+/// execution is run; when it stalls, the capacities blocking a pending actor
+/// are grown by one rate step and the search repeats. The result is live but
+/// not guaranteed globally minimal (finding the minimum is NP-hard); it
+/// matches the demand-driven heuristic used in practice.
+///
+/// # Errors
+///
+/// * Consistency errors from [`repetition_vector`].
+/// * [`SdfError::Deadlock`] if the *unbounded* graph already deadlocks
+///   (no capacity assignment can help).
+/// * [`SdfError::AnalysisLimit`] if growth does not converge.
+pub fn minimal_live_capacities(graph: &SdfGraph) -> Result<Vec<u64>, SdfError> {
+    // If the unbounded graph deadlocks, buffering is not the problem.
+    crate::liveness::check_liveness(graph)?;
+
+    let mut caps: Vec<u64> = graph
+        .channels()
+        .map(|(id, _)| capacity_lower_bound(graph, id))
+        .collect();
+    // Growth limit: generous multiple of the total iteration token traffic.
+    let q = repetition_vector(graph)?;
+    let limit: u64 = graph
+        .channels()
+        .map(|(_, c)| q.of(c.src()) * c.production_rate() + c.initial_tokens())
+        .max()
+        .unwrap_or(1)
+        * 4
+        + 16;
+
+    for _ in 0..10_000 {
+        match blocked_channels(graph, &caps)? {
+            None => return Ok(caps),
+            Some(blocked) => {
+                let mut grew = false;
+                for cid in blocked {
+                    let ch = graph.channel(cid);
+                    let step = gcd(ch.production_rate(), ch.consumption_rate());
+                    if caps[cid.0] + step <= limit {
+                        caps[cid.0] += step;
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    return Err(SdfError::AnalysisLimit(
+                        "buffer growth hit the safety limit without reaching liveness".into(),
+                    ));
+                }
+            }
+        }
+    }
+    Err(SdfError::AnalysisLimit(
+        "buffer growth did not converge".into(),
+    ))
+}
+
+/// Grows a live distribution until the bounded graph sustains `target`
+/// iterations/cycle, greedily picking the channel whose growth helps most.
+///
+/// Returns the capacities and the throughput actually achieved.
+///
+/// # Errors
+///
+/// * Errors from [`minimal_live_capacities`] and the throughput analysis.
+/// * [`SdfError::AnalysisLimit`] if the target is unreachable: growth stops
+///   once no channel improves throughput (the graph's unbounded limit is
+///   below the target) or the step budget is exhausted.
+pub fn size_for_throughput(
+    graph: &SdfGraph,
+    target: Ratio,
+    opts: &AnalysisOptions,
+) -> Result<(Vec<u64>, ThroughputResult), SdfError> {
+    let mut caps = minimal_live_capacities(graph)?;
+    let mut current = analyse(graph, &caps, opts)?;
+    let mut budget = 64 * graph.channel_count().max(1);
+
+    while current.iterations_per_cycle < target {
+        if budget == 0 {
+            return Err(SdfError::AnalysisLimit(format!(
+                "buffer sizing budget exhausted at throughput {}",
+                current.iterations_per_cycle
+            )));
+        }
+        budget -= 1;
+
+        // Greedy: try one growth step on each channel, keep the best.
+        let mut best: Option<(usize, ThroughputResult)> = None;
+        for (cid, ch) in graph.channels() {
+            if ch.is_self_edge() {
+                continue;
+            }
+            let step = gcd(ch.production_rate(), ch.consumption_rate());
+            caps[cid.0] += step;
+            let t = analyse(graph, &caps, opts)?;
+            caps[cid.0] -= step;
+            let better = match &best {
+                None => t.iterations_per_cycle > current.iterations_per_cycle,
+                Some((_, bt)) => t.iterations_per_cycle > bt.iterations_per_cycle,
+            };
+            if better {
+                best = Some((cid.0, t));
+            }
+        }
+        match best {
+            Some((idx, t)) => {
+                let ch = graph.channel(ChannelId(idx));
+                caps[idx] += gcd(ch.production_rate(), ch.consumption_rate());
+                current = t;
+            }
+            None => {
+                return Err(SdfError::AnalysisLimit(format!(
+                    "throughput target {target} unreachable; saturated at {}",
+                    current.iterations_per_cycle
+                )));
+            }
+        }
+    }
+    Ok((caps, current))
+}
+
+/// Analyses the graph bounded by `caps`.
+pub fn analyse(
+    graph: &SdfGraph,
+    caps: &[u64],
+    opts: &AnalysisOptions,
+) -> Result<ThroughputResult, SdfError> {
+    let bounded = with_buffer_capacities(graph, caps)?;
+    throughput(&bounded, opts)
+}
+
+/// Runs the abstract iteration on the bounded graph; on stall, returns the
+/// forward channels whose capacity blocks a pending actor (`Ok(None)` when
+/// the iteration completes).
+fn blocked_channels(graph: &SdfGraph, caps: &[u64]) -> Result<Option<Vec<ChannelId>>, SdfError> {
+    let q = repetition_vector(graph)?;
+    let n = graph.actor_count();
+    let mut fill: Vec<u64> = graph.channels().map(|(_, c)| c.initial_tokens()).collect();
+    let mut remaining: Vec<u64> = (0..n).map(|i| q.of(ActorId(i))).collect();
+
+    // An actor can fire if inputs are available *and* every non-self output
+    // channel has spare capacity.
+    let can_fire = |fill: &[u64], remaining: &[u64], a: usize| -> bool {
+        if remaining[a] == 0 {
+            return false;
+        }
+        let inputs_ok = graph
+            .incoming(ActorId(a))
+            .iter()
+            .all(|&cid| fill[cid.0] >= graph.channel(cid).consumption_rate());
+        let outputs_ok = graph.outgoing(ActorId(a)).iter().all(|&cid| {
+            let ch = graph.channel(cid);
+            if ch.is_self_edge() {
+                return true;
+            }
+            fill[cid.0] + ch.production_rate() <= caps[cid.0]
+        });
+        inputs_ok && outputs_ok
+    };
+
+    loop {
+        let mut fired = false;
+        for a in 0..n {
+            if can_fire(&fill, &remaining, a) {
+                for &cid in graph.incoming(ActorId(a)) {
+                    fill[cid.0] -= graph.channel(cid).consumption_rate();
+                }
+                for &cid in graph.outgoing(ActorId(a)) {
+                    fill[cid.0] += graph.channel(cid).production_rate();
+                }
+                remaining[a] -= 1;
+                fired = true;
+            }
+        }
+        if remaining.iter().all(|&r| r == 0) {
+            return Ok(None);
+        }
+        if !fired {
+            // Collect output channels that are full for pending actors.
+            let mut blocked = Vec::new();
+            for a in 0..n {
+                if remaining[a] == 0 {
+                    continue;
+                }
+                for &cid in graph.outgoing(ActorId(a)) {
+                    let ch = graph.channel(cid);
+                    if !ch.is_self_edge() && fill[cid.0] + ch.production_rate() > caps[cid.0] {
+                        blocked.push(cid);
+                    }
+                }
+            }
+            if blocked.is_empty() {
+                // Stall is caused by inputs, not capacities: genuine deadlock
+                // (should have been caught by the unbounded liveness check).
+                return Err(SdfError::Deadlock(
+                    "stall not attributable to buffer capacities".into(),
+                ));
+            }
+            blocked.sort();
+            blocked.dedup();
+            return Ok(Some(blocked));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraphBuilder;
+
+    fn chain(p: u64, c: u64) -> SdfGraph {
+        let mut b = SdfGraphBuilder::new("chain");
+        let a = b.add_actor("A", 2);
+        let d = b.add_actor("B", 3);
+        b.add_channel("e", a, p, d, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        let g = chain(2, 3);
+        assert_eq!(capacity_lower_bound(&g, ChannelId(0)), 4); // 2+3-1
+        let g = chain(4, 4);
+        assert_eq!(capacity_lower_bound(&g, ChannelId(0)), 4); // 4+4-4
+    }
+
+    #[test]
+    fn lower_bound_respects_initial_tokens() {
+        let mut b = SdfGraphBuilder::new("g");
+        let a = b.add_actor("A", 1);
+        let c = b.add_actor("B", 1);
+        b.add_channel_with_tokens("e", a, 1, c, 1, 7);
+        let g = b.build().unwrap();
+        assert_eq!(capacity_lower_bound(&g, ChannelId(0)), 7);
+    }
+
+    #[test]
+    fn minimal_capacities_are_live() {
+        let g = chain(2, 3);
+        let caps = minimal_live_capacities(&g).unwrap();
+        let bounded = with_buffer_capacities(&g, &caps).unwrap();
+        assert!(crate::liveness::check_liveness(&bounded).is_ok());
+    }
+
+    #[test]
+    fn unit_rate_chain_needs_capacity_one() {
+        let g = chain(1, 1);
+        let caps = minimal_live_capacities(&g).unwrap();
+        assert_eq!(caps, vec![1]);
+    }
+
+    #[test]
+    fn deadlocked_graph_rejected() {
+        let mut b = SdfGraphBuilder::new("dead");
+        let a = b.add_actor("A", 1);
+        let c = b.add_actor("B", 1);
+        b.add_channel("f", a, 1, c, 1);
+        b.add_channel("r", c, 1, a, 1);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            minimal_live_capacities(&g),
+            Err(SdfError::Deadlock(_))
+        ));
+    }
+
+    #[test]
+    fn sizing_reaches_saturation_throughput() {
+        // Unbounded bottleneck: B at 1/3. A buffer of 2 already decouples.
+        let g = chain(1, 1);
+        let (caps, t) =
+            size_for_throughput(&g, Ratio::new(1, 3), &AnalysisOptions::default()).unwrap();
+        assert_eq!(t.iterations_per_cycle, Ratio::new(1, 3));
+        assert!(caps[0] >= 1);
+    }
+
+    #[test]
+    fn unreachable_target_reported() {
+        let g = chain(1, 1);
+        let r = size_for_throughput(&g, Ratio::new(1, 2), &AnalysisOptions::default());
+        assert!(matches!(r, Err(SdfError::AnalysisLimit(_))));
+    }
+
+    #[test]
+    fn larger_target_needs_no_smaller_buffers() {
+        let g = chain(2, 3);
+        let (caps_low, _) =
+            size_for_throughput(&g, Ratio::new(1, 100), &AnalysisOptions::default()).unwrap();
+        let (caps_high, _) =
+            size_for_throughput(&g, Ratio::new(1, 9), &AnalysisOptions::default()).unwrap();
+        let total_low: u64 = caps_low.iter().sum();
+        let total_high: u64 = caps_high.iter().sum();
+        assert!(total_high >= total_low);
+    }
+
+    #[test]
+    fn multirate_cycle_with_state_edge() {
+        let mut b = SdfGraphBuilder::new("mrc");
+        let a = b.add_actor("A", 4);
+        let c = b.add_actor("B", 1);
+        b.add_channel("e", a, 3, c, 2);
+        b.add_channel_with_tokens("sa", a, 1, a, 1, 1);
+        let g = b.build().unwrap();
+        let caps = minimal_live_capacities(&g).unwrap();
+        let bounded = with_buffer_capacities(&g, &caps).unwrap();
+        assert!(throughput(&bounded, &AnalysisOptions::default()).is_ok());
+    }
+}
+
+/// A point of the storage/throughput trade-off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoragePoint {
+    /// Buffer capacities per channel.
+    pub capacities: Vec<u64>,
+    /// Total storage in tokens.
+    pub total_tokens: u64,
+    /// Throughput achieved with these capacities.
+    pub throughput: Ratio,
+}
+
+/// Explores the storage/throughput Pareto space (SDF3's storage-throughput
+/// trade-off, paper §5.1: "calculates buffer distributions"): starting from
+/// the minimal live distribution, repeatedly grows the most profitable
+/// buffer and records every point where the throughput strictly improves,
+/// until the unbounded throughput is reached or growth saturates.
+///
+/// The returned points are Pareto-optimal within the explored (greedy)
+/// chain: strictly increasing in both storage and throughput.
+///
+/// # Errors
+///
+/// Propagates liveness/analysis errors.
+pub fn storage_throughput_pareto(
+    graph: &SdfGraph,
+    opts: &AnalysisOptions,
+    max_steps: usize,
+) -> Result<Vec<StoragePoint>, SdfError> {
+    let unbounded = throughput(graph, opts)?.iterations_per_cycle;
+    let mut caps = minimal_live_capacities(graph)?;
+    let mut current = analyse(graph, &caps, opts)?;
+    let mut points = vec![StoragePoint {
+        capacities: caps.clone(),
+        total_tokens: caps.iter().sum(),
+        throughput: current.iterations_per_cycle,
+    }];
+
+    for _ in 0..max_steps {
+        if current.iterations_per_cycle >= unbounded {
+            break;
+        }
+        // Greedy: the single growth step with the best gain.
+        let mut best: Option<(usize, ThroughputResult)> = None;
+        for (cid, ch) in graph.channels() {
+            if ch.is_self_edge() {
+                continue;
+            }
+            let step = gcd(ch.production_rate(), ch.consumption_rate());
+            caps[cid.0] += step;
+            if let Ok(t) = analyse(graph, &caps, opts) {
+                let better = match &best {
+                    None => t.iterations_per_cycle > current.iterations_per_cycle,
+                    Some((_, bt)) => t.iterations_per_cycle > bt.iterations_per_cycle,
+                };
+                if better {
+                    best = Some((cid.0, t));
+                }
+            }
+            caps[cid.0] -= step;
+        }
+        match best {
+            Some((idx, t)) => {
+                let ch = graph.channel(ChannelId(idx));
+                caps[idx] += gcd(ch.production_rate(), ch.consumption_rate());
+                current = t;
+                points.push(StoragePoint {
+                    capacities: caps.clone(),
+                    total_tokens: caps.iter().sum(),
+                    throughput: current.iterations_per_cycle,
+                });
+            }
+            None => break, // saturated below the unbounded limit
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod pareto_tests {
+    use super::*;
+    use crate::graph::SdfGraphBuilder;
+
+    fn chain() -> SdfGraph {
+        let mut b = SdfGraphBuilder::new("p");
+        let a = b.add_actor("A", 2);
+        let d = b.add_actor("B", 3);
+        b.add_channel("e", a, 2, d, 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pareto_points_strictly_improve() {
+        let points =
+            storage_throughput_pareto(&chain(), &AnalysisOptions::default(), 32).unwrap();
+        assert!(points.len() >= 2, "expected a non-trivial trade-off");
+        for w in points.windows(2) {
+            assert!(w[1].total_tokens > w[0].total_tokens);
+            assert!(w[1].throughput > w[0].throughput);
+        }
+    }
+
+    #[test]
+    fn pareto_reaches_the_unbounded_limit() {
+        let g = chain();
+        let unbounded = throughput(&g, &AnalysisOptions::default()).unwrap();
+        let points =
+            storage_throughput_pareto(&g, &AnalysisOptions::default(), 64).unwrap();
+        assert_eq!(
+            points.last().unwrap().throughput,
+            unbounded.iterations_per_cycle,
+            "the chain should saturate at the unbounded throughput"
+        );
+    }
+
+    #[test]
+    fn first_point_is_minimal_live() {
+        let g = chain();
+        let min = minimal_live_capacities(&g).unwrap();
+        let points =
+            storage_throughput_pareto(&g, &AnalysisOptions::default(), 8).unwrap();
+        assert_eq!(points[0].capacities, min);
+    }
+}

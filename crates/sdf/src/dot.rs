@@ -1,0 +1,90 @@
+//! Graphviz DOT export for SDF graphs.
+
+use std::fmt::Write as _;
+
+use crate::graph::SdfGraph;
+
+/// Renders `graph` in Graphviz DOT syntax.
+///
+/// Actors become boxes labelled `name (exec)`; channels become edges
+/// labelled with their rates, with initial tokens shown as `●n`.
+///
+/// # Examples
+///
+/// ```
+/// use mamps_sdf::graph::SdfGraphBuilder;
+/// use mamps_sdf::dot::to_dot;
+///
+/// let mut b = SdfGraphBuilder::new("g");
+/// let a = b.add_actor("A", 1);
+/// let c = b.add_actor("B", 2);
+/// b.add_channel("e", a, 2, c, 1);
+/// let g = b.build().unwrap();
+/// let dot = to_dot(&g);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("A"));
+/// ```
+pub fn to_dot(graph: &SdfGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for (id, a) in graph.actors() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n({} cy)\"];",
+            id.0,
+            a.name(),
+            a.execution_time()
+        );
+    }
+    for (_, c) in graph.channels() {
+        let tokens = if c.initial_tokens() > 0 {
+            format!(" \\u25cf{}", c.initial_tokens())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [taillabel=\"{}\" headlabel=\"{}\" label=\"{}{}\"];",
+            c.src().0,
+            c.dst().0,
+            c.production_rate(),
+            c.consumption_rate(),
+            c.name(),
+            tokens
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraphBuilder;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut b = SdfGraphBuilder::new("t");
+        let a = b.add_actor("Alpha", 3);
+        let c = b.add_actor("Beta", 4);
+        b.add_channel_with_tokens("link", a, 2, c, 5, 7);
+        let g = b.build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Alpha"));
+        assert!(dot.contains("Beta"));
+        assert!(dot.contains("link"));
+        assert!(dot.contains('7'));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_graph_still_valid() {
+        let g = SdfGraphBuilder::new("empty").build().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared by all SDF analyses.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdfError {
+    /// The graph violates a structural invariant (duplicate names, zero
+    /// rates, dangling endpoints, ...). The message names the offender.
+    InvalidGraph(String),
+    /// The graph is not sample-rate consistent: no non-trivial repetition
+    /// vector exists. The message names the first unbalanced channel.
+    Inconsistent(String),
+    /// The graph is not connected, so a single repetition vector does not
+    /// cover all actors.
+    Disconnected,
+    /// The graph deadlocks before completing one iteration.
+    Deadlock(String),
+    /// The analysis hit a safety limit (e.g. a zero-delay cycle fires
+    /// unboundedly at a single time instant).
+    AnalysisLimit(String),
+    /// An arithmetic overflow occurred while scaling analysis quantities.
+    Overflow(String),
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::InvalidGraph(m) => write!(f, "invalid SDF graph: {m}"),
+            SdfError::Inconsistent(m) => write!(f, "inconsistent SDF graph: {m}"),
+            SdfError::Disconnected => write!(f, "SDF graph is not connected"),
+            SdfError::Deadlock(m) => write!(f, "SDF graph deadlocks: {m}"),
+            SdfError::AnalysisLimit(m) => write!(f, "analysis limit reached: {m}"),
+            SdfError::Overflow(m) => write!(f, "arithmetic overflow: {m}"),
+        }
+    }
+}
+
+impl Error for SdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let variants = [
+            SdfError::InvalidGraph("x".into()),
+            SdfError::Inconsistent("y".into()),
+            SdfError::Disconnected,
+            SdfError::Deadlock("z".into()),
+            SdfError::AnalysisLimit("w".into()),
+            SdfError::Overflow("v".into()),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("SDF"));
+        }
+    }
+}

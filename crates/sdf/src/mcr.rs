@@ -1,0 +1,371 @@
+//! Maximum cycle ratio (MCR) analysis of HSDF graphs.
+//!
+//! For a strongly connected HSDF graph the worst-case throughput equals
+//! `1 / MCR` where `MCR = max over cycles C of W(C) / T(C)`, `W` summing the
+//! execution times along the cycle and `T` the initial tokens (delays).
+//! This module implements Lawler-style iterated cycle improvement with exact
+//! rational arithmetic: starting from any positive-ratio cycle, repeatedly
+//! test (via longest-path relaxation) whether a cycle with a strictly larger
+//! ratio exists and jump to it. The candidate ratios form a finite strictly
+//! increasing chain, so termination is guaranteed, and the result is exact.
+//!
+//! The MCR analysis serves as an independent cross-check of the state-space
+//! throughput analysis ([`crate::state_space`]); the two are compared in
+//! integration and property tests.
+
+use crate::error::SdfError;
+use crate::graph::{ActorId, SdfGraph};
+use crate::ratio::Ratio;
+use crate::transform::add_missing_self_edges;
+
+/// A critical cycle: the actors along the cycle achieving the MCR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalCycle {
+    /// Actors along the cycle, in order.
+    pub actors: Vec<ActorId>,
+    /// Total execution time along the cycle.
+    pub weight: u64,
+    /// Total delay tokens along the cycle.
+    pub tokens: u64,
+}
+
+/// Result of an MCR analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McrResult {
+    /// The maximum cycle ratio (cycles per iteration along the bottleneck).
+    pub ratio: Ratio,
+    /// A cycle achieving the ratio.
+    pub critical_cycle: CriticalCycle,
+}
+
+impl McrResult {
+    /// Throughput implied by the MCR: `1 / ratio` iterations per cycle.
+    pub fn throughput(&self) -> Ratio {
+        self.ratio.recip()
+    }
+}
+
+/// Computes the maximum cycle ratio of a *homogeneous* SDF graph.
+///
+/// Returns `Ok(None)` when the graph has no cycle (its rate is unconstrained).
+///
+/// # Errors
+///
+/// * [`SdfError::InvalidGraph`] if some rate differs from one (convert with
+///   [`crate::hsdf::to_hsdf`] first).
+/// * [`SdfError::Deadlock`] if a cycle without any initial token exists.
+pub fn max_cycle_ratio(graph: &SdfGraph) -> Result<Option<McrResult>, SdfError> {
+    for (_, ch) in graph.channels() {
+        if ch.production_rate() != 1 || ch.consumption_rate() != 1 {
+            return Err(SdfError::InvalidGraph(format!(
+                "channel `{}` is not homogeneous; run an HSDF conversion first",
+                ch.name()
+            )));
+        }
+    }
+    if let Some(cycle) = zero_token_cycle(graph) {
+        let names: Vec<&str> = cycle.iter().map(|&a| graph.actor(a).name()).collect();
+        return Err(SdfError::Deadlock(format!(
+            "token-free cycle: {}",
+            names.join(" -> ")
+        )));
+    }
+
+    // Find an initial cycle: any positive cycle at lambda slightly below any
+    // cycle's ratio. Using lambda = -1 makes every cycle with weight >= 0
+    // positive (w(C) + T(C) > 0 since T(C) >= 1).
+    let mut current = match positive_cycle(graph, Ratio::from_int(-1)) {
+        Some(c) => cycle_info(graph, &c),
+        None => return Ok(None), // acyclic
+    };
+    loop {
+        let lambda = Ratio::new(current.weight as i128, current.tokens as i128);
+        match positive_cycle(graph, lambda) {
+            Some(c) => {
+                let info = cycle_info(graph, &c);
+                debug_assert!(
+                    Ratio::new(info.weight as i128, info.tokens as i128) > lambda,
+                    "cycle improvement must strictly increase the ratio"
+                );
+                current = info;
+            }
+            None => {
+                return Ok(Some(McrResult {
+                    ratio: lambda,
+                    critical_cycle: current,
+                }));
+            }
+        }
+    }
+}
+
+/// Convenience: throughput of an arbitrary SDF graph via HSDF + MCR.
+///
+/// Auto-concurrency is excluded by adding single-token self-edges to actors
+/// lacking one (mirroring the default of the state-space analysis).
+///
+/// # Errors
+///
+/// Propagates conversion and MCR errors; returns
+/// [`SdfError::AnalysisLimit`] if the graph is acyclic even after adding
+/// self-edges (cannot happen for non-empty graphs) or all execution times
+/// are zero.
+pub fn mcr_throughput(graph: &SdfGraph) -> Result<Ratio, SdfError> {
+    let bounded = add_missing_self_edges(graph);
+    let hsdf = crate::hsdf::to_hsdf(&bounded)?;
+    match max_cycle_ratio(hsdf.graph())? {
+        Some(r) if !r.ratio.is_zero() => Ok(r.throughput()),
+        _ => Err(SdfError::AnalysisLimit(
+            "throughput unbounded: no cycle with positive weight".into(),
+        )),
+    }
+}
+
+/// Detects a cycle consisting solely of token-free channels.
+fn zero_token_cycle(graph: &SdfGraph) -> Option<Vec<ActorId>> {
+    let n = graph.actor_count();
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        // Iterative DFS over token-free edges.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = 1;
+        while let Some(&(v, cursor)) = stack.last() {
+            let out = graph.outgoing(ActorId(v));
+            if cursor >= out.len() {
+                state[v] = 2;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("non-empty").1 += 1;
+            let ch = graph.channel(out[cursor]);
+            if ch.initial_tokens() > 0 {
+                continue;
+            }
+            let w = ch.dst().0;
+            if state[w] == 1 {
+                // Found a cycle: unwind from v back to w.
+                let mut cycle = vec![ActorId(w)];
+                let mut cur = v;
+                while cur != w {
+                    cycle.push(ActorId(cur));
+                    cur = parent[cur].expect("on-stack nodes have parents");
+                }
+                cycle.reverse();
+                return Some(cycle);
+            }
+            if state[w] == 0 {
+                state[w] = 1;
+                parent[w] = Some(v);
+                stack.push((w, 0));
+            }
+        }
+    }
+    None
+}
+
+/// Longest-path relaxation with edge value `w(src) - lambda * tokens`;
+/// returns a cycle with strictly positive total value if one exists.
+fn positive_cycle(graph: &SdfGraph, lambda: Ratio) -> Option<Vec<ActorId>> {
+    let n = graph.actor_count();
+    if n == 0 {
+        return None;
+    }
+    let mut dist: Vec<Ratio> = vec![Ratio::ZERO; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut changed_node: Option<usize> = None;
+    for round in 0..=n {
+        let mut changed = false;
+        for (_, ch) in graph.channels() {
+            let u = ch.src().0;
+            let v = ch.dst().0;
+            let w = Ratio::from_int(graph.actor(ch.src()).execution_time() as i128)
+                - lambda * Ratio::from_int(ch.initial_tokens() as i128);
+            let cand = dist[u] + w;
+            if cand > dist[v] {
+                dist[v] = cand;
+                pred[v] = Some(u);
+                changed = true;
+                if round == n {
+                    changed_node = Some(v);
+                }
+            }
+        }
+        if !changed {
+            return None;
+        }
+    }
+    // A relaxation in round n proves a positive cycle reachable through
+    // `changed_node`; walk predecessors n steps to land on the cycle.
+    let mut v = changed_node.expect("changed in final round");
+    for _ in 0..n {
+        v = pred[v].expect("relaxed nodes have predecessors");
+    }
+    let mut cycle = vec![v];
+    let mut cur = pred[v].expect("cycle nodes have predecessors");
+    while cur != v {
+        cycle.push(cur);
+        cur = pred[cur].expect("cycle nodes have predecessors");
+    }
+    cycle.reverse();
+    Some(cycle.into_iter().map(ActorId).collect())
+}
+
+/// Computes weight and token totals of a cycle given its actor sequence.
+fn cycle_info(graph: &SdfGraph, cycle: &[ActorId]) -> CriticalCycle {
+    let mut weight = 0u64;
+    let mut tokens = 0u64;
+    for (idx, &u) in cycle.iter().enumerate() {
+        let v = cycle[(idx + 1) % cycle.len()];
+        weight += graph.actor(u).execution_time();
+        // Among parallel edges u -> v pick the one with fewest tokens (the
+        // binding constraint, consistent with the HSDF construction).
+        let t = graph
+            .outgoing(u)
+            .iter()
+            .filter(|&&c| graph.channel(c).dst() == v)
+            .map(|&c| graph.channel(c).initial_tokens())
+            .min()
+            .expect("cycle edges exist");
+        tokens += t;
+    }
+    CriticalCycle {
+        actors: cycle.to_vec(),
+        weight,
+        tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraphBuilder;
+    use crate::state_space::{throughput, AnalysisOptions};
+
+    #[test]
+    fn simple_cycle_ratio() {
+        let mut b = SdfGraphBuilder::new("c");
+        let a = b.add_actor("A", 3);
+        let c = b.add_actor("B", 7);
+        b.add_channel_with_tokens("f", a, 1, c, 1, 1);
+        b.add_channel("r", c, 1, a, 1);
+        let g = b.build().unwrap();
+        let r = max_cycle_ratio(&g).unwrap().unwrap();
+        assert_eq!(r.ratio, Ratio::from_int(10));
+        assert_eq!(r.throughput(), Ratio::new(1, 10));
+        assert_eq!(r.critical_cycle.weight, 10);
+        assert_eq!(r.critical_cycle.tokens, 1);
+    }
+
+    #[test]
+    fn two_cycles_max_taken() {
+        // Cycle 1: A-B (weight 4, tokens 1, ratio 4).
+        // Cycle 2: A-C (weight 9, tokens 2, ratio 4.5) <- critical.
+        let mut b = SdfGraphBuilder::new("two");
+        let a = b.add_actor("A", 1);
+        let bb = b.add_actor("B", 3);
+        let c = b.add_actor("C", 8);
+        b.add_channel_with_tokens("ab", a, 1, bb, 1, 1);
+        b.add_channel("ba", bb, 1, a, 1);
+        b.add_channel_with_tokens("ac", a, 1, c, 1, 2);
+        b.add_channel("ca", c, 1, a, 1);
+        let g = b.build().unwrap();
+        let r = max_cycle_ratio(&g).unwrap().unwrap();
+        assert_eq!(r.ratio, Ratio::new(9, 2));
+    }
+
+    #[test]
+    fn token_free_cycle_is_deadlock() {
+        let mut b = SdfGraphBuilder::new("dead");
+        let a = b.add_actor("A", 1);
+        let c = b.add_actor("B", 1);
+        b.add_channel("f", a, 1, c, 1);
+        b.add_channel("r", c, 1, a, 1);
+        let g = b.build().unwrap();
+        assert!(matches!(max_cycle_ratio(&g), Err(SdfError::Deadlock(_))));
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_ratio() {
+        let mut b = SdfGraphBuilder::new("dag");
+        let a = b.add_actor("A", 1);
+        let c = b.add_actor("B", 1);
+        b.add_channel("e", a, 1, c, 1);
+        let g = b.build().unwrap();
+        assert_eq!(max_cycle_ratio(&g).unwrap(), None);
+    }
+
+    #[test]
+    fn non_homogeneous_rejected() {
+        let mut b = SdfGraphBuilder::new("nh");
+        let a = b.add_actor("A", 1);
+        let c = b.add_actor("B", 1);
+        b.add_channel("e", a, 2, c, 1);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            max_cycle_ratio(&g),
+            Err(SdfError::InvalidGraph(_))
+        ));
+    }
+
+    #[test]
+    fn mcr_matches_state_space_on_cycle() {
+        let mut b = SdfGraphBuilder::new("x");
+        let a = b.add_actor("A", 5);
+        let c = b.add_actor("B", 2);
+        let d = b.add_actor("C", 4);
+        b.add_channel_with_tokens("ab", a, 1, c, 1, 1);
+        b.add_channel("bc", c, 1, d, 1);
+        b.add_channel("ca", d, 1, a, 1);
+        let g = b.build().unwrap();
+        let ss = throughput(&g, &AnalysisOptions::default()).unwrap();
+        let mcr = mcr_throughput(&g).unwrap();
+        assert_eq!(ss.iterations_per_cycle, mcr);
+    }
+
+    #[test]
+    fn mcr_matches_state_space_multirate() {
+        let mut b = SdfGraphBuilder::new("mr");
+        let a = b.add_actor("A", 4);
+        let c = b.add_actor("B", 3);
+        b.add_channel("e", a, 2, c, 1);
+        let g = b.build().unwrap();
+        let ss = throughput(&g, &AnalysisOptions::default()).unwrap();
+        let mcr = mcr_throughput(&g).unwrap();
+        assert_eq!(ss.iterations_per_cycle, mcr);
+    }
+
+    #[test]
+    fn mcr_matches_state_space_fig2() {
+        let mut b = SdfGraphBuilder::new("fig2");
+        let a = b.add_actor("A", 10);
+        let bb = b.add_actor("B", 5);
+        let c = b.add_actor("C", 7);
+        b.add_channel("a2b", a, 2, bb, 1);
+        b.add_channel("a2c", a, 1, c, 1);
+        b.add_channel("b2c", bb, 1, c, 2);
+        b.add_channel_with_tokens("selfA", a, 1, a, 1, 1);
+        let g = b.build().unwrap();
+        let ss = throughput(&g, &AnalysisOptions::default()).unwrap();
+        let mcr = mcr_throughput(&g).unwrap();
+        assert_eq!(ss.iterations_per_cycle, mcr);
+    }
+
+    #[test]
+    fn parallel_edges_pick_tightest() {
+        let mut b = SdfGraphBuilder::new("par");
+        let a = b.add_actor("A", 2);
+        let c = b.add_actor("B", 2);
+        b.add_channel_with_tokens("f1", a, 1, c, 1, 1);
+        b.add_channel_with_tokens("f2", a, 1, c, 1, 5);
+        b.add_channel_with_tokens("r", c, 1, a, 1, 0);
+        let g = b.build().unwrap();
+        let r = max_cycle_ratio(&g).unwrap().unwrap();
+        // Tight cycle uses f1 (1 token): ratio 4/1.
+        assert_eq!(r.ratio, Ratio::from_int(4));
+    }
+}

@@ -1,0 +1,668 @@
+//! Worst-case throughput analysis via self-timed state-space execution.
+//!
+//! This is the SDF3 throughput algorithm (Ghamarian et al., *Throughput
+//! Analysis of Synchronous Data Flow Graphs*, ACSD 2006) used by the paper:
+//! execute the timed graph self-timed (every actor fires as soon as it is
+//! ready), record the state after each time step, and detect the periodic
+//! phase as the first recurrent state. The *throughput* is the long-term
+//! average number of graph iterations per time unit (paper §5), where the
+//! time unit is the platform clock cycle.
+//!
+//! With unbounded channels, only strongly connected components (SCCs) have a
+//! finite state space: channel fill on cross-SCC edges grows without bound
+//! when the producer is faster. The analysis therefore decomposes the graph
+//! into SCCs, analyses each in isolation (external inputs are then always
+//! available), and takes the minimum rate — the classic decomposition for
+//! self-timed execution with unbounded buffers. Graphs whose channels all
+//! have finite capacities (modelled as reverse channels, see
+//! [`crate::transform`]) are strongly connected by construction, so the
+//! decomposition is exact for the bound graphs produced by the mapping flow.
+//!
+//! Auto-concurrency (multiple simultaneous firings of one actor) is disabled
+//! by default, matching both SDF3's default and the MAMPS implementation in
+//! which each actor is a single task on a single processor.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::error::SdfError;
+use crate::graph::{ActorId, SdfGraph, SdfGraphBuilder};
+use crate::liveness::check_liveness;
+use crate::ratio::Ratio;
+use crate::repetition::repetition_vector;
+
+/// Options controlling the state-space exploration.
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Allow multiple concurrent firings of the same actor. Off by default
+    /// (each actor is one task on one processor). When enabled, actors whose
+    /// concurrency is not bounded by any cycle have unconstrained rate.
+    pub auto_concurrency: bool,
+    /// Safety cap on distinct explored states per SCC before giving up.
+    pub max_states: usize,
+    /// Safety cap on firings started within a single time instant; exceeding
+    /// it indicates a zero-delay cycle.
+    pub max_firings_per_instant: usize,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            auto_concurrency: false,
+            max_states: 1_000_000,
+            max_firings_per_instant: 1_000_000,
+        }
+    }
+}
+
+/// Outcome of a throughput analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputResult {
+    /// Long-term average iterations per clock cycle, exact.
+    pub iterations_per_cycle: Ratio,
+    /// Transient prefix of the bottleneck component, in cycles.
+    pub transient_cycles: u64,
+    /// Period of the bottleneck component, in cycles.
+    pub period_cycles: u64,
+    /// Local iterations completed per period in the bottleneck component.
+    pub iterations_per_period: u64,
+    /// Total distinct states explored (summed over components).
+    pub states_explored: usize,
+}
+
+impl ThroughputResult {
+    /// Throughput as a floating-point value (iterations per cycle).
+    pub fn as_f64(&self) -> f64 {
+        self.iterations_per_cycle.to_f64()
+    }
+
+    /// Cycle count per iteration (the reciprocal), as `f64`; `inf` when the
+    /// throughput is zero.
+    pub fn cycles_per_iteration(&self) -> f64 {
+        if self.iterations_per_cycle.is_zero() {
+            f64::INFINITY
+        } else {
+            self.iterations_per_cycle.recip().to_f64()
+        }
+    }
+}
+
+/// Computes the self-timed worst-case throughput of `graph` in graph
+/// iterations per clock cycle.
+///
+/// # Errors
+///
+/// * Consistency errors from [`repetition_vector`].
+/// * [`SdfError::Deadlock`] if the graph cannot complete an iteration.
+/// * [`SdfError::AnalysisLimit`] on zero-delay cycles, state explosion, or
+///   when no component bounds the rate (all actors have zero execution
+///   time), in which case the throughput is unbounded.
+///
+/// # Examples
+///
+/// ```
+/// use mamps_sdf::graph::SdfGraphBuilder;
+/// use mamps_sdf::state_space::{throughput, AnalysisOptions};
+///
+/// // Two actors in a cycle with one token: period = 3 + 7 cycles.
+/// let mut b = SdfGraphBuilder::new("pair");
+/// let a = b.add_actor("A", 3);
+/// let c = b.add_actor("B", 7);
+/// b.add_channel_with_tokens("f", a, 1, c, 1, 1);
+/// b.add_channel("r", c, 1, a, 1);
+/// let g = b.build().unwrap();
+/// let t = throughput(&g, &AnalysisOptions::default()).unwrap();
+/// assert_eq!(t.as_f64(), 0.1);
+/// ```
+pub fn throughput(graph: &SdfGraph, opts: &AnalysisOptions) -> Result<ThroughputResult, SdfError> {
+    let q = repetition_vector(graph)?;
+    if graph.actor_count() == 0 {
+        return Err(SdfError::InvalidGraph("empty graph".into()));
+    }
+    // Exact deadlock detection on the whole graph (cheap, untimed).
+    check_liveness(graph)?;
+
+    let sccs = strongly_connected_components(graph);
+    let mut best: Option<ThroughputResult> = None;
+
+    for scc in &sccs {
+        let candidate = if scc.len() == 1 {
+            let a = scc[0];
+            let has_self_edge = graph
+                .outgoing(a)
+                .iter()
+                .any(|&c| graph.channel(c).is_self_edge());
+            if has_self_edge {
+                scc_state_space(graph, scc, &q, opts)?
+            } else {
+                let exec = graph.actor(a).execution_time();
+                if exec == 0 || opts.auto_concurrency {
+                    // Unconstrained rate: does not bound the graph.
+                    continue;
+                }
+                // One firing per `exec` cycles; one global iteration needs
+                // q[a] firings.
+                Some(ThroughputResult {
+                    iterations_per_cycle: Ratio::new(1, (exec * q.of(a)) as i128),
+                    transient_cycles: 0,
+                    period_cycles: exec * q.of(a),
+                    iterations_per_period: 1,
+                    states_explored: 1,
+                })
+            }
+        } else {
+            scc_state_space(graph, scc, &q, opts)?
+        };
+        if let Some(c) = candidate {
+            best = Some(match best {
+                None => c,
+                Some(b) => {
+                    if c.iterations_per_cycle < b.iterations_per_cycle {
+                        ThroughputResult {
+                            states_explored: b.states_explored + c.states_explored,
+                            ..c
+                        }
+                    } else {
+                        ThroughputResult {
+                            states_explored: b.states_explored + c.states_explored,
+                            ..b
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    best.ok_or_else(|| {
+        SdfError::AnalysisLimit(
+            "throughput unbounded: no component constrains the firing rate".into(),
+        )
+    })
+}
+
+/// Runs the self-timed state-space exploration on one SCC in isolation and
+/// converts its local rate to global iterations per cycle.
+///
+/// Returns `Ok(None)` when the component does not constrain the rate.
+fn scc_state_space(
+    graph: &SdfGraph,
+    scc: &[ActorId],
+    q_global: &crate::repetition::RepetitionVector,
+    opts: &AnalysisOptions,
+) -> Result<Option<ThroughputResult>, SdfError> {
+    // Build the induced subgraph.
+    let mut b = SdfGraphBuilder::new(format!("{}:scc", graph.name()));
+    let mut local_of: HashMap<ActorId, ActorId> = HashMap::new();
+    for &a in scc {
+        let la = b.add_actor(graph.actor(a).name(), graph.actor(a).execution_time());
+        local_of.insert(a, la);
+    }
+    for (_, ch) in graph.channels() {
+        if let (Some(&ls), Some(&ld)) = (local_of.get(&ch.src()), local_of.get(&ch.dst())) {
+            b.add_channel_full(
+                ch.name(),
+                ls,
+                ch.production_rate(),
+                ld,
+                ch.consumption_rate(),
+                ch.initial_tokens(),
+                ch.token_size(),
+            );
+        }
+    }
+    let sub = b
+        .build()
+        .expect("induced subgraph of a valid graph is valid");
+    let q_local = repetition_vector(&sub)?;
+
+    let local = self_timed_run(&sub, &q_local, opts)?;
+    let local = match local {
+        Some(l) => l,
+        None => return Ok(None),
+    };
+
+    // Scale: one global iteration fires actor `a` q_global[a] times, which is
+    // m local iterations with m = q_global[a] / q_local[local(a)].
+    let a0 = scc[0];
+    let m = q_global.of(a0) / q_local.of(local_of[&a0]);
+    debug_assert!(m >= 1 && q_global.of(a0) % q_local.of(local_of[&a0]) == 0);
+    Ok(Some(ThroughputResult {
+        iterations_per_cycle: local.iterations_per_cycle / Ratio::from_int(m as i128),
+        ..local
+    }))
+}
+
+/// Self-timed execution with recurrence detection on a strongly connected
+/// (hence bounded) graph. Returns `None` if the graph has no timed actor.
+fn self_timed_run(
+    graph: &SdfGraph,
+    q: &crate::repetition::RepetitionVector,
+    opts: &AnalysisOptions,
+) -> Result<Option<ThroughputResult>, SdfError> {
+    let n = graph.actor_count();
+    let reference = ActorId(0);
+    let q_ref = q.of(reference);
+    let exec: Vec<u64> = graph.actors().map(|(_, a)| a.execution_time()).collect();
+    if exec.iter().all(|&e| e == 0) {
+        return Ok(None);
+    }
+    let mut tokens: Vec<u64> = graph.channels().map(|(_, c)| c.initial_tokens()).collect();
+    let cons: Vec<u64> = graph
+        .channels()
+        .map(|(_, c)| c.consumption_rate())
+        .collect();
+    let prod: Vec<u64> = graph
+        .channels()
+        .map(|(_, c)| c.production_rate())
+        .collect();
+
+    let mut ongoing: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut busy: Vec<u64> = vec![0; n];
+    let mut time: u64 = 0;
+    let mut ref_completions: u64 = 0;
+    let mut seen: HashMap<StateKey, (u64, u64)> = HashMap::new();
+
+    loop {
+        // Start phase: fire every ready actor as soon as possible. Zero-time
+        // actors complete immediately so their outputs can enable more
+        // firings at the same instant.
+        let mut started_this_instant = 0usize;
+        loop {
+            let mut fired = false;
+            for a in 0..n {
+                loop {
+                    if !opts.auto_concurrency && busy[a] > 0 {
+                        break;
+                    }
+                    let ready = graph
+                        .incoming(ActorId(a))
+                        .iter()
+                        .all(|&cid| tokens[cid.0] >= cons[cid.0]);
+                    if !ready {
+                        break;
+                    }
+                    for &cid in graph.incoming(ActorId(a)) {
+                        tokens[cid.0] -= cons[cid.0];
+                    }
+                    started_this_instant += 1;
+                    if started_this_instant > opts.max_firings_per_instant {
+                        return Err(SdfError::AnalysisLimit(format!(
+                            "more than {} firings at cycle {time}; zero-delay cycle or \
+                             unbounded auto-concurrency",
+                            opts.max_firings_per_instant
+                        )));
+                    }
+                    fired = true;
+                    if exec[a] == 0 {
+                        for &cid in graph.outgoing(ActorId(a)) {
+                            tokens[cid.0] += prod[cid.0];
+                        }
+                        if a == reference.0 {
+                            ref_completions += 1;
+                        }
+                    } else {
+                        busy[a] += 1;
+                        ongoing.push(std::cmp::Reverse((time + exec[a], a)));
+                        if !opts.auto_concurrency {
+                            break;
+                        }
+                    }
+                }
+            }
+            if !fired {
+                break;
+            }
+        }
+
+        // Snapshot the state after all starts at this instant.
+        let key = StateKey::capture(&tokens, &ongoing, time);
+        match seen.entry(key) {
+            Entry::Occupied(prev) => {
+                let (t0, c0) = *prev.get();
+                let period = time - t0;
+                let firings = ref_completions - c0;
+                debug_assert!(period > 0, "time advances between snapshots");
+                debug_assert!(firings % q_ref == 0);
+                let iterations = firings / q_ref;
+                return Ok(Some(ThroughputResult {
+                    iterations_per_cycle: if iterations == 0 {
+                        Ratio::ZERO
+                    } else {
+                        Ratio::new(iterations as i128, period as i128)
+                    },
+                    transient_cycles: t0,
+                    period_cycles: period,
+                    iterations_per_period: iterations,
+                    states_explored: seen.len(),
+                }));
+            }
+            Entry::Vacant(v) => {
+                v.insert((time, ref_completions));
+            }
+        }
+        if seen.len() > opts.max_states {
+            return Err(SdfError::AnalysisLimit(format!(
+                "state space exceeded {} states",
+                opts.max_states
+            )));
+        }
+
+        // Advance to the next completion.
+        let std::cmp::Reverse((t_next, _)) = match ongoing.peek() {
+            Some(&e) => e,
+            None => {
+                return Err(SdfError::Deadlock(format!(
+                    "self-timed execution stalled at cycle {time}"
+                )))
+            }
+        };
+        time = t_next;
+        while let Some(&std::cmp::Reverse((t, a))) = ongoing.peek() {
+            if t != time {
+                break;
+            }
+            ongoing.pop();
+            busy[a] -= 1;
+            for &cid in graph.outgoing(ActorId(a)) {
+                tokens[cid.0] += prod[cid.0];
+            }
+            if a == reference.0 {
+                ref_completions += 1;
+            }
+        }
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+///
+/// Returns components in reverse topological order; order is irrelevant to
+/// the throughput computation.
+pub fn strongly_connected_components(graph: &SdfGraph) -> Vec<Vec<ActorId>> {
+    let n = graph.actor_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut result: Vec<Vec<ActorId>> = Vec::new();
+
+    // Iterative Tarjan with an explicit work stack of (node, edge cursor).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, cursor)) = work.last() {
+            if cursor == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let out = graph.outgoing(ActorId(v));
+            if cursor < out.len() {
+                work.last_mut().expect("non-empty").1 += 1;
+                let w = graph.channel(out[cursor]).dst().0;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        comp.push(ActorId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    result.push(comp);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Hashable snapshot of an execution state: channel fill plus, per actor,
+/// the sorted multiset of remaining execution times.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StateKey {
+    tokens: Vec<u64>,
+    remaining: Vec<(u32, u64)>,
+}
+
+impl StateKey {
+    fn capture(
+        tokens: &[u64],
+        ongoing: &BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+        now: u64,
+    ) -> StateKey {
+        let mut remaining: Vec<(u32, u64)> = ongoing
+            .iter()
+            .map(|&std::cmp::Reverse((t, a))| (a as u32, t - now))
+            .collect();
+        remaining.sort_unstable();
+        StateKey {
+            tokens: tokens.to_vec(),
+            remaining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SdfGraphBuilder;
+
+    fn opts() -> AnalysisOptions {
+        AnalysisOptions::default()
+    }
+
+    #[test]
+    fn two_actor_cycle_throughput() {
+        let mut b = SdfGraphBuilder::new("pair");
+        let a = b.add_actor("A", 3);
+        let c = b.add_actor("B", 7);
+        b.add_channel_with_tokens("f", a, 1, c, 1, 1);
+        b.add_channel("r", c, 1, a, 1);
+        let g = b.build().unwrap();
+        let t = throughput(&g, &opts()).unwrap();
+        assert_eq!(t.iterations_per_cycle, Ratio::new(1, 10));
+    }
+
+    #[test]
+    fn pipeline_throughput_limited_by_slowest() {
+        let mut b = SdfGraphBuilder::new("pipe");
+        let a = b.add_actor("A", 2);
+        let c = b.add_actor("B", 9);
+        let d = b.add_actor("C", 4);
+        b.add_channel("e1", a, 1, c, 1);
+        b.add_channel("e2", c, 1, d, 1);
+        let g = b.build().unwrap();
+        let t = throughput(&g, &opts()).unwrap();
+        assert_eq!(t.iterations_per_cycle, Ratio::new(1, 9));
+    }
+
+    #[test]
+    fn multirate_graph() {
+        // A (rate 2, exec 4) -> B (rate 1, exec 3); q = (1, 2).
+        // A: 1 iteration per 4 cycles; B: 2 firings * 3 = 6 cycles/iteration.
+        let mut b = SdfGraphBuilder::new("mr");
+        let a = b.add_actor("A", 4);
+        let c = b.add_actor("B", 3);
+        b.add_channel("e", a, 2, c, 1);
+        let g = b.build().unwrap();
+        let t = throughput(&g, &opts()).unwrap();
+        assert_eq!(t.iterations_per_cycle, Ratio::new(1, 6));
+    }
+
+    #[test]
+    fn deadlocked_graph_reported() {
+        let mut b = SdfGraphBuilder::new("dead");
+        let a = b.add_actor("A", 1);
+        let c = b.add_actor("B", 1);
+        b.add_channel("f", a, 1, c, 1);
+        b.add_channel("r", c, 1, a, 1);
+        let g = b.build().unwrap();
+        assert!(matches!(throughput(&g, &opts()), Err(SdfError::Deadlock(_))));
+    }
+
+    #[test]
+    fn zero_time_actor_in_chain() {
+        let mut b = SdfGraphBuilder::new("zt");
+        let a = b.add_actor("A", 5);
+        let z = b.add_actor("Z", 0);
+        let c = b.add_actor("B", 5);
+        b.add_channel("e1", a, 1, z, 1);
+        b.add_channel("e2", z, 1, c, 1);
+        let g = b.build().unwrap();
+        let t = throughput(&g, &opts()).unwrap();
+        assert_eq!(t.iterations_per_cycle, Ratio::new(1, 5));
+    }
+
+    #[test]
+    fn zero_delay_cycle_detected() {
+        let mut b = SdfGraphBuilder::new("zdc");
+        let a = b.add_actor("A", 0);
+        b.add_channel_with_tokens("s", a, 1, a, 1, 1);
+        let g = b.build().unwrap();
+        let r = throughput(
+            &g,
+            &AnalysisOptions {
+                max_firings_per_instant: 1000,
+                ..opts()
+            },
+        );
+        assert!(matches!(r, Err(SdfError::AnalysisLimit(_))));
+    }
+
+    #[test]
+    fn all_zero_time_graph_unbounded() {
+        let mut b = SdfGraphBuilder::new("zeros");
+        let a = b.add_actor("A", 0);
+        let c = b.add_actor("B", 0);
+        b.add_channel("e", a, 1, c, 1);
+        let g = b.build().unwrap();
+        assert!(matches!(
+            throughput(&g, &opts()),
+            Err(SdfError::AnalysisLimit(_))
+        ));
+    }
+
+    #[test]
+    fn initial_tokens_pipeline_parallelism() {
+        // Cycle A->B->A with 2 tokens allows overlapping: throughput limited
+        // by max(execA, execB) not the sum.
+        let mut b = SdfGraphBuilder::new("2tok");
+        let a = b.add_actor("A", 6);
+        let c = b.add_actor("B", 4);
+        b.add_channel_with_tokens("f", a, 1, c, 1, 0);
+        b.add_channel_with_tokens("r", c, 1, a, 1, 2);
+        let g = b.build().unwrap();
+        let t = throughput(&g, &opts()).unwrap();
+        assert_eq!(t.iterations_per_cycle, Ratio::new(1, 6));
+    }
+
+    #[test]
+    fn single_self_loop_actor() {
+        let mut b = SdfGraphBuilder::new("one");
+        let a = b.add_actor("A", 12);
+        b.add_channel_with_tokens("s", a, 1, a, 1, 1);
+        let g = b.build().unwrap();
+        let t = throughput(&g, &opts()).unwrap();
+        assert_eq!(t.iterations_per_cycle, Ratio::new(1, 12));
+        assert_eq!(t.cycles_per_iteration(), 12.0);
+    }
+
+    #[test]
+    fn self_edge_tokens_bound_concurrency() {
+        // Self-edge with 2 tokens allows two overlapping firings; the
+        // pipeline rate doubles compared to 1 token.
+        let mk = |tokens: u64| {
+            let mut b = SdfGraphBuilder::new("se");
+            let a = b.add_actor("A", 10);
+            b.add_channel_with_tokens("s", a, 1, a, 1, tokens);
+            b.build().unwrap()
+        };
+        let one = throughput(
+            &mk(1),
+            &AnalysisOptions {
+                auto_concurrency: true,
+                ..opts()
+            },
+        )
+        .unwrap();
+        let two = throughput(
+            &mk(2),
+            &AnalysisOptions {
+                auto_concurrency: true,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(one.iterations_per_cycle, Ratio::new(1, 10));
+        assert_eq!(two.iterations_per_cycle, Ratio::new(2, 10));
+    }
+
+    #[test]
+    fn fig2_throughput() {
+        // Paper Fig. 2 graph with chosen execution times.
+        let mut b = SdfGraphBuilder::new("fig2");
+        let a = b.add_actor("A", 10);
+        let bb = b.add_actor("B", 5);
+        let c = b.add_actor("C", 7);
+        b.add_channel("a2b", a, 2, bb, 1);
+        b.add_channel("a2c", a, 1, c, 1);
+        b.add_channel("b2c", bb, 1, c, 2);
+        b.add_channel_with_tokens("selfA", a, 1, a, 1, 1);
+        let g = b.build().unwrap();
+        let t = throughput(&g, &opts()).unwrap();
+        // Bottlenecks: A every 10 cycles; B 2x5=10 cycles; C 7 cycles.
+        assert_eq!(t.iterations_per_cycle, Ratio::new(1, 10));
+    }
+
+    #[test]
+    fn scc_decomposition() {
+        let mut b = SdfGraphBuilder::new("sccs");
+        let a = b.add_actor("A", 1);
+        let c = b.add_actor("B", 1);
+        let d = b.add_actor("C", 1);
+        // Cycle A<->B, then edge to C.
+        b.add_channel_with_tokens("f", a, 1, c, 1, 1);
+        b.add_channel("r", c, 1, a, 1);
+        b.add_channel("o", c, 1, d, 1);
+        let g = b.build().unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        let sizes: Vec<usize> = sccs.iter().map(|s| s.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn throughput_monotone_in_execution_time() {
+        let mk = |eb: u64| {
+            let mut b = SdfGraphBuilder::new("m");
+            let a = b.add_actor("A", 3);
+            let c = b.add_actor("B", eb);
+            b.add_channel_with_tokens("f", a, 2, c, 3, 6);
+            b.add_channel("r", c, 3, a, 2);
+            b.build().unwrap()
+        };
+        let mut last = f64::INFINITY;
+        for eb in [1, 2, 4, 8, 16] {
+            let t = throughput(&mk(eb), &opts()).unwrap().as_f64();
+            assert!(t <= last + 1e-12);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! SDF3-style XML interchange for application models.
+//!
+//! The flow's §2 contribution is a *common input format* shared by the
+//! mapping and platform-generation tools. This module serializes
+//! [`ApplicationModel`]s to an SDF3-inspired XML dialect and parses them
+//! back, so application models can be authored by hand or exchanged with
+//! other tools.
+//!
+//! ```xml
+//! <applicationGraph name="mjpeg">
+//!   <actor name="VLD" executionTime="35766">
+//!     <implementation processorType="microblaze" function="actor_vld"
+//!                     wcet="35766" imem="14336" dmem="6144">
+//!       <arg index="0" channel="vld2iqzz" direction="out"/>
+//!     </implementation>
+//!   </actor>
+//!   <channel name="vld2iqzz" srcActor="VLD" srcRate="10"
+//!            dstActor="IQZZ" dstRate="1" initialTokens="0" tokenSize="128"/>
+//!   <throughputConstraint iterations="1" cycles="100000"/>
+//! </applicationGraph>
+//! ```
+
+use std::collections::HashMap;
+
+use crate::graph::{SdfGraph, SdfGraphBuilder};
+use crate::model::{
+    ActorImplementation, ApplicationModel, ArgBinding, ArgDirection, ThroughputConstraint,
+};
+use crate::xmlutil::{parse, Element, XmlError};
+
+/// Serializes an application model to XML.
+pub fn application_to_xml(app: &ApplicationModel) -> String {
+    let graph = app.graph();
+    let mut root = Element::new("applicationGraph").attr("name", graph.name());
+    for (aid, actor) in graph.actors() {
+        let mut actor_el = Element::new("actor")
+            .attr("name", actor.name())
+            .attr("executionTime", actor.execution_time());
+        for im in app.implementations(aid) {
+            let mut im_el = Element::new("implementation")
+                .attr("processorType", &im.processor_type)
+                .attr("function", &im.function_name)
+                .attr("wcet", im.wcet)
+                .attr("imem", im.instruction_memory)
+                .attr("dmem", im.data_memory);
+            for arg in &im.args {
+                im_el = im_el.child(
+                    Element::new("arg")
+                        .attr("index", arg.arg_index)
+                        .attr("channel", &arg.channel)
+                        .attr(
+                            "direction",
+                            match arg.direction {
+                                ArgDirection::Input => "in",
+                                ArgDirection::Output => "out",
+                            },
+                        ),
+                );
+            }
+            actor_el = actor_el.child(im_el);
+        }
+        root = root.child(actor_el);
+    }
+    for (_, ch) in graph.channels() {
+        root = root.child(
+            Element::new("channel")
+                .attr("name", ch.name())
+                .attr("srcActor", graph.actor(ch.src()).name())
+                .attr("srcRate", ch.production_rate())
+                .attr("dstActor", graph.actor(ch.dst()).name())
+                .attr("dstRate", ch.consumption_rate())
+                .attr("initialTokens", ch.initial_tokens())
+                .attr("tokenSize", ch.token_size()),
+        );
+    }
+    if let Some(c) = app.throughput_constraint() {
+        root = root.child(
+            Element::new("throughputConstraint")
+                .attr("iterations", c.iterations)
+                .attr("cycles", c.cycles),
+        );
+    }
+    root.to_xml()
+}
+
+/// Parses an application model from XML.
+///
+/// # Errors
+///
+/// [`XmlError`] on malformed XML or inconsistent references; model
+/// validation failures surface as [`XmlError::Semantic`].
+pub fn application_from_xml(xml: &str) -> Result<ApplicationModel, XmlError> {
+    let root = parse(xml)?;
+    if root.name != "applicationGraph" {
+        return Err(XmlError::Semantic(format!(
+            "expected <applicationGraph>, found <{}>",
+            root.name
+        )));
+    }
+    let mut b = SdfGraphBuilder::new(root.req("name")?);
+    let mut ids = HashMap::new();
+    let mut implementations: HashMap<String, Vec<ActorImplementation>> = HashMap::new();
+    for actor_el in root.find_all("actor") {
+        let name = actor_el.req("name")?.to_string();
+        let exec = actor_el.req_u64("executionTime")?;
+        let id = b.add_actor(&name, exec);
+        ids.insert(name.clone(), id);
+        let mut impls = Vec::new();
+        for im_el in actor_el.find_all("implementation") {
+            let mut args = Vec::new();
+            for arg_el in im_el.find_all("arg") {
+                args.push(ArgBinding {
+                    arg_index: arg_el.req_u64("index")? as usize,
+                    channel: arg_el.req("channel")?.to_string(),
+                    direction: match arg_el.req("direction")? {
+                        "in" => ArgDirection::Input,
+                        "out" => ArgDirection::Output,
+                        other => {
+                            return Err(XmlError::Semantic(format!(
+                                "direction `{other}` is not in/out"
+                            )))
+                        }
+                    },
+                });
+            }
+            impls.push(ActorImplementation {
+                processor_type: im_el.req("processorType")?.to_string(),
+                function_name: im_el.req("function")?.to_string(),
+                wcet: im_el.req_u64("wcet")?,
+                instruction_memory: im_el.req_u64("imem")?,
+                data_memory: im_el.req_u64("dmem")?,
+                args,
+            });
+        }
+        implementations.insert(name, impls);
+    }
+    for ch_el in root.find_all("channel") {
+        let src = *ids.get(ch_el.req("srcActor")?).ok_or_else(|| {
+            XmlError::Semantic(format!(
+                "channel `{}` references unknown srcActor",
+                ch_el.req("name").unwrap_or("?")
+            ))
+        })?;
+        let dst = *ids.get(ch_el.req("dstActor")?).ok_or_else(|| {
+            XmlError::Semantic(format!(
+                "channel `{}` references unknown dstActor",
+                ch_el.req("name").unwrap_or("?")
+            ))
+        })?;
+        b.add_channel_full(
+            ch_el.req("name")?,
+            src,
+            ch_el.req_u64("srcRate")?,
+            dst,
+            ch_el.req_u64("dstRate")?,
+            ch_el.req_u64("initialTokens")?,
+            ch_el.req_u64("tokenSize")?,
+        );
+    }
+    let graph: SdfGraph = b
+        .build()
+        .map_err(|e| XmlError::Semantic(e.to_string()))?;
+    let constraint = match root.find("throughputConstraint") {
+        Some(c) => Some(ThroughputConstraint {
+            iterations: c.req_u64("iterations")?,
+            cycles: c.req_u64("cycles")?,
+        }),
+        None => None,
+    };
+    ApplicationModel::new(graph, implementations, constraint)
+        .map_err(|e| XmlError::Semantic(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::HomogeneousModelBuilder;
+
+    fn sample() -> ApplicationModel {
+        let mut b = SdfGraphBuilder::new("app");
+        let x = b.add_actor("x", 10);
+        let y = b.add_actor("y", 20);
+        b.add_channel_full("e", x, 2, y, 3, 1, 64);
+        b.add_channel_with_tokens("sx", x, 1, x, 1, 1);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("x", 10, 2048, 128).actor("y", 20, 4096, 256);
+        mb.finish(
+            g,
+            Some(ThroughputConstraint {
+                iterations: 1,
+                cycles: 500,
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let app = sample();
+        let xml = application_to_xml(&app);
+        let back = application_from_xml(&xml).unwrap();
+        let (g1, g2) = (app.graph(), back.graph());
+        assert_eq!(g1.name(), g2.name());
+        assert_eq!(g1.actor_count(), g2.actor_count());
+        assert_eq!(g1.channel_count(), g2.channel_count());
+        for (id, c1) in g1.channels() {
+            let c2 = g2.channel(g2.channel_by_name(c1.name()).unwrap());
+            assert_eq!(c1.production_rate(), c2.production_rate());
+            assert_eq!(c1.consumption_rate(), c2.consumption_rate());
+            assert_eq!(c1.initial_tokens(), c2.initial_tokens());
+            assert_eq!(c1.token_size(), c2.token_size());
+            let _ = id;
+        }
+        assert_eq!(app.throughput_constraint(), back.throughput_constraint());
+        let x1 = app.graph().actor_by_name("x").unwrap();
+        let x2 = back.graph().actor_by_name("x").unwrap();
+        assert_eq!(
+            app.implementation_for(x1, "microblaze").unwrap().args,
+            back.implementation_for(x2, "microblaze").unwrap().args
+        );
+    }
+
+    #[test]
+    fn hand_written_document_parses() {
+        let xml = r#"
+<applicationGraph name="tiny">
+  <actor name="a" executionTime="5">
+    <implementation processorType="microblaze" function="actor_a"
+                    wcet="5" imem="100" dmem="10">
+      <arg index="0" channel="e" direction="out"/>
+    </implementation>
+  </actor>
+  <actor name="b" executionTime="7">
+    <implementation processorType="microblaze" function="actor_b"
+                    wcet="7" imem="100" dmem="10">
+      <arg index="0" channel="e" direction="in"/>
+    </implementation>
+  </actor>
+  <channel name="e" srcActor="a" srcRate="1" dstActor="b" dstRate="1"
+           initialTokens="0" tokenSize="4"/>
+</applicationGraph>"#;
+        let app = application_from_xml(xml).unwrap();
+        assert_eq!(app.graph().actor_count(), 2);
+        assert!(app.throughput_constraint().is_none());
+    }
+
+    #[test]
+    fn unknown_actor_reference_rejected() {
+        let xml = r#"
+<applicationGraph name="bad">
+  <actor name="a" executionTime="5">
+    <implementation processorType="m" function="f" wcet="5" imem="0" dmem="0"/>
+  </actor>
+  <channel name="e" srcActor="a" srcRate="1" dstActor="ghost" dstRate="1"
+           initialTokens="0" tokenSize="4"/>
+</applicationGraph>"#;
+        assert!(matches!(
+            application_from_xml(xml),
+            Err(XmlError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(matches!(
+            application_from_xml("<notAGraph name=\"x\"/>"),
+            Err(XmlError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn bad_direction_rejected() {
+        let xml = r#"
+<applicationGraph name="bad">
+  <actor name="a" executionTime="5">
+    <implementation processorType="m" function="f" wcet="5" imem="0" dmem="0">
+      <arg index="0" channel="e" direction="sideways"/>
+    </implementation>
+  </actor>
+  <actor name="b" executionTime="5">
+    <implementation processorType="m" function="g" wcet="5" imem="0" dmem="0"/>
+  </actor>
+  <channel name="e" srcActor="a" srcRate="1" dstActor="b" dstRate="1"
+           initialTokens="0" tokenSize="4"/>
+</applicationGraph>"#;
+        assert!(matches!(
+            application_from_xml(xml),
+            Err(XmlError::Semantic(_))
+        ));
+    }
+}

@@ -1,0 +1,369 @@
+//! Minimal XML reading/writing used by the interchange formats.
+//!
+//! SDF3 exchanges models as XML; the paper's flow contribution is a
+//! *common input format* consumed by both the mapping and the platform
+//! generation tools (§2). This module implements the small XML subset those
+//! formats need — elements, attributes, nesting; no namespaces, mixed
+//! content, CDATA or processing instructions — with no external
+//! dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An XML element tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in stable (sorted) order.
+    pub attrs: BTreeMap<String, String>,
+    /// Child elements.
+    pub children: Vec<Element>,
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element {
+            name: name.into(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl ToString) -> Element {
+        self.attrs.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Adds a child (builder style).
+    pub fn child(mut self, child: Element) -> Element {
+        self.children.push(child);
+        self
+    }
+
+    /// Looks up an attribute.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(|s| s.as_str())
+    }
+
+    /// Looks up a required attribute.
+    ///
+    /// # Errors
+    ///
+    /// [`XmlError::MissingAttr`] when absent.
+    pub fn req(&self, key: &str) -> Result<&str, XmlError> {
+        self.get(key)
+            .ok_or_else(|| XmlError::MissingAttr(self.name.clone(), key.to_string()))
+    }
+
+    /// Parses a required attribute as an integer type.
+    ///
+    /// # Errors
+    ///
+    /// [`XmlError::MissingAttr`] / [`XmlError::BadValue`].
+    pub fn req_u64(&self, key: &str) -> Result<u64, XmlError> {
+        self.req(key)?
+            .parse()
+            .map_err(|_| XmlError::BadValue(self.name.clone(), key.to_string()))
+    }
+
+    /// Children with the given tag name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// First child with the given tag name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Renders the tree as indented XML.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\"?>\n");
+        self.render(&mut out, 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let _ = write!(out, "{pad}<{}", self.name);
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {k}=\"{}\"", escape(v));
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+        } else {
+            out.push_str(">\n");
+            for c in &self.children {
+                c.render(out, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}</{}>", self.name);
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed syntax; the message carries position context.
+    Syntax(String),
+    /// Closing tag does not match the open element.
+    Mismatch(String, String),
+    /// Required attribute missing: (element, attribute).
+    MissingAttr(String, String),
+    /// Attribute value failed to parse: (element, attribute).
+    BadValue(String, String),
+    /// Structural problem above the XML level (wrong root, unknown refs).
+    Semantic(String),
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::Syntax(m) => write!(f, "xml syntax error: {m}"),
+            XmlError::Mismatch(open, close) => {
+                write!(f, "mismatched tags: <{open}> closed by </{close}>")
+            }
+            XmlError::MissingAttr(e, a) => write!(f, "element <{e}> misses attribute `{a}`"),
+            XmlError::BadValue(e, a) => write!(f, "element <{e}>: bad value for `{a}`"),
+            XmlError::Semantic(m) => write!(f, "invalid document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document into its root element.
+///
+/// # Errors
+///
+/// [`XmlError`] on malformed input.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog();
+    let root = p.element()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(XmlError::Syntax(format!(
+            "trailing content at byte {}",
+            p.pos
+        )));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_ws();
+        loop {
+            if self.rest().starts_with("<?") {
+                if let Some(end) = self.rest().find("?>") {
+                    self.pos += end + 2;
+                }
+            } else if self.rest().starts_with("<!--") {
+                if let Some(end) = self.rest().find("-->") {
+                    self.pos += end + 3;
+                }
+            } else {
+                break;
+            }
+            self.skip_ws();
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        std::str::from_utf8(&self.bytes[self.pos..]).unwrap_or("")
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(XmlError::Syntax(format!(
+                "expected `{}` at byte {}",
+                c as char, self.pos
+            )))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric()
+                || matches!(self.bytes[self.pos], b'_' | b'-' | b':' | b'.'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::Syntax(format!("expected a name at byte {start}")));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        self.skip_ws();
+        self.expect(b'<')?;
+        let name = self.name()?;
+        let mut el = Element::new(&name);
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    self.expect(b'"')?;
+                    let start = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'"' {
+                        self.pos += 1;
+                    }
+                    let raw =
+                        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.expect(b'"')?;
+                    el.attrs.insert(key, unescape(&raw));
+                }
+                None => {
+                    return Err(XmlError::Syntax("unexpected end of input".into()));
+                }
+            }
+        }
+        // Children until the closing tag.
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("<!--") {
+                if let Some(end) = self.rest().find("-->") {
+                    self.pos += end + 3;
+                    continue;
+                }
+                return Err(XmlError::Syntax("unterminated comment".into()));
+            }
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                self.skip_ws();
+                self.expect(b'>')?;
+                if close != name {
+                    return Err(XmlError::Mismatch(name, close));
+                }
+                return Ok(el);
+            }
+            if self.rest().starts_with('<') {
+                el.children.push(self.element()?);
+            } else {
+                // Text content is not part of the interchange subset; skip
+                // up to the next tag.
+                match self.rest().find('<') {
+                    Some(off) if off > 0 => self.pos += off,
+                    _ => return Err(XmlError::Syntax("unexpected end of element".into())),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let doc = Element::new("root")
+            .attr("name", "demo")
+            .child(
+                Element::new("child")
+                    .attr("value", "42")
+                    .child(Element::new("leaf")),
+            )
+            .child(Element::new("child").attr("value", "43"));
+        let xml = doc.to_xml();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn attribute_escaping() {
+        let doc = Element::new("e").attr("text", "a<b & \"c\" > d");
+        let parsed = parse(&doc.to_xml()).unwrap();
+        assert_eq!(parsed.get("text"), Some("a<b & \"c\" > d"));
+    }
+
+    #[test]
+    fn queries() {
+        let doc = Element::new("root")
+            .child(Element::new("a").attr("n", "1"))
+            .child(Element::new("b"))
+            .child(Element::new("a").attr("n", "2"));
+        assert_eq!(doc.find_all("a").count(), 2);
+        assert_eq!(doc.find("b").unwrap().name, "b");
+        assert!(doc.find("c").is_none());
+        assert_eq!(doc.find("a").unwrap().req_u64("n").unwrap(), 1);
+    }
+
+    #[test]
+    fn prolog_and_comments_skipped() {
+        let xml = "<?xml version=\"1.0\"?>\n<!-- hello -->\n<root>\n<!-- inner -->\n<leaf/>\n</root>";
+        let parsed = parse(xml).unwrap();
+        assert_eq!(parsed.name, "root");
+        assert_eq!(parsed.children.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse("<a><b></a>"), Err(XmlError::Mismatch(_, _))));
+        assert!(matches!(parse("<a"), Err(XmlError::Syntax(_))));
+        assert!(matches!(parse("<a/><b/>"), Err(XmlError::Syntax(_))));
+        let e = Element::new("x");
+        assert!(matches!(e.req("k"), Err(XmlError::MissingAttr(_, _))));
+        let e = Element::new("x").attr("k", "notanumber");
+        assert!(matches!(e.req_u64("k"), Err(XmlError::BadValue(_, _))));
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let xml = "  <root   a = \"1\"  >  <leaf\n/>  </root>  ";
+        let parsed = parse(xml).unwrap();
+        assert_eq!(parsed.get("a"), Some("1"));
+        assert_eq!(parsed.children.len(), 1);
+    }
+}

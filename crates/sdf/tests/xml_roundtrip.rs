@@ -1,0 +1,109 @@
+//! Property tests for the XML interchange: arbitrary valid application
+//! models survive a serialize/parse round trip unchanged.
+
+use proptest::prelude::*;
+
+use mamps_sdf::graph::SdfGraphBuilder;
+use mamps_sdf::model::{
+    ActorImplementation, ApplicationModel, ArgBinding, ArgDirection, ThroughputConstraint,
+};
+use mamps_sdf::xml::{application_from_xml, application_to_xml};
+
+fn arbitrary_app() -> impl Strategy<Value = ApplicationModel> {
+    (
+        2usize..6,                                   // actors
+        proptest::collection::vec((1u64..8, 1u64..8, 0u64..5, 1u64..200), 1..8), // channels
+        proptest::collection::vec(1u64..10_000, 6),  // wcets
+        proptest::option::of((1u64..10, 100u64..1_000_000)),
+    )
+        .prop_map(|(n, chans, wcets, constraint)| {
+            let mut b = SdfGraphBuilder::new("prop");
+            let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
+            // A consistent backbone: unit-rate ring so arbitrary extra
+            // channels cannot break consistency if they follow it.
+            for i in 0..n {
+                b.add_channel_with_tokens(
+                    format!("ring{i}"),
+                    ids[i],
+                    1,
+                    ids[(i + 1) % n],
+                    1,
+                    1,
+                );
+            }
+            for (k, (src, dst, tokens, size)) in chans.into_iter().enumerate() {
+                let s = (src as usize) % n;
+                let d = (dst as usize) % n;
+                b.add_channel_full(format!("x{k}"), ids[s], 1, ids[d], 1, tokens, size);
+            }
+            let graph = b.build().unwrap();
+            let mut impls = std::collections::HashMap::new();
+            for (aid, actor) in graph.actors() {
+                let mut args = Vec::new();
+                let mut idx = 0;
+                for &cid in graph.incoming(aid) {
+                    let ch = graph.channel(cid);
+                    if ch.is_self_edge() {
+                        continue;
+                    }
+                    args.push(ArgBinding {
+                        arg_index: idx,
+                        channel: ch.name().to_string(),
+                        direction: ArgDirection::Input,
+                    });
+                    idx += 1;
+                }
+                impls.insert(
+                    actor.name().to_string(),
+                    vec![ActorImplementation {
+                        processor_type: "microblaze".into(),
+                        function_name: format!("f_{}", actor.name()),
+                        wcet: wcets[aid.0 % wcets.len()],
+                        instruction_memory: 1024,
+                        data_memory: 64,
+                        args,
+                    }],
+                );
+            }
+            let constraint = constraint.map(|(iterations, cycles)| ThroughputConstraint {
+                iterations,
+                cycles,
+            });
+            ApplicationModel::new(graph, impls, constraint).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_roundtrip_is_lossless(app in arbitrary_app()) {
+        let xml = application_to_xml(&app);
+        let back = application_from_xml(&xml).unwrap();
+        let (g1, g2) = (app.graph(), back.graph());
+        prop_assert_eq!(g1.name(), g2.name());
+        prop_assert_eq!(g1.actor_count(), g2.actor_count());
+        prop_assert_eq!(g1.channel_count(), g2.channel_count());
+        for (aid, a1) in g1.actors() {
+            let a2id = g2.actor_by_name(a1.name()).unwrap();
+            prop_assert_eq!(
+                a1.execution_time(),
+                g2.actor(a2id).execution_time()
+            );
+            prop_assert_eq!(
+                app.implementations(aid),
+                back.implementations(a2id)
+            );
+        }
+        for (_, c1) in g1.channels() {
+            let c2 = g2.channel(g2.channel_by_name(c1.name()).unwrap());
+            prop_assert_eq!(c1.production_rate(), c2.production_rate());
+            prop_assert_eq!(c1.consumption_rate(), c2.consumption_rate());
+            prop_assert_eq!(c1.initial_tokens(), c2.initial_tokens());
+            prop_assert_eq!(c1.token_size(), c2.token_size());
+        }
+        prop_assert_eq!(app.throughput_constraint(), back.throughput_constraint());
+        // Serialization is canonical: a second trip is byte-identical.
+        prop_assert_eq!(application_to_xml(&back), xml);
+    }
+}

@@ -1,0 +1,741 @@
+//! The simulated MPSoC: construction from (application, mapping,
+//! architecture) and the discrete-event execution engine.
+//!
+//! The simulator is an *independent* implementation of the platform
+//! semantics — it shares no code with the SDF analysis. Agreement between
+//! the two (measured >= guaranteed bound, with equality when actual firing
+//! times equal the WCETs) is therefore a genuine validation of the flow,
+//! mirroring the paper's FPGA measurements in Fig. 6.
+
+use std::collections::BinaryHeap;
+
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::CommParams;
+use mamps_platform::tile::TileKind;
+use mamps_sdf::graph::{ActorId, ChannelId, SdfGraph};
+use mamps_sdf::repetition::repetition_vector;
+
+use mamps_mapping::mapping::{Mapping, ScheduleEntry};
+
+use crate::exec_time::FiringTimes;
+use crate::fifo::{ChannelState, CrossChannelState, LocalChannelState, SelfEdgeState};
+use crate::noc_sim::Connection;
+use crate::processor::{Op, Worker, WorkerKind};
+use crate::trace::{Measurement, SimError, TraceEvent};
+
+/// Per-word cycles with setup amortized, rounded up — must match the
+/// analysis model ([`mamps_mapping::comm_expand`]) so that WCET-driven
+/// simulation reproduces the bound exactly.
+fn per_word_cycles(setup: u64, cycles_per_word: u64, n: u64) -> u64 {
+    cycles_per_word + setup.div_ceil(n.max(1))
+}
+
+/// The simulated system.
+pub struct System<'a> {
+    graph: &'a SdfGraph,
+    mapping: &'a Mapping,
+    arch: &'a Architecture,
+    times: &'a dyn FiringTimes,
+    channels: Vec<ChannelState>,
+    workers: Vec<Worker>,
+    /// Extra cycles charged per firing (CA posting overhead), per actor.
+    fire_overhead: Vec<u64>,
+    /// Completed firings per actor.
+    firings: Vec<u64>,
+    /// Repetition count per actor (an iteration completes when every actor
+    /// `a` reached `q[a]` further firings).
+    q: Vec<u64>,
+    /// Iteration completion times.
+    iteration_times: Vec<u64>,
+    now: u64,
+    events: BinaryHeap<std::cmp::Reverse<(u64, usize)>>, // (time, channel idx)
+    /// Recorded operations (when tracing) and the event cap.
+    trace: Option<(Vec<TraceEvent>, usize)>,
+}
+
+impl<'a> System<'a> {
+    /// Builds a system ready to run from cycle 0.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Build`] if the mapping and graph disagree (missing
+    /// schedules, channel allocation mismatches).
+    pub fn new(
+        graph: &'a SdfGraph,
+        mapping: &'a Mapping,
+        arch: &'a Architecture,
+        times: &'a dyn FiringTimes,
+    ) -> Result<System<'a>, SimError> {
+        if mapping.channels.len() != graph.channel_count() {
+            return Err(SimError::Build(format!(
+                "mapping has {} channel allocations for {} channels",
+                mapping.channels.len(),
+                graph.channel_count()
+            )));
+        }
+        if mapping.schedules.len() != arch.tile_count() {
+            return Err(SimError::Build(format!(
+                "mapping has {} schedules for {} tiles",
+                mapping.schedules.len(),
+                arch.tile_count()
+            )));
+        }
+        let binding = &mapping.binding;
+        let mut channels = Vec::with_capacity(graph.channel_count());
+        for (cid, ch) in graph.channels() {
+            let alloc = mapping.channels[cid.0];
+            let state = if ch.is_self_edge() {
+                ChannelState::SelfEdge(SelfEdgeState {
+                    tokens: ch.initial_tokens(),
+                    cons: ch.consumption_rate(),
+                    prod: ch.production_rate(),
+                })
+            } else if !binding.crosses_tiles(ch.src(), ch.dst()) {
+                if alloc.local_capacity < ch.initial_tokens() {
+                    return Err(SimError::Build(format!(
+                        "channel `{}` capacity below initial tokens",
+                        ch.name()
+                    )));
+                }
+                ChannelState::Local(LocalChannelState {
+                    tokens: ch.initial_tokens(),
+                    space: alloc.local_capacity - ch.initial_tokens(),
+                    cons: ch.consumption_rate(),
+                    prod: ch.production_rate(),
+                })
+            } else {
+                let src_tile_id = binding.tile_of[ch.src().0];
+                let dst_tile_id = binding.tile_of[ch.dst().0];
+                let src_tile = arch.tile(src_tile_id);
+                let dst_tile = arch.tile(dst_tile_id);
+                let n_words = mamps_platform::types::words_per_token(ch.token_size());
+                if alloc.alpha_src < ch.initial_tokens() {
+                    return Err(SimError::Build(format!(
+                        "channel `{}` alpha_src below initial tokens",
+                        ch.name()
+                    )));
+                }
+                let params = CommParams::for_connection(
+                    arch.interconnect(),
+                    src_tile_id,
+                    dst_tile_id,
+                    alloc.wires,
+                );
+                let offload_src = !matches!(src_tile.kind(), TileKind::Master | TileKind::Slave);
+                let offload_dst = !matches!(dst_tile.kind(), TileKind::Master | TileKind::Slave);
+                let (ser_setup, ser_cpw) = match src_tile.ca() {
+                    Some(ca) => (ca.setup_cycles, ca.cycles_per_word),
+                    None => (
+                        src_tile.serialization().setup_cycles,
+                        src_tile.serialization().cycles_per_word,
+                    ),
+                };
+                let (des_setup, des_cpw) = match dst_tile.ca() {
+                    Some(ca) => (ca.setup_cycles, ca.cycles_per_word),
+                    None => (
+                        dst_tile.serialization().setup_cycles,
+                        dst_tile.serialization().cycles_per_word,
+                    ),
+                };
+                ChannelState::Cross(CrossChannelState {
+                    send_words: ch.initial_tokens() * n_words,
+                    src_space: alloc.alpha_src - ch.initial_tokens(),
+                    srel_progress: 0,
+                    conn: Connection::new(params),
+                    asm_progress: 0,
+                    assembled: 0,
+                    dst_word_space: alloc.alpha_dst * n_words,
+                    n_words,
+                    ser_word: per_word_cycles(ser_setup, ser_cpw, n_words),
+                    des_word: per_word_cycles(des_setup, des_cpw, n_words),
+                    prod: ch.production_rate(),
+                    cons: ch.consumption_rate(),
+                    src_tile: src_tile_id,
+                    dst_tile: dst_tile_id,
+                    offload_src,
+                    offload_dst,
+                })
+            };
+            channels.push(state);
+        }
+
+        // Workers: one PE per tile with a non-empty schedule (IP tiles run
+        // their actor autonomously), plus CA/NI engines for offloaded
+        // channel endpoints.
+        let mut workers = Vec::new();
+        for t in 0..arch.tile_count() {
+            match arch.tile(mamps_platform::types::TileId(t)).kind() {
+                TileKind::HardwareIp => {
+                    for a in binding.actors_on(mamps_platform::types::TileId(t)) {
+                        workers.push(Worker::new(WorkerKind::Ip { actor: a }));
+                    }
+                }
+                _ => {
+                    if !mapping.schedules[t].is_empty() {
+                        workers.push(Worker::new(WorkerKind::Pe { tile: t }));
+                    }
+                }
+            }
+        }
+        for (cid, st) in channels.iter().enumerate() {
+            if let ChannelState::Cross(c) = st {
+                if c.offload_src {
+                    workers.push(Worker::new(WorkerKind::EngineSend {
+                        channel: ChannelId(cid),
+                    }));
+                }
+                if c.offload_dst {
+                    workers.push(Worker::new(WorkerKind::EngineRecv {
+                        channel: ChannelId(cid),
+                    }));
+                }
+            }
+        }
+
+        // CA/IP posting overhead per firing (mirrors the analysis model).
+        let mut fire_overhead = vec![0u64; graph.actor_count()];
+        for (aid, _) in graph.actors() {
+            let tile = arch.tile(binding.tile_of[aid.0]);
+            if !matches!(tile.kind(), TileKind::Master | TileKind::Slave) {
+                for &cid in graph.outgoing(aid) {
+                    let ch = graph.channel(cid);
+                    if !ch.is_self_edge() && binding.crosses_tiles(ch.src(), ch.dst()) {
+                        fire_overhead[aid.0] += ch.production_rate() * tile.pe_token_overhead(0);
+                    }
+                }
+                for &cid in graph.incoming(aid) {
+                    let ch = graph.channel(cid);
+                    if !ch.is_self_edge() && binding.crosses_tiles(ch.src(), ch.dst()) {
+                        fire_overhead[aid.0] += ch.consumption_rate() * tile.pe_token_overhead(0);
+                    }
+                }
+            }
+        }
+
+        let q = repetition_vector(graph).map_err(|e| SimError::Build(e.to_string()))?;
+        Ok(System {
+            graph,
+            mapping,
+            arch,
+            times,
+            channels,
+            workers,
+            fire_overhead,
+            firings: vec![0; graph.actor_count()],
+            q: q.entries().to_vec(),
+            iteration_times: Vec::new(),
+            now: 0,
+            events: BinaryHeap::new(),
+            trace: None,
+        })
+    }
+
+    /// Like [`run`](Self::run) but records up to `max_events` completed
+    /// operations for trace/Gantt inspection.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_traced(
+        mut self,
+        iterations: u64,
+        max_cycles: u64,
+        max_events: usize,
+    ) -> Result<(Measurement, Vec<TraceEvent>), SimError> {
+        self.trace = Some((Vec::new(), max_events));
+        let mut events_out = Vec::new();
+        let result = {
+            let this = &mut self;
+            this.run_inner(iterations, max_cycles)
+        };
+        if let Some((ev, _)) = self.trace.take() {
+            events_out = ev;
+        }
+        result.map(|m| (m, events_out))
+    }
+
+    /// Runs until `iterations` graph iterations completed (or `max_cycles`).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Deadlock`] if no worker can progress and no event is
+    ///   pending before the target is reached.
+    /// * [`SimError::CycleLimit`] if `max_cycles` elapses first.
+    pub fn run(mut self, iterations: u64, max_cycles: u64) -> Result<Measurement, SimError> {
+        self.run_inner(iterations, max_cycles)
+    }
+
+    fn run_inner(&mut self, iterations: u64, max_cycles: u64) -> Result<Measurement, SimError> {
+        while (self.iteration_times.len() as u64) < iterations {
+            // Fixpoint: start every worker that can start at `now`.
+            loop {
+                let mut progressed = false;
+                for w in 0..self.workers.len() {
+                    if self.workers[w].is_idle() && self.try_start(w) {
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            if (self.iteration_times.len() as u64) >= iterations {
+                break;
+            }
+            // Advance to the next event: worker completion or word delivery.
+            let next_worker = self
+                .workers
+                .iter()
+                .filter(|w| !w.is_idle())
+                .map(|w| w.busy_until)
+                .min();
+            let next_delivery = self.events.peek().map(|&std::cmp::Reverse((t, _))| t);
+            let next = match (next_worker, next_delivery) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    return Err(SimError::Deadlock(format!(
+                        "no progress at cycle {} after {} iterations",
+                        self.now,
+                        self.iteration_times.len()
+                    )));
+                }
+            };
+            if next > max_cycles {
+                return Err(SimError::CycleLimit(max_cycles));
+            }
+            self.now = next;
+            // Deliveries first (they can unblock completions at equal time
+            // either way; effects at the same instant are order-insensitive
+            // because all pools only grow here).
+            while let Some(&std::cmp::Reverse((t, cid))) = self.events.peek() {
+                if t != self.now {
+                    break;
+                }
+                self.events.pop();
+                if let ChannelState::Cross(c) = &mut self.channels[cid] {
+                    c.conn.credits += 1;
+                    c.conn.delivered += 1;
+                }
+            }
+            for w in 0..self.workers.len() {
+                if !self.workers[w].is_idle() && self.workers[w].busy_until == self.now {
+                    self.complete(w);
+                }
+            }
+        }
+        Ok(Measurement::new(
+            std::mem::take(&mut self.iteration_times),
+            self.now,
+            self.firings.clone(),
+            self.workers
+                .iter()
+                .map(|w| (w.kind, w.busy_cycles))
+                .collect(),
+            self.arch.clock_mhz(),
+        ))
+    }
+
+    /// Attempts to start the next operation of worker `w` at `self.now`.
+    fn try_start(&mut self, w: usize) -> bool {
+        match self.workers[w].kind {
+            WorkerKind::Pe { tile } => {
+                let round = &self.mapping.schedules[tile];
+                let pc = self.workers[w].pc;
+                let entry = round[pc];
+                match entry {
+                    ScheduleEntry::Fire { actor, .. } => self.try_fire(w, actor),
+                    ScheduleEntry::Send { channel, .. } => self.try_send_word(w, channel),
+                    ScheduleEntry::Receive { channel, .. } => self.try_recv_word(w, channel),
+                }
+            }
+            WorkerKind::EngineSend { channel } => self.try_send_word(w, channel),
+            WorkerKind::EngineRecv { channel } => self.try_recv_word(w, channel),
+            WorkerKind::Ip { actor } => self.try_fire(w, actor),
+        }
+    }
+
+    /// Firing admission: checks and consumes start-time resources.
+    fn try_fire(&mut self, w: usize, actor: ActorId) -> bool {
+        // Check every endpoint first (no partial consumption).
+        for &cid in self.graph.incoming(actor) {
+            let ok = match &self.channels[cid.0] {
+                ChannelState::SelfEdge(s) => s.tokens >= s.cons,
+                ChannelState::Local(l) => l.tokens >= l.cons,
+                ChannelState::Cross(c) => c.assembled >= c.cons,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for &cid in self.graph.outgoing(actor) {
+            let ok = match &self.channels[cid.0] {
+                ChannelState::SelfEdge(_) => true, // checked as incoming
+                ChannelState::Local(l) => l.space >= l.prod,
+                ChannelState::Cross(c) => c.src_space >= c.prod,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        // Consume.
+        for &cid in self.graph.incoming(actor) {
+            match &mut self.channels[cid.0] {
+                ChannelState::SelfEdge(s) => s.tokens -= s.cons,
+                ChannelState::Local(l) => l.tokens -= l.cons,
+                ChannelState::Cross(c) => c.assembled -= c.cons,
+            }
+        }
+        for &cid in self.graph.outgoing(actor) {
+            match &mut self.channels[cid.0] {
+                ChannelState::SelfEdge(_) => {}
+                ChannelState::Local(l) => l.space -= l.prod,
+                ChannelState::Cross(c) => c.src_space -= c.prod,
+            }
+        }
+        let duration =
+            self.times.cycles(actor, self.firings[actor.0]) + self.fire_overhead[actor.0];
+        let worker = &mut self.workers[w];
+        worker.op = Some(Op::Fire { actor });
+        worker.op_started = self.now;
+        worker.busy_until = self.now + duration;
+        worker.busy_cycles += duration;
+        true
+    }
+
+    fn try_send_word(&mut self, w: usize, channel: ChannelId) -> bool {
+        let c = match &mut self.channels[channel.0] {
+            ChannelState::Cross(c) => c,
+            _ => return false,
+        };
+        if c.send_words == 0 || c.conn.credits == 0 {
+            return false;
+        }
+        c.send_words -= 1;
+        c.conn.credits -= 1;
+        let dur = c.ser_word;
+        let worker = &mut self.workers[w];
+        worker.op = Some(Op::SendWord { channel });
+        worker.op_started = self.now;
+        worker.busy_until = self.now + dur;
+        worker.busy_cycles += dur;
+        true
+    }
+
+    fn try_recv_word(&mut self, w: usize, channel: ChannelId) -> bool {
+        let c = match &mut self.channels[channel.0] {
+            ChannelState::Cross(c) => c,
+            _ => return false,
+        };
+        if c.conn.delivered == 0 || c.dst_word_space == 0 {
+            return false;
+        }
+        c.conn.delivered -= 1;
+        c.dst_word_space -= 1;
+        let dur = c.des_word;
+        let worker = &mut self.workers[w];
+        worker.op = Some(Op::RecvWord { channel });
+        worker.op_started = self.now;
+        worker.busy_until = self.now + dur;
+        worker.busy_cycles += dur;
+        true
+    }
+
+    /// Applies completion effects of worker `w` at `self.now`.
+    fn complete(&mut self, w: usize) {
+        let op = self.workers[w].op.take().expect("busy workers have ops");
+        if let Some((events, cap)) = &mut self.trace {
+            if events.len() < *cap {
+                events.push(TraceEvent {
+                    worker: self.workers[w].kind,
+                    op,
+                    start: self.workers[w].op_started,
+                    end: self.now,
+                });
+            }
+        }
+        match op {
+            Op::Fire { actor } => {
+                for &cid in self.graph.outgoing(actor) {
+                    match &mut self.channels[cid.0] {
+                        ChannelState::SelfEdge(s) => s.tokens += s.prod,
+                        ChannelState::Local(l) => l.tokens += l.prod,
+                        ChannelState::Cross(c) => c.send_words += c.prod * c.n_words,
+                    }
+                }
+                for &cid in self.graph.incoming(actor) {
+                    match &mut self.channels[cid.0] {
+                        ChannelState::SelfEdge(_) => {}
+                        ChannelState::Local(l) => l.space += l.cons,
+                        ChannelState::Cross(c) => c.dst_word_space += c.cons * c.n_words,
+                    }
+                }
+                self.firings[actor.0] += 1;
+                // An iteration completes when the slowest actor (relative to
+                // its repetition count) crosses the next multiple.
+                let completed = self
+                    .firings
+                    .iter()
+                    .zip(&self.q)
+                    .map(|(&f, &q)| f / q)
+                    .min()
+                    .unwrap_or(0);
+                while (self.iteration_times.len() as u64) < completed {
+                    self.iteration_times.push(self.now);
+                }
+            }
+            Op::SendWord { channel } => {
+                if let ChannelState::Cross(c) = &mut self.channels[channel.0] {
+                    let delivery = c.conn.push_word(self.now);
+                    self.events
+                        .push(std::cmp::Reverse((delivery, channel.0)));
+                    c.srel_progress += 1;
+                    if c.srel_progress == c.n_words {
+                        c.srel_progress = 0;
+                        c.src_space += 1;
+                    }
+                }
+            }
+            Op::RecvWord { channel } => {
+                if let ChannelState::Cross(c) = &mut self.channels[channel.0] {
+                    c.asm_progress += 1;
+                    if c.asm_progress == c.n_words {
+                        c.asm_progress = 0;
+                        c.assembled += 1;
+                    }
+                }
+            }
+        }
+        // Advance PE schedule position.
+        if let WorkerKind::Pe { tile } = self.workers[w].kind {
+            let round = &self.mapping.schedules[tile];
+            let entry = round[self.workers[w].pc];
+            let total_units = match entry {
+                ScheduleEntry::Fire { reps, .. } => reps,
+                ScheduleEntry::Send { channel, reps } => {
+                    let n = match &self.channels[channel.0] {
+                        ChannelState::Cross(c) => c.n_words,
+                        _ => 1,
+                    };
+                    reps * n
+                }
+                ScheduleEntry::Receive { channel, reps } => {
+                    let n = match &self.channels[channel.0] {
+                        ChannelState::Cross(c) => c.n_words,
+                        _ => 1,
+                    };
+                    reps * n
+                }
+            };
+            let worker = &mut self.workers[w];
+            worker.done_in_entry += 1;
+            if worker.done_in_entry >= total_units {
+                worker.done_in_entry = 0;
+                worker.pc = (worker.pc + 1) % round.len();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec_time::WcetTimes;
+    use mamps_mapping::flow::{map_application, MapOptions};
+    use mamps_platform::interconnect::Interconnect;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::HomogeneousModelBuilder;
+
+    fn pipeline_app(wcets: &[u64], token_size: u64) -> mamps_sdf::model::ApplicationModel {
+        let n = wcets.len();
+        let mut b = SdfGraphBuilder::new("pipe");
+        let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
+        for i in 0..n - 1 {
+            b.add_channel_full(format!("e{i}"), ids[i], 1, ids[i + 1], 1, 0, token_size);
+        }
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        for (i, &w) in wcets.iter().enumerate() {
+            mb.actor(format!("a{i}"), w, 4096, 512);
+        }
+        mb.finish(g, None).unwrap()
+    }
+
+    /// End-to-end check on a single tile: two actors, sequential schedule,
+    /// period = sum of WCETs.
+    #[test]
+    fn single_tile_sequential_period() {
+        let app = pipeline_app(&[30, 70], 4);
+        let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
+        let m = sys.run(50, 1_000_000).unwrap();
+        let thr = m.steady_throughput();
+        assert!((thr - 0.01).abs() < 1e-6, "expected 1/100, got {thr}");
+    }
+
+    /// Measured (WCET) throughput must meet the analysed guarantee.
+    #[test]
+    fn wcet_simulation_meets_guarantee_two_tiles() {
+        let app = pipeline_app(&[100, 100], 64);
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
+        let m = sys.run(100, 10_000_000).unwrap();
+        let guaranteed = mapped.analysis.as_f64();
+        let measured = m.steady_throughput();
+        assert!(
+            measured >= guaranteed * (1.0 - 1e-9),
+            "measured {measured} below guarantee {guaranteed}"
+        );
+    }
+
+    /// Faster actual times can only help.
+    #[test]
+    fn faster_actuals_beat_wcet_run() {
+        let app = pipeline_app(&[100, 100], 16);
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let wcet = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let fast = WcetTimes::new(vec![50, 50]);
+        let m_wcet = System::new(app.graph(), &mapped.mapping, &arch, &wcet)
+            .unwrap()
+            .run(100, 10_000_000)
+            .unwrap();
+        let m_fast = System::new(app.graph(), &mapped.mapping, &arch, &fast)
+            .unwrap()
+            .run(100, 10_000_000)
+            .unwrap();
+        assert!(m_fast.steady_throughput() > m_wcet.steady_throughput());
+    }
+
+    #[test]
+    fn noc_platform_runs() {
+        let app = pipeline_app(&[60, 60, 60], 32);
+        let arch = Architecture::homogeneous("x", 3, Interconnect::noc_for_tiles(3)).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
+        let m = sys.run(50, 10_000_000).unwrap();
+        assert!(m.steady_throughput() > 0.0);
+        assert!(m.steady_throughput() >= mapped.analysis.as_f64() * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn ca_platform_outperforms_plain_for_big_tokens() {
+        let app = pipeline_app(&[100, 100], 512);
+        let arch_p = Architecture::homogeneous("p", 2, Interconnect::fsl()).unwrap();
+        let arch_c = Architecture::homogeneous_with_ca("c", 2, Interconnect::fsl()).unwrap();
+        let mp = map_application(&app, &arch_p, &MapOptions::default()).unwrap();
+        let mc = map_application(&app, &arch_c, &MapOptions::default()).unwrap();
+        let tp = WcetTimes::new(mp.mapping.binding.wcet_of.clone());
+        let tc = WcetTimes::new(mc.mapping.binding.wcet_of.clone());
+        let m_p = System::new(app.graph(), &mp.mapping, &arch_p, &tp)
+            .unwrap()
+            .run(60, 50_000_000)
+            .unwrap();
+        let m_c = System::new(app.graph(), &mc.mapping, &arch_c, &tc)
+            .unwrap()
+            .run(60, 50_000_000)
+            .unwrap();
+        assert!(
+            m_c.steady_throughput() > m_p.steady_throughput(),
+            "CA {} <= plain {}",
+            m_c.steady_throughput(),
+            m_p.steady_throughput()
+        );
+    }
+
+    #[test]
+    fn deadlock_reported_for_broken_mapping() {
+        // Zero-capacity local buffer on a single tile: the producer can
+        // never fire, nothing else is active -> hard deadlock.
+        let app = pipeline_app(&[10, 10], 4);
+        let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+        let mut mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        for c in &mut mapped.mapping.channels {
+            c.local_capacity = 0;
+        }
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
+        assert!(matches!(
+            sys.run(10, 1_000_000),
+            Err(SimError::Deadlock(_))
+        ));
+    }
+
+    #[test]
+    fn starved_receiver_hits_cycle_limit_not_phantom_progress() {
+        // No destination buffer space: the receiver never de-serializes, so
+        // no iteration ever completes even though the sender stays busy.
+        let app = pipeline_app(&[10, 10], 4);
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let mut mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        for c in &mut mapped.mapping.channels {
+            c.alpha_dst = 0;
+        }
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
+        match sys.run(10, 100_000) {
+            Err(SimError::CycleLimit(_)) | Err(SimError::Deadlock(_)) => {}
+            other => panic!("expected starvation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let app = pipeline_app(&[1000, 1000], 4);
+        let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
+        assert!(matches!(
+            sys.run(1000, 5000),
+            Err(SimError::CycleLimit(5000))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::exec_time::WcetTimes;
+    use crate::trace::render_gantt;
+    use mamps_mapping::flow::{map_application, MapOptions};
+    use mamps_platform::interconnect::Interconnect;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::HomogeneousModelBuilder;
+
+    #[test]
+    fn traced_run_matches_untraced_and_renders() {
+        let mut b = SdfGraphBuilder::new("t");
+        let x = b.add_actor("x", 1);
+        let y = b.add_actor("y", 1);
+        b.add_channel_full("e", x, 1, y, 1, 0, 16);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("x", 40, 2048, 256).actor("y", 70, 2048, 256);
+        let app = mb.finish(g, None).unwrap();
+        let arch = Architecture::homogeneous("m", 2, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+
+        let plain = System::new(app.graph(), &mapped.mapping, &arch, &times)
+            .unwrap()
+            .run(50, 10_000_000)
+            .unwrap();
+        let (traced, events) = System::new(app.graph(), &mapped.mapping, &arch, &times)
+            .unwrap()
+            .run_traced(50, 10_000_000, 500)
+            .unwrap();
+        assert_eq!(plain.steady_throughput(), traced.steady_throughput());
+        assert!(!events.is_empty());
+        assert!(events.len() <= 500);
+        assert!(events.iter().all(|e| e.end >= e.start));
+        let gantt = render_gantt(&events, 1000, 64);
+        assert!(gantt.contains("PE tile"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Measurement results, execution traces, and simulator errors.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::processor::{Op, WorkerKind};
+
+/// One completed operation of a worker, for trace/Gantt output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The worker that executed the operation.
+    pub worker: WorkerKind,
+    /// The operation.
+    pub op: Op,
+    /// Start cycle.
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+}
+
+/// Renders trace events up to `until_cycle` as a text Gantt chart with
+/// `width` columns; each row is one worker.
+pub fn render_gantt(events: &[TraceEvent], until_cycle: u64, width: usize) -> String {
+    let mut workers: Vec<WorkerKind> = Vec::new();
+    for e in events {
+        if !workers.contains(&e.worker) {
+            workers.push(e.worker);
+        }
+    }
+    let until = until_cycle.max(1);
+    let label = |w: &WorkerKind| match *w {
+        WorkerKind::Pe { tile } => format!("PE tile{tile}"),
+        WorkerKind::EngineSend { channel } => format!("CA snd c{}", channel.0),
+        WorkerKind::EngineRecv { channel } => format!("CA rcv c{}", channel.0),
+        WorkerKind::Ip { actor } => format!("IP {actor}"),
+    };
+    let glyph = |op: Op| match op {
+        Op::Fire { .. } => '#',
+        Op::SendWord { .. } => '>',
+        Op::RecvWord { .. } => '<',
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "gantt: cycles 0..{until} ({} cycles/column; # fire, > send, < recv)",
+        until.div_ceil(width as u64)
+    );
+    for w in &workers {
+        let mut row = vec![' '; width];
+        for e in events.iter().filter(|e| e.worker == *w && e.start < until) {
+            let c0 = (e.start * width as u64 / until) as usize;
+            let c1 = ((e.end.min(until)) * width as u64 / until) as usize;
+            for cell in row.iter_mut().take((c1 + 1).min(width)).skip(c0) {
+                *cell = glyph(e.op);
+            }
+        }
+        let _ = writeln!(out, "{:<12} |{}|", label(w), row.iter().collect::<String>());
+    }
+    out
+}
+
+/// Errors of the simulated platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// System construction failed; the message explains the mismatch.
+    Build(String),
+    /// Execution stalled before reaching the iteration target.
+    Deadlock(String),
+    /// The cycle budget elapsed before the iteration target.
+    CycleLimit(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Build(m) => write!(f, "cannot build system: {m}"),
+            SimError::Deadlock(m) => write!(f, "simulated platform deadlocked: {m}"),
+            SimError::CycleLimit(c) => write!(f, "cycle limit {c} reached"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Completion time (cycle) of each graph iteration.
+    pub iteration_times: Vec<u64>,
+    /// Final simulation time.
+    pub total_cycles: u64,
+    /// Completed firings per actor.
+    pub firings: Vec<u64>,
+    /// Busy cycles per worker.
+    pub worker_busy: Vec<(WorkerKind, u64)>,
+    /// Platform clock in MHz (for unit conversion in reports).
+    pub clock_mhz: u64,
+}
+
+impl Measurement {
+    /// Assembles a measurement.
+    pub fn new(
+        iteration_times: Vec<u64>,
+        total_cycles: u64,
+        firings: Vec<u64>,
+        worker_busy: Vec<(WorkerKind, u64)>,
+        clock_mhz: u64,
+    ) -> Measurement {
+        Measurement {
+            iteration_times,
+            total_cycles,
+            firings,
+            worker_busy,
+            clock_mhz,
+        }
+    }
+
+    /// Long-term average throughput in iterations per cycle, discarding the
+    /// first 10 % of iterations as warm-up (the paper's throughput is
+    /// defined as a long-term average precisely to exclude initialization
+    /// effects, §5).
+    pub fn steady_throughput(&self) -> f64 {
+        let n = self.iteration_times.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let k = n / 10;
+        let t0 = self.iteration_times[k];
+        let t1 = self.iteration_times[n - 1];
+        if t1 == t0 {
+            return 0.0;
+        }
+        (n - 1 - k) as f64 / (t1 - t0) as f64
+    }
+
+    /// Worst-case window throughput: the minimum over all consecutive
+    /// iteration gaps in the steady phase (a conservative "measured
+    /// worst-case" figure).
+    pub fn worst_window_throughput(&self) -> f64 {
+        let n = self.iteration_times.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let k = n / 10;
+        let max_gap = self.iteration_times[k.max(1)..]
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0);
+        if max_gap == 0 {
+            0.0
+        } else {
+            1.0 / max_gap as f64
+        }
+    }
+
+    /// Throughput in iterations per MHz per second: iterations/cycle x 1e6
+    /// (the unit of the paper's Fig. 6, "MCUs per MHz per second").
+    pub fn throughput_per_mhz(&self) -> f64 {
+        self.steady_throughput() * 1e6
+    }
+
+    /// Latency of the first complete iteration in cycles (the transient
+    /// the paper's long-term-average throughput definition excludes, §5).
+    pub fn first_iteration_latency(&self) -> Option<u64> {
+        self.iteration_times.first().copied()
+    }
+
+    /// Average cycles per iteration in the steady phase.
+    pub fn cycles_per_iteration(&self) -> f64 {
+        let t = self.steady_throughput();
+        if t == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(times: Vec<u64>) -> Measurement {
+        Measurement::new(times, 1000, vec![], vec![], 100)
+    }
+
+    #[test]
+    fn steady_throughput_uniform() {
+        // Iterations every 10 cycles.
+        let m = meas((1..=100).map(|i| i * 10).collect());
+        assert!((m.steady_throughput() - 0.1).abs() < 1e-9);
+        assert!((m.cycles_per_iteration() - 10.0).abs() < 1e-6);
+        assert!((m.throughput_per_mhz() - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn warmup_discarded() {
+        // Slow start (gap 100), then steady gap 10.
+        let mut t = vec![100u64];
+        for i in 1..100 {
+            t.push(100 + i * 10);
+        }
+        let m = meas(t);
+        assert!((m.steady_throughput() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn worst_window_sees_hiccup() {
+        let mut t: Vec<u64> = (1..=50).map(|i| i * 10).collect();
+        // Insert a 50-cycle gap in the steady phase.
+        t.push(550);
+        for i in 1..50 {
+            t.push(550 + i * 10);
+        }
+        let m = meas(t);
+        assert!(m.worst_window_throughput() <= 1.0 / 50.0 + 1e-9);
+        assert!(m.worst_window_throughput() > 0.0);
+    }
+
+    #[test]
+    fn first_iteration_latency() {
+        assert_eq!(meas(vec![42, 52]).first_iteration_latency(), Some(42));
+        assert_eq!(meas(vec![]).first_iteration_latency(), None);
+    }
+
+    #[test]
+    fn degenerate_measurements() {
+        assert_eq!(meas(vec![]).steady_throughput(), 0.0);
+        assert_eq!(meas(vec![5]).steady_throughput(), 0.0);
+        assert_eq!(meas(vec![]).worst_window_throughput(), 0.0);
+        assert!(meas(vec![]).cycles_per_iteration().is_infinite());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SimError::Deadlock("x".into()).to_string().contains("x"));
+        assert!(SimError::CycleLimit(7).to_string().contains('7'));
+        assert!(SimError::Build("y".into()).to_string().contains("y"));
+    }
+}
+
+#[cfg(test)]
+mod gantt_tests {
+    use super::*;
+    use mamps_sdf::graph::ActorId;
+
+    #[test]
+    fn gantt_renders_rows_and_glyphs() {
+        let events = vec![
+            TraceEvent {
+                worker: WorkerKind::Pe { tile: 0 },
+                op: Op::Fire { actor: ActorId(0) },
+                start: 0,
+                end: 50,
+            },
+            TraceEvent {
+                worker: WorkerKind::Pe { tile: 0 },
+                op: Op::SendWord {
+                    channel: mamps_sdf::graph::ChannelId(0),
+                },
+                start: 50,
+                end: 60,
+            },
+            TraceEvent {
+                worker: WorkerKind::Pe { tile: 1 },
+                op: Op::RecvWord {
+                    channel: mamps_sdf::graph::ChannelId(0),
+                },
+                start: 60,
+                end: 70,
+            },
+        ];
+        let g = render_gantt(&events, 100, 50);
+        assert!(g.contains("PE tile0"));
+        assert!(g.contains("PE tile1"));
+        assert!(g.contains('#'));
+        assert!(g.contains('>'));
+        assert!(g.contains('<'));
+    }
+
+    #[test]
+    fn gantt_empty_events() {
+        let g = render_gantt(&[], 10, 20);
+        assert!(g.starts_with("gantt:"));
+    }
+}

@@ -1,0 +1,119 @@
+//! The paper's central claim as executable properties.
+//!
+//! For randomized applications mapped by the full flow:
+//!
+//! 1. **Tightness** — running the simulated platform with actual execution
+//!    times equal to the WCETs reproduces the analysed bound exactly.
+//! 2. **Conservativeness** — running with any actual times <= WCET yields a
+//!    measured throughput at or above the bound.
+
+use proptest::prelude::*;
+
+use mamps_mapping::flow::{map_application, MapOptions};
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
+use mamps_sdf::graph::SdfGraphBuilder;
+use mamps_sdf::model::{ApplicationModel, HomogeneousModelBuilder};
+use mamps_sim::{System, TraceTimes, WcetTimes};
+
+fn pipeline_app(wcets: &[u64], token_size: u64, rates: &[u64]) -> ApplicationModel {
+    let n = wcets.len();
+    let mut b = SdfGraphBuilder::new("pipe");
+    let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
+    for i in 0..n - 1 {
+        // Alternate multirate patterns derived from `rates`.
+        let p = rates[i % rates.len()];
+        b.add_channel_full(format!("e{i}"), ids[i], p, ids[i + 1], p, 0, token_size);
+    }
+    let g = b.build().unwrap();
+    let mut mb = HomogeneousModelBuilder::new("microblaze");
+    for (i, &w) in wcets.iter().enumerate() {
+        mb.actor(format!("a{i}"), w.max(1), 4096, 512);
+    }
+    mb.finish(g, None).unwrap()
+}
+
+fn strategy() -> impl Strategy<Value = (Vec<u64>, u64, usize, bool, Vec<u64>)> {
+    (
+        proptest::collection::vec(5u64..300, 2..5),
+        prop_oneof![Just(4u64), Just(16), Just(64), Just(200)],
+        2usize..5,
+        any::<bool>(),
+        proptest::collection::vec(1u64..4, 2),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wcet_simulation_reproduces_bound_exactly(
+        (wcets, tok, tiles, noc, rates) in strategy()
+    ) {
+        let app = pipeline_app(&wcets, tok, &rates);
+        let ic = if noc {
+            Interconnect::noc_for_tiles(tiles)
+        } else {
+            Interconnect::fsl()
+        };
+        let arch = Architecture::homogeneous("x", tiles, ic).unwrap();
+        let mapped = match map_application(&app, &arch, &MapOptions::default()) {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // infeasible random configuration
+        };
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
+        let m = sys.run(300, 500_000_000).unwrap();
+        let bound = mapped.analysis.as_f64();
+        let meas = m.steady_throughput();
+        prop_assert!(meas >= bound * (1.0 - 1e-9),
+            "measured {meas} below bound {bound}");
+        prop_assert!(meas <= bound * (1.0 + 1e-6),
+            "measured {meas} exceeds bound {bound}: analysis not tight");
+    }
+
+    #[test]
+    fn faster_actuals_stay_above_bound(
+        (wcets, tok, tiles, noc, rates) in strategy(),
+        seed in 0u64..1000,
+    ) {
+        let app = pipeline_app(&wcets, tok, &rates);
+        let ic = if noc {
+            Interconnect::noc_for_tiles(tiles)
+        } else {
+            Interconnect::fsl()
+        };
+        let arch = Architecture::homogeneous("x", tiles, ic).unwrap();
+        let mapped = match map_application(&app, &arch, &MapOptions::default()) {
+            Ok(m) => m,
+            Err(_) => return Ok(()),
+        };
+        // Deterministic pseudo-random per-firing times in [1, wcet].
+        let traces: Vec<Vec<u64>> = mapped
+            .mapping
+            .binding
+            .wcet_of
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                (0..17)
+                    .map(|k| {
+                        let x = seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add((i as u64) * 31 + k);
+                        1 + (x >> 33) % w.max(1)
+                    })
+                    .collect()
+            })
+            .collect();
+        let times = TraceTimes::new(traces, mapped.mapping.binding.wcet_of.clone());
+        let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
+        let m = sys.run(300, 500_000_000).unwrap();
+        let bound = mapped.analysis.as_f64();
+        let meas = m.steady_throughput();
+        prop_assert!(
+            meas >= bound * (1.0 - 1e-9),
+            "measured {meas} below guaranteed bound {bound}"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Heterogeneous mapping: a hardware IDCT accelerator (Tile 4 of paper
+//! Fig. 3).
+//!
+//! The application model lists *two* implementations of the IDCT actor —
+//! the MicroBlaze C function and a hardware IP block with a much lower
+//! WCET (paper §3: "the application model can specify multiple
+//! implementations for each actor ... allows the tool flow to map the
+//! actors on a heterogeneous platform"). The flow picks the implementation
+//! matching each tile's processor type; adding the IP tile raises the
+//! guaranteed bound.
+//!
+//! Run with: `cargo run --release --example heterogeneous`
+
+use std::collections::HashMap;
+
+use mamps::flow::{run_flow, run_flow_with_arch, FlowOptions};
+use mamps::mjpeg::app_model::mjpeg_application;
+use mamps::mjpeg::encoder::StreamConfig;
+use mamps::platform::arch::Architecture;
+use mamps::platform::interconnect::Interconnect;
+use mamps::platform::tile::TileConfig;
+use mamps::sdf::model::{ActorImplementation, ApplicationModel};
+
+/// Clones the MJPEG model, adding a hardware implementation of IDCT.
+fn with_hardware_idct(cfg: &StreamConfig) -> ApplicationModel {
+    let base = mjpeg_application(cfg, None).unwrap();
+    let graph = base.graph().clone();
+    let mut impls: HashMap<String, Vec<ActorImplementation>> = HashMap::new();
+    for (aid, actor) in graph.actors() {
+        let mut list = base.implementations(aid).to_vec();
+        if actor.name() == "IDCT" {
+            let sw = &list[0];
+            list.push(ActorImplementation {
+                processor_type: "hardware-ip".into(),
+                function_name: "idct_ip_core".into(),
+                wcet: sw.wcet / 12, // dedicated pipeline, ~one coefficient/cycle
+                instruction_memory: 0,
+                data_memory: 0,
+                args: sw.args.clone(),
+            });
+        }
+        impls.insert(actor.name().to_string(), list);
+    }
+    ApplicationModel::new(graph, impls, None).unwrap()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = StreamConfig::small();
+    let app = with_hardware_idct(&cfg);
+
+    // Baseline: three MicroBlaze tiles.
+    let sw = run_flow(&app, 3, Interconnect::fsl(), &FlowOptions::default())?;
+    println!(
+        "software-only (3 MicroBlaze):   {:>8.0} cycles/MCU",
+        1.0 / sw.guaranteed_throughput()
+    );
+
+    // Heterogeneous: two MicroBlaze tiles + the IDCT IP block on the NI.
+    let tiles = vec![
+        TileConfig::master("tile0"),
+        TileConfig::slave("tile1"),
+        TileConfig::hardware_ip("idct_ip"),
+    ];
+    let arch = Architecture::new("hetero", tiles, Interconnect::fsl())?;
+    let hw = run_flow_with_arch(&app, arch, &FlowOptions::default())?;
+    println!(
+        "with IDCT accelerator:          {:>8.0} cycles/MCU",
+        1.0 / hw.guaranteed_throughput()
+    );
+
+    let idct = app.graph().actor_by_name("IDCT").unwrap();
+    let chosen = &hw.mapped.mapping.binding.processor_of[idct.0];
+    println!("IDCT implementation chosen:     {chosen}");
+    assert_eq!(chosen.name(), "hardware-ip");
+    assert!(
+        hw.guaranteed_throughput() > sw.guaranteed_throughput(),
+        "the accelerator should raise the bound"
+    );
+    println!(
+        "speedup of the guaranteed bound: {:.2}x",
+        hw.guaranteed_throughput() / sw.guaranteed_throughput()
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! The paper's case study (§6): the MJPEG decoder mapped to MAMPS.
+//!
+//! Reproduces the evaluation end to end: runs the automated flow on the
+//! Fig. 5 application, prints the Table 1 designer-effort report (automated
+//! rows timed live), regenerates both panels of Fig. 6 (FSL and NoC), and
+//! writes the generated Xilinx-style project to `target/mamps_mjpeg/`.
+//!
+//! Run with: `cargo run --release --example mjpeg_decoder`
+
+use mamps::flow::experiments::{fig6_experiment, table1};
+use mamps::flow::report::{render_fig6, render_table1};
+use mamps::mjpeg::encoder::StreamConfig;
+use mamps::platform::interconnect::Interconnect;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = StreamConfig::small();
+    println!(
+        "MJPEG case study: {}x{} 4:2:0, quality {}, {} MCUs/frame\n",
+        cfg.width,
+        cfg.height,
+        cfg.quality,
+        cfg.mcus_per_frame()
+    );
+
+    let tiles = 3;
+    let iterations = 300;
+
+    let (flow_fsl, rows_fsl) =
+        fig6_experiment(&cfg, tiles, Interconnect::fsl(), iterations)?;
+    println!("{}", render_table1(&table1(&flow_fsl.timings)));
+    println!(
+        "{}",
+        render_fig6("Fig 6(a): FSL interconnect (MCU/MHz/s)", &rows_fsl)
+    );
+
+    let (_, rows_noc) = fig6_experiment(
+        &cfg,
+        tiles,
+        Interconnect::noc_for_tiles(tiles),
+        iterations,
+    )?;
+    println!(
+        "{}",
+        render_fig6("Fig 6(b): NoC interconnect (MCU/MHz/s)", &rows_noc)
+    );
+
+    // Every sequence must honour the guarantee (the paper's headline).
+    for r in rows_fsl.iter().chain(rows_noc.iter()) {
+        assert!(
+            r.guarantee().holds(),
+            "{} violates the guarantee",
+            r.sequence
+        );
+    }
+    println!("guarantee holds for all sequences on both interconnects.");
+
+    // Write the generated platform project.
+    let out = std::path::Path::new("target/mamps_mjpeg");
+    flow_fsl.project.write_to(out)?;
+    println!(
+        "generated project ({} files) written to {}",
+        flow_fsl.project.file_count(),
+        out.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! `mamps` — command-line front end of the automated design flow.
+//!
+//! Drives the flow from XML files in the common interchange format:
+//!
+//! ```text
+//! mamps analyze  <app.xml>                       # consistency + unbounded throughput
+//! mamps map      <app.xml> <arch.xml> [out.xml]  # bind/schedule/size, print bound
+//! mamps generate <app.xml> <arch.xml> <dir>      # full project generation
+//! mamps simulate <app.xml> <arch.xml> [iters]    # flow + WCET platform run
+//! mamps dse      <app.xml> <max_tiles>           # design-space sweep
+//! ```
+
+use std::process::ExitCode;
+
+use mamps::flow::report::render_dse;
+use mamps::flow::{run_flow_with_arch, FlowOptions, GuaranteeReport};
+use mamps::mapping::xml::mapping_to_xml;
+use mamps::platform::xml::architecture_from_xml;
+use mamps::sdf::state_space::{throughput, AnalysisOptions};
+use mamps::sdf::xml::application_from_xml;
+use mamps::sim::{System, WcetTimes};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mamps analyze  <app.xml>\n  mamps map      <app.xml> <arch.xml> [mapping-out.xml]\n  mamps generate <app.xml> <arch.xml> <out-dir>\n  mamps simulate <app.xml> <arch.xml> [iterations]\n  mamps dse      <app.xml> <max-tiles>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_app(path: &str) -> Result<mamps::sdf::model::ApplicationModel, Box<dyn std::error::Error>> {
+    let xml = std::fs::read_to_string(path)?;
+    Ok(application_from_xml(&xml)?)
+}
+
+fn load_arch(path: &str) -> Result<mamps::platform::arch::Architecture, Box<dyn std::error::Error>> {
+    let xml = std::fs::read_to_string(path)?;
+    Ok(architecture_from_xml(&xml)?)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let cmd = match args.first() {
+        Some(c) => c.as_str(),
+        None => return Ok(usage()),
+    };
+    match (cmd, args.len()) {
+        ("analyze", 2) => {
+            let app = load_app(&args[1])?;
+            let q = mamps::sdf::repetition::repetition_vector(app.graph())?;
+            println!("graph `{}` is consistent; repetition vector:", app.graph().name());
+            for (aid, a) in app.graph().actors() {
+                println!("  {:<16} q = {}", a.name(), q.of(aid));
+            }
+            let t = throughput(app.graph(), &AnalysisOptions::default())?;
+            println!(
+                "unbounded self-timed throughput: {} iterations/cycle ({:.0} cycles/iteration)",
+                t.iterations_per_cycle,
+                t.cycles_per_iteration()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        ("map", 3) | ("map", 4) => {
+            let app = load_app(&args[1])?;
+            let arch = load_arch(&args[2])?;
+            let flow = run_flow_with_arch(&app, arch, &FlowOptions::default())?;
+            println!(
+                "guaranteed worst-case throughput: {:.6e} iterations/cycle ({:.0} cycles/iteration)",
+                flow.guaranteed_throughput(),
+                1.0 / flow.guaranteed_throughput()
+            );
+            if let Some(out) = args.get(3) {
+                std::fs::write(out, mapping_to_xml(&flow.mapped.mapping, app.graph()))?;
+                println!("mapping written to {out}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        ("generate", 4) => {
+            let app = load_app(&args[1])?;
+            let arch = load_arch(&args[2])?;
+            let flow = run_flow_with_arch(&app, arch, &FlowOptions::default())?;
+            let dir = std::path::Path::new(&args[3]);
+            flow.project.write_to(dir)?;
+            println!(
+                "project ({} files, {} bytes) written to {}",
+                flow.project.file_count(),
+                flow.project.total_bytes(),
+                dir.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        ("simulate", 3) | ("simulate", 4) => {
+            let app = load_app(&args[1])?;
+            let arch = load_arch(&args[2])?;
+            let iters: u64 = args.get(3).map(|s| s.parse()).transpose()?.unwrap_or(200);
+            let flow = run_flow_with_arch(&app, arch, &FlowOptions::default())?;
+            let times = WcetTimes::new(flow.mapped.mapping.binding.wcet_of.clone());
+            let system = System::new(app.graph(), &flow.mapped.mapping, &flow.arch, &times)?;
+            let m = system.run(iters, u64::MAX / 4)?;
+            let rep = GuaranteeReport::new(flow.guaranteed_throughput(), m.steady_throughput());
+            println!(
+                "bound {:.6e}, measured {:.6e} iterations/cycle (margin {:.3}x): guarantee {}",
+                rep.bound,
+                rep.measured,
+                rep.margin,
+                if rep.holds() { "HOLDS" } else { "VIOLATED" }
+            );
+            Ok(if rep.holds() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        ("dse", 3) => {
+            let app = load_app(&args[1])?;
+            let max: usize = args[2].parse()?;
+            let tiles: Vec<usize> = (1..=max.max(1)).collect();
+            let points = mamps::flow::dse::explore(&app, &tiles, true);
+            print!("{}", render_dse(&points));
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}

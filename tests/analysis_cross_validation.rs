@@ -1,0 +1,68 @@
+//! Cross-crate validation of the analysis machinery on the real case-study
+//! graph: the two independent throughput analyses agree, and the modelling
+//! overheads discussed in paper §6.3 are quantified.
+
+use mamps::mjpeg::app_model::fig5_graph;
+use mamps::mjpeg::cost;
+use mamps::mjpeg::encoder::StreamConfig;
+use mamps::sdf::mcr::mcr_throughput;
+use mamps::sdf::repetition::repetition_vector;
+use mamps::sdf::state_space::{throughput, AnalysisOptions};
+
+#[test]
+fn state_space_and_mcr_agree_on_fig5() {
+    let g = fig5_graph(&StreamConfig::small());
+    let ss = throughput(&g, &AnalysisOptions::default()).unwrap();
+    let mcr = mcr_throughput(&g).unwrap();
+    assert_eq!(
+        ss.iterations_per_cycle, mcr,
+        "the two throughput analyses disagree on the MJPEG graph"
+    );
+}
+
+#[test]
+fn unbounded_fig5_bottleneck_is_the_block_chain() {
+    // With infinite resources, IQZZ+IDCT fire 10x per MCU sequentially per
+    // actor; the per-actor bottleneck is max over actors of wcet * q.
+    let g = fig5_graph(&StreamConfig::small());
+    let q = repetition_vector(&g).unwrap();
+    let expected_bottleneck = g
+        .actors()
+        .map(|(aid, a)| a.execution_time() * q.of(aid))
+        .max()
+        .unwrap();
+    let ss = throughput(&g, &AnalysisOptions::default()).unwrap();
+    assert_eq!(ss.cycles_per_iteration(), expected_bottleneck as f64);
+}
+
+#[test]
+fn vld_padding_is_modelling_overhead() {
+    // Paper §6.3: the fixed output rate of 10 blocks per MCU pads unused
+    // slots. For 4:2:0 (6 real blocks), 40 % of the vld2iqzz tokens are
+    // padding; they cost communication but no VLD parsing time.
+    let cfg = StreamConfig::small();
+    assert_eq!(cfg.blocks_per_mcu(), 6);
+    let padding_fraction = 1.0 - cfg.blocks_per_mcu() as f64 / cost::MAX_BLOCKS_PER_MCU as f64;
+    assert!((padding_fraction - 0.4).abs() < 1e-12);
+    // The VLD WCET reflects only the parsed blocks.
+    assert!(cost::wcet_vld(6) < cost::wcet_vld(10));
+}
+
+#[test]
+fn decoder_profiles_drive_simulator_traces() {
+    use mamps::mjpeg::sequences::{profile_sequence, synthetic, traces_of};
+    let cfg = StreamConfig {
+        frames: 1,
+        ..StreamConfig::small()
+    };
+    let res = profile_sequence(&cfg, synthetic()).unwrap();
+    let traces = traces_of(&res.profile);
+    // Trace lengths follow the repetition vector: 1 VLD firing per MCU,
+    // 10 IQZZ/IDCT firings, 1 CC, 1 Raster.
+    let mcus = cfg.total_mcus();
+    assert_eq!(traces[0].len(), mcus);
+    assert_eq!(traces[1].len(), mcus * 10);
+    assert_eq!(traces[2].len(), mcus * 10);
+    assert_eq!(traces[3].len(), mcus);
+    assert_eq!(traces[4].len(), mcus);
+}

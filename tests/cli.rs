@@ -1,0 +1,100 @@
+//! End-to-end test of the `mamps` command-line binary: write interchange
+//! files, run every subcommand, check the outputs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mamps::mjpeg::app_model::mjpeg_application;
+use mamps::mjpeg::encoder::StreamConfig;
+use mamps::platform::arch::Architecture;
+use mamps::platform::interconnect::Interconnect;
+use mamps::platform::xml::architecture_to_xml;
+use mamps::sdf::xml::application_to_xml;
+
+fn bin() -> PathBuf {
+    // target/{debug,release}/mamps next to the test executable's dir.
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop(); // debug|release/
+    p.push(format!("mamps{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn setup_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mamps_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = StreamConfig {
+        frames: 1,
+        ..StreamConfig::small()
+    };
+    let app = mjpeg_application(&cfg, None).unwrap();
+    std::fs::write(dir.join("app.xml"), application_to_xml(&app)).unwrap();
+    let arch = Architecture::homogeneous("cli", 3, Interconnect::fsl()).unwrap();
+    std::fs::write(dir.join("arch.xml"), architecture_to_xml(&arch)).unwrap();
+    dir
+}
+
+#[test]
+fn cli_subcommands_work_end_to_end() {
+    if !bin().exists() {
+        // The binary is only present when the package's bins were built
+        // (cargo test builds them for integration tests of the same
+        // package, but guard against exotic invocations).
+        eprintln!("skipping: {} not built", bin().display());
+        return;
+    }
+    let dir = setup_dir();
+    let app = dir.join("app.xml");
+    let arch = dir.join("arch.xml");
+
+    // analyze
+    let out = Command::new(bin()).arg("analyze").arg(&app).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("consistent"));
+    assert!(text.contains("VLD"));
+
+    // map with mapping output
+    let map_out = dir.join("mapping.xml");
+    let out = Command::new(bin())
+        .args(["map"])
+        .arg(&app)
+        .arg(&arch)
+        .arg(&map_out)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(map_out.exists());
+    assert!(std::fs::read_to_string(&map_out)
+        .unwrap()
+        .contains("<mapping>"));
+
+    // generate
+    let proj = dir.join("proj");
+    let out = Command::new(bin())
+        .arg("generate")
+        .arg(&app)
+        .arg(&arch)
+        .arg(&proj)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(proj.join("system.tcl").exists());
+
+    // simulate: exit code reflects the guarantee.
+    let out = Command::new(bin())
+        .args(["simulate"])
+        .arg(&app)
+        .arg(&arch)
+        .arg("50")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("HOLDS"));
+
+    // bad usage
+    let out = Command::new(bin()).arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

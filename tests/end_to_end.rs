@@ -1,0 +1,124 @@
+//! Cross-crate integration: the complete flow on the MJPEG case study, and
+//! the paper's headline guarantees as assertions.
+
+use mamps::flow::experiments::{ca_overhead_experiment, fig6_experiment};
+use mamps::flow::{run_flow, FlowOptions};
+use mamps::mjpeg::app_model::mjpeg_application;
+use mamps::mjpeg::encoder::StreamConfig;
+use mamps::platform::interconnect::Interconnect;
+
+fn small_cfg() -> StreamConfig {
+    StreamConfig {
+        frames: 1,
+        ..StreamConfig::small()
+    }
+}
+
+/// Fig. 6(a): on FSL, every sequence honours the guarantee, the synthetic
+/// sequence has the smallest margin, and expected tracks measured closely.
+#[test]
+fn fig6a_fsl_guarantees_and_shape() {
+    let (_, rows) = fig6_experiment(&small_cfg(), 3, Interconnect::fsl(), 80).unwrap();
+    assert_eq!(rows.len(), 6);
+    let synth = &rows[0];
+    assert_eq!(synth.sequence, "synthetic");
+    for r in &rows {
+        assert!(r.guarantee().holds(), "{} violated", r.sequence);
+        assert!(r.expected >= r.worst_case * (1.0 - 1e-9));
+        assert!(
+            r.expected_measured_gap() < 0.02,
+            "{}: expected/measured gap {}",
+            r.sequence,
+            r.expected_measured_gap()
+        );
+        assert!(
+            synth.guarantee().margin <= r.guarantee().margin + 1e-9,
+            "synthetic must have the tightest margin"
+        );
+    }
+    // The synthetic margin is tight-ish: the bound is meaningful.
+    assert!(synth.guarantee().margin < 1.6);
+}
+
+/// Fig. 6(b): the same holds on the NoC, with a lower absolute bound
+/// (higher latency and per-word cost, paper §5.3.1).
+#[test]
+fn fig6b_noc_guarantees_and_comparison() {
+    let (flow_noc, rows_noc) =
+        fig6_experiment(&small_cfg(), 3, Interconnect::noc_for_tiles(3), 80).unwrap();
+    for r in &rows_noc {
+        assert!(r.guarantee().holds(), "{} violated on NoC", r.sequence);
+    }
+    let (flow_fsl, _) = fig6_experiment(&small_cfg(), 3, Interconnect::fsl(), 10).unwrap();
+    assert!(
+        flow_noc.guaranteed_throughput() <= flow_fsl.guaranteed_throughput(),
+        "NoC bound must not beat FSL on the same mapping scale"
+    );
+}
+
+/// §6.3: moving (de-)serialization to a CA increases the predicted
+/// throughput substantially (paper: up to 300 %).
+#[test]
+fn ca_overhead_study() {
+    let r = ca_overhead_experiment(&small_cfg(), 3, Interconnect::fsl()).unwrap();
+    assert!(
+        r.speedup() > 1.05,
+        "expected a clear speedup, got {:.3}",
+        r.speedup()
+    );
+    assert!(r.speedup() < 5.0, "speedup {:.3} implausible", r.speedup());
+}
+
+/// The generated project is complete and writable for the case study.
+#[test]
+fn mjpeg_project_generation() {
+    let app = mjpeg_application(&small_cfg(), None).unwrap();
+    let flow = run_flow(&app, 3, Interconnect::fsl(), &FlowOptions::default()).unwrap();
+    let p = &flow.project;
+    assert!(p.files.contains_key("mamps_system.mhs"));
+    assert!(p.files.contains_key("system.tcl"));
+    assert!(p.files.keys().any(|k| k.ends_with("main.c")));
+    // The netlist instantiates every tile and the schedule tables mention
+    // the decoder actors.
+    let mains: String = p
+        .files
+        .iter()
+        .filter(|(k, _)| k.ends_with("main.c"))
+        .map(|(_, v)| v.clone())
+        .collect();
+    for actor in ["VLD", "IQZZ", "IDCT", "CC", "Raster"] {
+        assert!(mains.contains(&format!("fire_{actor}")), "{actor} missing");
+    }
+    // Memory maps respect the MAMPS limit.
+    for m in &p.memory {
+        assert!(m.imem_bytes + m.dmem_bytes <= 256 * 1024);
+    }
+}
+
+/// A throughput constraint is honoured end to end or rejected.
+#[test]
+fn throughput_constraint_respected() {
+    use mamps::sdf::model::ThroughputConstraint;
+    // Achievable: one MCU per 100k cycles.
+    let app = mjpeg_application(
+        &small_cfg(),
+        Some(ThroughputConstraint {
+            iterations: 1,
+            cycles: 100_000,
+        }),
+    )
+    .unwrap();
+    let flow = run_flow(&app, 3, Interconnect::fsl(), &FlowOptions::default()).unwrap();
+    assert!(flow.guaranteed_throughput() >= 1.0 / 100_000.0);
+
+    // Unachievable: one MCU per 100 cycles.
+    let app = mjpeg_application(
+        &small_cfg(),
+        Some(ThroughputConstraint {
+            iterations: 1,
+            cycles: 100,
+        }),
+    )
+    .unwrap();
+    assert!(run_flow(&app, 3, Interconnect::fsl(), &FlowOptions::default()).is_err());
+}

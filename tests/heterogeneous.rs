@@ -1,0 +1,123 @@
+//! Heterogeneous platform integration: multiple implementations per actor
+//! (paper §3), hardware-IP tiles (Fig. 3 Tile 4), and CA tiles, verified
+//! through analysis *and* simulation.
+
+use std::collections::HashMap;
+
+use mamps::flow::{run_flow, run_flow_with_arch, FlowOptions};
+use mamps::mjpeg::app_model::mjpeg_application;
+use mamps::mjpeg::encoder::StreamConfig;
+use mamps::platform::arch::Architecture;
+use mamps::platform::interconnect::Interconnect;
+use mamps::platform::tile::TileConfig;
+use mamps::sdf::model::{ActorImplementation, ApplicationModel};
+use mamps::sim::{System, WcetTimes};
+
+fn cfg() -> StreamConfig {
+    StreamConfig {
+        frames: 1,
+        ..StreamConfig::small()
+    }
+}
+
+fn with_hardware_idct() -> ApplicationModel {
+    let base = mjpeg_application(&cfg(), None).unwrap();
+    let graph = base.graph().clone();
+    let mut impls: HashMap<String, Vec<ActorImplementation>> = HashMap::new();
+    for (aid, actor) in graph.actors() {
+        let mut list = base.implementations(aid).to_vec();
+        if actor.name() == "IDCT" {
+            let sw = &list[0];
+            list.push(ActorImplementation {
+                processor_type: "hardware-ip".into(),
+                function_name: "idct_ip_core".into(),
+                wcet: sw.wcet / 12,
+                instruction_memory: 0,
+                data_memory: 0,
+                args: sw.args.clone(),
+            });
+        }
+        impls.insert(actor.name().to_string(), list);
+    }
+    ApplicationModel::new(graph, impls, None).unwrap()
+}
+
+fn hetero_arch() -> Architecture {
+    Architecture::new(
+        "hetero",
+        vec![
+            TileConfig::master("tile0"),
+            TileConfig::slave("tile1"),
+            TileConfig::hardware_ip("idct_ip"),
+        ],
+        Interconnect::fsl(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn binder_selects_hardware_implementation() {
+    let app = with_hardware_idct();
+    let hw = run_flow_with_arch(&app, hetero_arch(), &FlowOptions::default()).unwrap();
+    let idct = app.graph().actor_by_name("IDCT").unwrap();
+    assert_eq!(
+        hw.mapped.mapping.binding.processor_of[idct.0].name(),
+        "hardware-ip"
+    );
+    // Other actors stay on MicroBlaze tiles.
+    let vld = app.graph().actor_by_name("VLD").unwrap();
+    assert_eq!(
+        hw.mapped.mapping.binding.processor_of[vld.0].name(),
+        "microblaze"
+    );
+}
+
+#[test]
+fn accelerator_improves_bound_and_guarantee_still_holds() {
+    let app = with_hardware_idct();
+    let sw = run_flow(&app, 3, Interconnect::fsl(), &FlowOptions::default()).unwrap();
+    let hw = run_flow_with_arch(&app, hetero_arch(), &FlowOptions::default()).unwrap();
+    assert!(hw.guaranteed_throughput() > sw.guaranteed_throughput());
+
+    // The simulated heterogeneous platform (autonomous IP worker, NI
+    // streaming) still honours the analysed bound at WCET.
+    let times = WcetTimes::new(hw.mapped.mapping.binding.wcet_of.clone());
+    let system = System::new(app.graph(), &hw.mapped.mapping, &hw.arch, &times).unwrap();
+    let measured = system
+        .run(100, 10_000_000_000)
+        .unwrap()
+        .steady_throughput();
+    assert!(
+        measured >= hw.guaranteed_throughput() * (1.0 - 1e-9),
+        "measured {measured} below bound {}",
+        hw.guaranteed_throughput()
+    );
+}
+
+#[test]
+fn ca_platform_simulates_and_honours_bound() {
+    let app = mjpeg_application(&cfg(), None).unwrap();
+    let arch = Architecture::homogeneous_with_ca("ca", 3, Interconnect::fsl()).unwrap();
+    let flow = run_flow_with_arch(&app, arch, &FlowOptions::default()).unwrap();
+    let times = WcetTimes::new(flow.mapped.mapping.binding.wcet_of.clone());
+    let system = System::new(app.graph(), &flow.mapped.mapping, &flow.arch, &times).unwrap();
+    let measured = system
+        .run(100, 10_000_000_000)
+        .unwrap()
+        .steady_throughput();
+    assert!(measured >= flow.guaranteed_throughput() * (1.0 - 1e-9));
+}
+
+#[test]
+fn missing_hardware_implementation_keeps_ip_tile_empty() {
+    // Without a hardware IDCT implementation no actor fits the IP tile;
+    // mapping must still succeed using the MicroBlaze tiles only.
+    let app = mjpeg_application(&cfg(), None).unwrap();
+    let flow = run_flow_with_arch(&app, hetero_arch(), &FlowOptions::default()).unwrap();
+    for (aid, _) in app.graph().actors() {
+        assert_ne!(
+            flow.mapped.mapping.binding.tile_of[aid.0].0, 2,
+            "no actor should land on the IP tile"
+        );
+    }
+}
