@@ -59,9 +59,7 @@ fn bench(c: &mut Criterion) {
     for n in [4usize, 8, 12] {
         let g = ring(n);
         group.bench_with_input(BenchmarkId::new("state_space", n), &g, |b, g| {
-            b.iter(|| {
-                std::hint::black_box(throughput(g, &AnalysisOptions::default()).unwrap())
-            })
+            b.iter(|| std::hint::black_box(throughput(g, &AnalysisOptions::default()).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("hsdf_mcr", n), &g, |b, g| {
             b.iter(|| std::hint::black_box(mcr_throughput(g).unwrap()))

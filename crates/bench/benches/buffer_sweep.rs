@@ -48,9 +48,7 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("buffer/size_for_target", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                size_for_throughput(&g, Ratio::new(1, 21), &opts).unwrap().0,
-            )
+            std::hint::black_box(size_for_throughput(&g, Ratio::new(1, 21), &opts).unwrap().0)
         })
     });
 }

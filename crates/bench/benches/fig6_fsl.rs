@@ -34,8 +34,7 @@ fn bench(c: &mut Criterion) {
     let arch = Architecture::homogeneous("bench", 3, Interconnect::fsl()).unwrap();
     c.bench_function("fig6a/worst_case_analysis", |b| {
         b.iter(|| {
-            let mapped =
-                map_application(&app, &arch, &MapOptions::default()).expect("mapping");
+            let mapped = map_application(&app, &arch, &MapOptions::default()).expect("mapping");
             std::hint::black_box(mapped.analysis.as_f64())
         })
     });

@@ -32,8 +32,7 @@ fn communication_breakdown() {
             sub += words;
         }
         if ch.name() == "vld2iqzz" {
-            let pad_tokens =
-                cost::MAX_BLOCKS_PER_MCU - cfg.blocks_per_mcu() as u64;
+            let pad_tokens = cost::MAX_BLOCKS_PER_MCU - cfg.blocks_per_mcu() as u64;
             padding += pad_tokens * ch.token_size().div_ceil(4);
         }
     }
@@ -53,10 +52,7 @@ fn bench(c: &mut Criterion) {
     let cfg = bench_stream_config();
     let r = ca_overhead_experiment(&cfg, 3, Interconnect::fsl()).expect("experiment runs");
     println!("\nSection 6.3 - communication assist what-if (same binding):");
-    println!(
-        "  PE serialization bound: {:.4e} it/cycle",
-        r.plain_bound
-    );
+    println!("  PE serialization bound: {:.4e} it/cycle", r.plain_bound);
     println!("  CA offload bound:       {:.4e} it/cycle", r.ca_bound);
     println!(
         "  predicted improvement:  {:.0} % (paper: up to 300 %)",
@@ -68,8 +64,7 @@ fn bench(c: &mut Criterion) {
     // ratio; sweeping the per-word software cost shows the crossover into
     // the paper's "up to 300 %" regime.
     println!("\n  speedup vs software serialization cost (5 tiles):");
-    let sweep =
-        ca_overhead_vs_serialization_cost(&cfg, 5, &[4, 16, 48, 96]).expect("sweep runs");
+    let sweep = ca_overhead_vs_serialization_cost(&cfg, 5, &[4, 16, 48, 96]).expect("sweep runs");
     for (cpw, s) in &sweep {
         println!("    {cpw:>3} cycles/word: +{:.0} %", (s - 1.0) * 100.0);
     }
@@ -82,7 +77,9 @@ fn bench(c: &mut Criterion) {
     c.bench_function("overhead_ca/what_if_analysis", |b| {
         b.iter(|| {
             std::hint::black_box(
-                ca_overhead_experiment(&cfg, 3, Interconnect::fsl()).unwrap().speedup(),
+                ca_overhead_experiment(&cfg, 3, Interconnect::fsl())
+                    .unwrap()
+                    .speedup(),
             )
         })
     });

@@ -26,9 +26,7 @@ fn bench(c: &mut Criterion) {
     // Step benchmarks.
     c.bench_function("table1/generate_architecture_model", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                Architecture::homogeneous("auto", 3, Interconnect::fsl()).unwrap(),
-            )
+            std::hint::black_box(Architecture::homogeneous("auto", 3, Interconnect::fsl()).unwrap())
         })
     });
     let arch = Architecture::homogeneous("auto", 3, Interconnect::fsl()).unwrap();

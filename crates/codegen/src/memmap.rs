@@ -116,7 +116,8 @@ mod tests {
         b.add_channel_full("e", x, 1, y, 1, 0, 64);
         let g = b.build().unwrap();
         let mut mb = HomogeneousModelBuilder::new("microblaze");
-        mb.actor("x", 50, 10 * 1024, 2048).actor("y", 60, 12 * 1024, 1024);
+        mb.actor("x", 50, 10 * 1024, 2048)
+            .actor("y", 60, 12 * 1024, 1024);
         let app = mb.finish(g, None).unwrap();
         let arch = Architecture::homogeneous("m", 2, Interconnect::fsl()).unwrap();
         let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();

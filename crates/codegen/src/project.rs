@@ -75,10 +75,7 @@ pub fn generate_project(
         format!("{project_name}.mhs"),
         platform_netlist(graph, mapping, arch, &memory),
     );
-    files.insert(
-        "system.tcl".to_string(),
-        xps_script(arch, project_name),
-    );
+    files.insert("system.tcl".to_string(), xps_script(arch, project_name));
     files.insert("sw/mamps_rt.h".to_string(), runtime_header());
     files.insert(
         "sw/noc_setup.c".to_string(),

@@ -124,8 +124,7 @@ mod tests {
     fn shared_arch() -> Architecture {
         let tiles = vec![TileConfig::master("m0"), TileConfig::master("m1")];
         let arbiter = TdmArbiter::round_robin(10, &[TileId(0), TileId(1)]);
-        Architecture::with_peripheral_arbiter("sh", tiles, Interconnect::fsl(), arbiter)
-            .unwrap()
+        Architecture::with_peripheral_arbiter("sh", tiles, Interconnect::fsl(), arbiter).unwrap()
     }
 
     #[test]
@@ -135,8 +134,7 @@ mod tests {
         let x = app.graph().actor_by_name("x").unwrap();
         let y = app.graph().actor_by_name("y").unwrap();
         // Round-robin over 2 tiles, 10-cycle slots: worst = 2*10 + 10 = 30.
-        let inflated =
-            apply_peripheral_arbitration(&app, &arch, &vec![(x, 2)]).unwrap();
+        let inflated = apply_peripheral_arbitration(&app, &arch, &vec![(x, 2)]).unwrap();
         assert_eq!(inflated.graph().actor(x).execution_time(), 100 + 60);
         assert_eq!(inflated.graph().actor(y).execution_time(), 100);
         assert_eq!(inflated.wcet(x, "microblaze"), Some(160));
@@ -173,12 +171,9 @@ mod tests {
     fn master_without_slot_rejected() {
         let tiles = vec![TileConfig::master("m0"), TileConfig::master("m1")];
         let arbiter = TdmArbiter::round_robin(10, &[TileId(0)]);
-        assert!(Architecture::with_peripheral_arbiter(
-            "bad",
-            tiles,
-            Interconnect::fsl(),
-            arbiter
-        )
-        .is_err());
+        assert!(
+            Architecture::with_peripheral_arbiter("bad", tiles, Interconnect::fsl(), arbiter)
+                .is_err()
+        );
     }
 }

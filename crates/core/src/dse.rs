@@ -24,11 +24,7 @@ pub struct DsePoint {
 
 /// Sweeps tile counts and interconnects, returning all feasible points
 /// sorted by descending guaranteed throughput (ties: fewer slices first).
-pub fn explore(
-    app: &ApplicationModel,
-    tile_counts: &[usize],
-    include_noc: bool,
-) -> Vec<DsePoint> {
+pub fn explore(app: &ApplicationModel, tile_counts: &[usize], include_noc: bool) -> Vec<DsePoint> {
     let mut points = Vec::new();
     for &tiles in tile_counts {
         let mut configs = vec![("fsl", Interconnect::fsl())];
@@ -42,11 +38,7 @@ pub fn explore(
                     .channels()
                     .filter(|(_, c)| {
                         !c.is_self_edge()
-                            && flow
-                                .mapped
-                                .mapping
-                                .binding
-                                .crosses_tiles(c.src(), c.dst())
+                            && flow.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
                     })
                     .count();
                 let area = platform_area(&flow.arch, cross_links);

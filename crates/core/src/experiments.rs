@@ -78,14 +78,9 @@ pub fn fig6_experiment(
     for seq in [synthetic()].into_iter().chain(test_set()) {
         let decoded = profile_sequence(cfg, seq).expect("generated streams decode");
         let means = mean_times(&decoded.profile);
-        let expected = predicted_throughput(
-            app.graph(),
-            &flow.mapped.mapping,
-            &flow.arch,
-            &means,
-        )
-        .map_err(FlowError::Map)?
-        .to_f64();
+        let expected = predicted_throughput(app.graph(), &flow.mapped.mapping, &flow.arch, &means)
+            .map_err(FlowError::Map)?
+            .to_f64();
         let times = TraceTimes::new(
             traces_of(&decoded.profile),
             flow.mapped.mapping.binding.wcet_of.clone(),
@@ -344,11 +339,7 @@ mod tests {
     #[test]
     fn ca_overhead_speedup_positive() {
         let r = ca_overhead_experiment(&small_cfg(), 3, Interconnect::fsl()).unwrap();
-        assert!(
-            r.speedup() > 1.0,
-            "CA must improve the bound: {:?}",
-            r
-        );
+        assert!(r.speedup() > 1.0, "CA must improve the bound: {:?}", r);
     }
 
     #[test]
@@ -359,8 +350,7 @@ mod tests {
 
     #[test]
     fn ca_speedup_grows_with_serialization_cost() {
-        let sweep =
-            ca_overhead_vs_serialization_cost(&small_cfg(), 3, &[4, 16, 48]).unwrap();
+        let sweep = ca_overhead_vs_serialization_cost(&small_cfg(), 3, &[4, 16, 48]).unwrap();
         assert_eq!(sweep.len(), 3);
         for w in sweep.windows(2) {
             assert!(

@@ -18,7 +18,11 @@ impl GuaranteeReport {
         GuaranteeReport {
             bound,
             measured,
-            margin: if bound > 0.0 { measured / bound } else { f64::INFINITY },
+            margin: if bound > 0.0 {
+                measured / bound
+            } else {
+                f64::INFINITY
+            },
         }
     }
 

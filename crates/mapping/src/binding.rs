@@ -59,7 +59,10 @@ pub fn bind(
     };
     order.sort_by_key(|&a| std::cmp::Reverse((work(a), std::cmp::Reverse(a.0))));
 
-    let total_work: f64 = (0..n).map(|i| work(ActorId(i)) as f64).sum::<f64>().max(1.0);
+    let total_work: f64 = (0..n)
+        .map(|i| work(ActorId(i)) as f64)
+        .sum::<f64>()
+        .max(1.0);
     let total_comm: f64 = graph
         .channels()
         .map(|(_, c)| {
@@ -105,9 +108,8 @@ pub fn bind(
                 } else if ch.dst() == a {
                     (
                         ch.src(),
-                        (q.of(ch.src())
-                            * ch.production_rate()
-                            * words_per_token(ch.token_size())) as f64,
+                        (q.of(ch.src()) * ch.production_rate() * words_per_token(ch.token_size()))
+                            as f64,
                     )
                 } else {
                     continue;
@@ -204,8 +206,8 @@ mod tests {
         }
         let g = b.build().unwrap();
         let mut mb = HomogeneousModelBuilder::new("microblaze");
-        for i in 0..n {
-            mb.actor(format!("a{i}"), wcets[i], 4096, 512);
+        for (i, &wcet) in wcets.iter().enumerate().take(n) {
+            mb.actor(format!("a{i}"), wcet, 4096, 512);
         }
         mb.finish(g, None).unwrap()
     }

@@ -231,15 +231,7 @@ pub fn expand(
         words_of.insert(cid, n_words);
 
         // Forward path.
-        b.add_channel_full(
-            format!("{name}__tok"),
-            src,
-            p,
-            frag,
-            1,
-            d0,
-            ch.token_size(),
-        );
+        b.add_channel_full(format!("{name}__tok"), src, p, frag, 1, d0, ch.token_size());
         b.add_channel(format!("{name}__w0"), frag, n_words, ser, 1);
         b.add_channel(format!("{name}__w1"), ser, 1, lat, 1);
         b.add_channel(format!("{name}__w2"), lat, 1, rate, 1);
@@ -346,9 +338,7 @@ mod tests {
                 wires: 1,
                 alpha_src: ch.initial_tokens() + 2 * ch.production_rate(),
                 alpha_dst: 2 * ch.consumption_rate(),
-                local_capacity: ch.initial_tokens()
-                    + ch.production_rate()
-                    + ch.consumption_rate(),
+                local_capacity: ch.initial_tokens() + ch.production_rate() + ch.consumption_rate(),
             })
             .collect();
         Mapping {
@@ -434,8 +424,16 @@ mod tests {
         let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
         let small = two_actor_graph(4);
         let big = two_actor_graph(256);
-        let ts = analyse(&expand(&small, &simple_mapping(&small, &[0, 1]), &arch).unwrap().graph);
-        let tb = analyse(&expand(&big, &simple_mapping(&big, &[0, 1]), &arch).unwrap().graph);
+        let ts = analyse(
+            &expand(&small, &simple_mapping(&small, &[0, 1]), &arch)
+                .unwrap()
+                .graph,
+        );
+        let tb = analyse(
+            &expand(&big, &simple_mapping(&big, &[0, 1]), &arch)
+                .unwrap()
+                .graph,
+        );
         assert!(tb < ts);
     }
 

@@ -120,10 +120,9 @@ pub fn map_application(
         })
         .collect();
 
-    let target = opts.target.or_else(|| {
-        app.throughput_constraint()
-            .map(|c| c.as_ratio())
-    });
+    let target = opts
+        .target
+        .or_else(|| app.throughput_constraint().map(|c| c.as_ratio()));
 
     let build_mapping = |channels: &[ChannelAlloc]| Mapping {
         binding: binding.clone(),
@@ -133,12 +132,14 @@ pub fn map_application(
         guaranteed_iterations: 0,
         guaranteed_cycles: 1,
     };
-    let analyse = |channels: &[ChannelAlloc]| -> Result<(ExpandedGraph, ThroughputResult), MapError> {
-        let m = build_mapping(channels);
-        let e = expand(&wcet_graph, &m, arch)?;
-        let t = throughput(&e.graph, &analysis_options(opts.max_states)).map_err(MapError::Sdf)?;
-        Ok((e, t))
-    };
+    let analyse =
+        |channels: &[ChannelAlloc]| -> Result<(ExpandedGraph, ThroughputResult), MapError> {
+            let m = build_mapping(channels);
+            let e = expand(&wcet_graph, &m, arch)?;
+            let t =
+                throughput(&e.graph, &analysis_options(opts.max_states)).map_err(MapError::Sdf)?;
+            Ok((e, t))
+        };
 
     // Phase 1: reach liveness by doubling buffers on deadlock.
     let mut attempt = 0;
@@ -271,7 +272,10 @@ mod tests {
         assert!(t > 0.0);
         // Upper bound: one actor of 100 cycles per iteration -> <= 1/100.
         assert!(t <= 1.0 / 100.0 + 1e-9);
-        assert_eq!(mapped.mapping.guaranteed(), mapped.analysis.iterations_per_cycle);
+        assert_eq!(
+            mapped.mapping.guaranteed(),
+            mapped.analysis.iterations_per_cycle
+        );
     }
 
     #[test]

@@ -63,10 +63,8 @@ pub fn build_schedules(
         }
         debug_assert_eq!(ordered.len(), actors.len());
 
-        let pe_handles_tokens = matches!(
-            arch.tile(tile).kind(),
-            TileKind::Master | TileKind::Slave
-        );
+        let pe_handles_tokens =
+            matches!(arch.tile(tile).kind(), TileKind::Master | TileKind::Slave);
 
         let mut round = Vec::new();
         for &a in &ordered {
@@ -159,14 +157,8 @@ mod tests {
         assert_eq!(rounds[0], 2);
         assert_eq!(rounds[1], 1);
         assert_eq!(sched[0].len(), 3); // Receive e1, Fire c, Fire d
-        assert_eq!(
-            sched[0][1],
-            ScheduleEntry::Fire { actor: c, reps: 1 }
-        );
-        assert_eq!(
-            sched[0][2],
-            ScheduleEntry::Fire { actor: d, reps: 1 }
-        );
+        assert_eq!(sched[0][1], ScheduleEntry::Fire { actor: c, reps: 1 });
+        assert_eq!(sched[0][2], ScheduleEntry::Fire { actor: d, reps: 1 });
     }
 
     #[test]

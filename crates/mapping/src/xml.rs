@@ -135,8 +135,10 @@ pub fn mapping_from_xml(
             })
         })
         .collect::<Result<_, _>>()?;
-    let processor_of: Vec<ProcessorType> =
-        processor_of.into_iter().map(|p| p.expect("set with tile")).collect();
+    let processor_of: Vec<ProcessorType> = processor_of
+        .into_iter()
+        .map(|p| p.expect("set with tile"))
+        .collect();
 
     let mut schedules = vec![Vec::new(); tile_count];
     let mut rounds = vec![1u64; tile_count];

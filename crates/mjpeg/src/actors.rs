@@ -114,7 +114,7 @@ impl<'a> Vld<'a> {
             quality,
         };
         let (mw, mh) = header.mcu_size();
-        if width as usize % mw != 0 || height as usize % mh != 0 {
+        if !(width as usize).is_multiple_of(mw) || !(height as usize).is_multiple_of(mh) {
             return Err(DecodeError::BadHeader("frame not MCU-aligned".into()));
         }
         let mcus_per_frame = (width as usize / mw) * (height as usize / mh);
@@ -284,7 +284,11 @@ impl Idct {
         let mut cycles = CycleCounter::default();
         let nonzero = block.iter().filter(|&&c| c != 0).count() as u64;
         cycles.charge(cost::IDCT_BLOCK_OVERHEAD + nonzero * cost::IDCT_PER_NONZERO);
-        let out = if nonzero == 0 { [0i16; 64] } else { idct(block) };
+        let out = if nonzero == 0 {
+            [0i16; 64]
+        } else {
+            idct(block)
+        };
         (out, cycles.take())
     }
 }
@@ -352,8 +356,9 @@ impl Raster {
     /// to [`Raster::frames`] when complete. Returns the cycles spent.
     pub fn fire(&mut self, mcu: &McuPixels, header: SubHeader) -> u64 {
         let mut cycles = CycleCounter::default();
-        cycles
-            .charge(cost::RASTER_MCU_OVERHEAD + (mcu.width * mcu.height) as u64 * cost::RASTER_PER_PIXEL);
+        cycles.charge(
+            cost::RASTER_MCU_OVERHEAD + (mcu.width * mcu.height) as u64 * cost::RASTER_PER_PIXEL,
+        );
         let (fw, fh) = (header.width as usize, header.height as usize);
         if self.frame.is_empty() {
             self.frame = vec![(0, 0, 0); fw * fh];
@@ -546,17 +551,11 @@ mod tests {
         assert_eq!(decode_stream(b"NOPE").unwrap_err(), DecodeError::BadMagic);
         let mut s = encode_sequence(&StreamConfig::small(), Content::Flat, 1);
         s.truncate(40);
-        assert!(matches!(
-            decode_stream(&s),
-            Err(DecodeError::Truncated(_))
-        ));
+        assert!(matches!(decode_stream(&s), Err(DecodeError::Truncated(_))));
         // Corrupt y_blocks.
         let mut s2 = encode_sequence(&StreamConfig::small(), Content::Flat, 1);
         s2[9] = 7;
-        assert!(matches!(
-            decode_stream(&s2),
-            Err(DecodeError::BadHeader(_))
-        ));
+        assert!(matches!(decode_stream(&s2), Err(DecodeError::BadHeader(_))));
     }
 
     #[test]

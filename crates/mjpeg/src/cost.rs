@@ -90,8 +90,7 @@ pub fn worst_case_block_bits() -> u64 {
 /// compile-time property of the stream, known to the WCET analysis exactly
 /// like the quantization tables are known to IQZZ.
 pub fn wcet_vld(blocks_per_mcu: u64) -> u64 {
-    let per_block =
-        VLD_BLOCK_OVERHEAD + worst_case_block_bits() * BIT_DECODE + 64 * COEF_STORE;
+    let per_block = VLD_BLOCK_OVERHEAD + worst_case_block_bits() * BIT_DECODE + 64 * COEF_STORE;
     VLD_MCU_OVERHEAD + blocks_per_mcu.min(MAX_BLOCKS_PER_MCU) * per_block
 }
 
@@ -146,8 +145,7 @@ mod tests {
 
     #[test]
     fn vld_wcet_scales_with_parsed_blocks() {
-        let per_block =
-            VLD_BLOCK_OVERHEAD + worst_case_block_bits() * BIT_DECODE + 64 * COEF_STORE;
+        let per_block = VLD_BLOCK_OVERHEAD + worst_case_block_bits() * BIT_DECODE + 64 * COEF_STORE;
         assert_eq!(wcet_vld(6), VLD_MCU_OVERHEAD + 6 * per_block);
         // Requests beyond the fixed rate clamp at 10.
         assert_eq!(wcet_vld(12), wcet_vld(10));

@@ -112,10 +112,7 @@ mod tests {
         }
         let rec = idct(&fdct(&block));
         for (a, b) in block.iter().zip(rec.iter()) {
-            assert!(
-                (a - b).abs() <= 2,
-                "roundtrip error too large: {a} vs {b}"
-            );
+            assert!((a - b).abs() <= 2, "roundtrip error too large: {a} vs {b}");
         }
     }
 

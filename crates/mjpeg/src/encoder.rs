@@ -232,7 +232,7 @@ fn encode_block(
 pub fn encode_sequence(cfg: &StreamConfig, content: Content, seed: u64) -> Vec<u8> {
     let (mw, mh) = cfg.mcu_size();
     assert!(
-        cfg.width as usize % mw == 0 && cfg.height as usize % mh == 0,
+        (cfg.width as usize).is_multiple_of(mw) && (cfg.height as usize).is_multiple_of(mh),
         "frame dimensions must be MCU-aligned"
     );
     let dc = dc_code();
@@ -296,8 +296,7 @@ pub fn encode_sequence(cfg: &StreamConfig, content: Content, seed: u64) -> Vec<u
                         let zz = if content == Content::SyntheticRandom {
                             random_dense_block(&mut rng)
                         } else {
-                            let blk =
-                                plane_block(&yp, fw, mx * ybx + bx, my * yby + by);
+                            let blk = plane_block(&yp, fw, mx * ybx + bx, my * yby + by);
                             to_zigzag(&quantize(&fdct(&blk), &luma_q))
                         };
                         dc_pred[0] = encode_block(&zz, dc_pred[0], &dc, &ac, &mut w);

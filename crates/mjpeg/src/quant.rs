@@ -90,7 +90,7 @@ mod tests {
         }
         let rec = dequantize(&quantize(&block, &table), &table);
         for i in 0..64 {
-            let err = (block[i] - rec[i]).abs() as u16;
+            let err = (block[i] - rec[i]).unsigned_abs();
             assert!(err <= table[i] / 2 + 1, "error {err} exceeds q/2 at {i}");
         }
     }

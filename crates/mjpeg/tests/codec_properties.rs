@@ -22,10 +22,10 @@ fn any_content() -> impl Strategy<Value = Content> {
 fn any_config() -> impl Strategy<Value = StreamConfig> {
     (
         prop_oneof![Just(1u8), Just(2), Just(4)],
-        1u16..4,      // MCU columns
-        1u16..4,      // MCU rows
+        1u16..4, // MCU columns
+        1u16..4, // MCU rows
         prop_oneof![Just(30u8), Just(50), Just(75), Just(95)],
-        1u16..3,      // frames
+        1u16..3, // frames
     )
         .prop_map(|(y_blocks, mcols, mrows, quality, frames)| {
             let (mw, mh) = match y_blocks {

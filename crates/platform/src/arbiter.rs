@@ -107,12 +107,7 @@ impl TdmArbiter {
     /// # Errors
     ///
     /// Returns an error string if the tile has no slot in the table.
-    pub fn inflate_wcet(
-        &self,
-        wcet: u64,
-        tile: TileId,
-        accesses: u64,
-    ) -> Result<u64, String> {
+    pub fn inflate_wcet(&self, wcet: u64, tile: TileId, accesses: u64) -> Result<u64, String> {
         if accesses == 0 {
             return Ok(wcet);
         }

@@ -159,12 +159,8 @@ mod tests {
         // Paper §5.3.1: the NoC provides flexibility "at the cost of a
         // larger implementation and a higher latency".
         let fsl = CommParams::for_connection(&Interconnect::fsl(), TileId(0), TileId(1), 0);
-        let noc = CommParams::for_connection(
-            &Interconnect::noc_for_tiles(4),
-            TileId(0),
-            TileId(1),
-            4,
-        );
+        let noc =
+            CommParams::for_connection(&Interconnect::noc_for_tiles(4), TileId(0), TileId(1), 4);
         assert!(noc.latency > fsl.latency);
         assert!(noc.cycles_per_word > fsl.cycles_per_word);
     }

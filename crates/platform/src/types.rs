@@ -76,7 +76,10 @@ mod tests {
     fn processor_type_names() {
         assert_eq!(ProcessorType::microblaze().name(), "microblaze");
         assert_eq!(ProcessorType::custom("dsp").name(), "dsp");
-        assert_eq!(ProcessorType::microblaze(), ProcessorType::custom("microblaze"));
+        assert_eq!(
+            ProcessorType::microblaze(),
+            ProcessorType::custom("microblaze")
+        );
     }
 
     #[test]

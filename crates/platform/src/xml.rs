@@ -87,9 +87,7 @@ pub fn architecture_from_xml(xml: &str) -> Result<Architecture, XmlError> {
             "slave" => TileConfig::slave(name),
             "ca" => TileConfig::with_communication_assist(name),
             "ip" => TileConfig::hardware_ip(name),
-            other => {
-                return Err(XmlError::Semantic(format!("unknown tile kind `{other}`")))
-            }
+            other => return Err(XmlError::Semantic(format!("unknown tile kind `{other}`"))),
         };
         let mut tile = base
             .with_processor(ProcessorType::custom(el.req("processor")?))
@@ -175,7 +173,10 @@ mod tests {
 </architecture>"#;
         let arch = architecture_from_xml(xml).unwrap();
         assert_eq!(arch.tile_count(), 2);
-        assert_eq!(arch.tile(crate::types::TileId(1)).kind(), TileKind::HardwareIp);
+        assert_eq!(
+            arch.tile(crate::types::TileId(1)).kind(),
+            TileKind::HardwareIp
+        );
         match arch.interconnect() {
             Interconnect::Fsl { fifo_depth } => assert_eq!(*fifo_depth, 32),
             _ => panic!("expected FSL"),

@@ -209,10 +209,7 @@ fn blocked_channels(graph: &SdfGraph, caps: &[u64]) -> Result<Option<Vec<Channel
         if !fired {
             // Collect output channels that are full for pending actors.
             let mut blocked = Vec::new();
-            for a in 0..n {
-                if remaining[a] == 0 {
-                    continue;
-                }
+            for (a, _) in remaining.iter().enumerate().filter(|&(_, &r)| r > 0) {
                 for &cid in graph.outgoing(ActorId(a)) {
                     let ch = graph.channel(cid);
                     if !ch.is_self_edge() && fill[cid.0] + ch.production_rate() > caps[cid.0] {
@@ -429,8 +426,7 @@ mod pareto_tests {
 
     #[test]
     fn pareto_points_strictly_improve() {
-        let points =
-            storage_throughput_pareto(&chain(), &AnalysisOptions::default(), 32).unwrap();
+        let points = storage_throughput_pareto(&chain(), &AnalysisOptions::default(), 32).unwrap();
         assert!(points.len() >= 2, "expected a non-trivial trade-off");
         for w in points.windows(2) {
             assert!(w[1].total_tokens > w[0].total_tokens);
@@ -442,8 +438,7 @@ mod pareto_tests {
     fn pareto_reaches_the_unbounded_limit() {
         let g = chain();
         let unbounded = throughput(&g, &AnalysisOptions::default()).unwrap();
-        let points =
-            storage_throughput_pareto(&g, &AnalysisOptions::default(), 64).unwrap();
+        let points = storage_throughput_pareto(&g, &AnalysisOptions::default(), 64).unwrap();
         assert_eq!(
             points.last().unwrap().throughput,
             unbounded.iterations_per_cycle,
@@ -455,8 +450,7 @@ mod pareto_tests {
     fn first_point_is_minimal_live() {
         let g = chain();
         let min = minimal_live_capacities(&g).unwrap();
-        let points =
-            storage_throughput_pareto(&g, &AnalysisOptions::default(), 8).unwrap();
+        let points = storage_throughput_pareto(&g, &AnalysisOptions::default(), 8).unwrap();
         assert_eq!(points[0].capacities, min);
     }
 }

@@ -227,10 +227,7 @@ impl SdfGraph {
 
     /// Looks up an actor by name.
     pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
-        self.actors
-            .iter()
-            .position(|a| a.name == name)
-            .map(ActorId)
+        self.actors.iter().position(|a| a.name == name).map(ActorId)
     }
 
     /// Looks up a channel by name.
@@ -350,6 +347,7 @@ impl SdfGraphBuilder {
     }
 
     /// Adds a channel specifying every attribute.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_channel_full(
         &mut self,
         name: impl Into<String>,

@@ -65,10 +65,7 @@ pub(crate) fn simulate_iteration(
     q: &RepetitionVector,
 ) -> Result<IterationOrder, SdfError> {
     let n = graph.actor_count();
-    let mut tokens: Vec<u64> = graph
-        .channels()
-        .map(|(_, c)| c.initial_tokens())
-        .collect();
+    let mut tokens: Vec<u64> = graph.channels().map(|(_, c)| c.initial_tokens()).collect();
     let mut remaining: Vec<u64> = (0..n).map(|i| q.of(ActorId(i))).collect();
     let mut firings = Vec::with_capacity(q.total_firings() as usize);
 

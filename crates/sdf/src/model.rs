@@ -179,7 +179,8 @@ impl ApplicationModel {
 
     /// WCET of `actor` on `processor_type`, if supported.
     pub fn wcet(&self, actor: ActorId, processor_type: &str) -> Option<u64> {
-        self.implementation_for(actor, processor_type).map(|i| i.wcet)
+        self.implementation_for(actor, processor_type)
+            .map(|i| i.wcet)
     }
 
     /// Returns a copy of the graph with each actor's execution time replaced

@@ -138,11 +138,7 @@ pub fn repetition_vector(graph: &SdfGraph) -> Result<RepetitionVector, SdfError>
         }
         entries.push(v as u64);
     }
-    let g = entries
-        .iter()
-        .copied()
-        .fold(0u64, crate::ratio::gcd)
-        .max(1);
+    let g = entries.iter().copied().fold(0u64, crate::ratio::gcd).max(1);
     for e in &mut entries {
         *e /= g;
     }

@@ -225,7 +225,7 @@ fn scc_state_space(
     // m local iterations with m = q_global[a] / q_local[local(a)].
     let a0 = scc[0];
     let m = q_global.of(a0) / q_local.of(local_of[&a0]);
-    debug_assert!(m >= 1 && q_global.of(a0) % q_local.of(local_of[&a0]) == 0);
+    debug_assert!(m >= 1 && q_global.of(a0).is_multiple_of(q_local.of(local_of[&a0])));
     Ok(Some(ThroughputResult {
         iterations_per_cycle: local.iterations_per_cycle / Ratio::from_int(m as i128),
         ..local
@@ -251,10 +251,7 @@ fn self_timed_run(
         .channels()
         .map(|(_, c)| c.consumption_rate())
         .collect();
-    let prod: Vec<u64> = graph
-        .channels()
-        .map(|(_, c)| c.production_rate())
-        .collect();
+    let prod: Vec<u64> = graph.channels().map(|(_, c)| c.production_rate()).collect();
 
     let mut ongoing: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
     let mut busy: Vec<u64> = vec![0; n];
@@ -322,7 +319,7 @@ fn self_timed_run(
                 let period = time - t0;
                 let firings = ref_completions - c0;
                 debug_assert!(period > 0, "time advances between snapshots");
-                debug_assert!(firings % q_ref == 0);
+                debug_assert!(firings.is_multiple_of(q_ref));
                 let iterations = firings / q_ref;
                 return Ok(Some(ThroughputResult {
                     iterations_per_cycle: if iterations == 0 {
@@ -514,7 +511,10 @@ mod tests {
         b.add_channel("f", a, 1, c, 1);
         b.add_channel("r", c, 1, a, 1);
         let g = b.build().unwrap();
-        assert!(matches!(throughput(&g, &opts()), Err(SdfError::Deadlock(_))));
+        assert!(matches!(
+            throughput(&g, &opts()),
+            Err(SdfError::Deadlock(_))
+        ));
     }
 
     #[test]

@@ -60,10 +60,7 @@ pub type BufferCapacities = Vec<u64>;
 /// Returns [`SdfError::InvalidGraph`] if `capacities.len()` does not match
 /// the channel count, or if some capacity is smaller than the channel's
 /// initial tokens (the buffer could not even hold the initial state).
-pub fn with_buffer_capacities(
-    graph: &SdfGraph,
-    capacities: &[u64],
-) -> Result<SdfGraph, SdfError> {
+pub fn with_buffer_capacities(graph: &SdfGraph, capacities: &[u64]) -> Result<SdfGraph, SdfError> {
     if capacities.len() != graph.channel_count() {
         return Err(SdfError::InvalidGraph(format!(
             "expected {} capacities, got {}",

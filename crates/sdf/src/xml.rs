@@ -157,9 +157,7 @@ pub fn application_from_xml(xml: &str) -> Result<ApplicationModel, XmlError> {
             ch_el.req_u64("tokenSize")?,
         );
     }
-    let graph: SdfGraph = b
-        .build()
-        .map_err(|e| XmlError::Semantic(e.to_string()))?;
+    let graph: SdfGraph = b.build().map_err(|e| XmlError::Semantic(e.to_string()))?;
     let constraint = match root.find("throughputConstraint") {
         Some(c) => Some(ThroughputConstraint {
             iterations: c.req_u64("iterations")?,

@@ -258,8 +258,7 @@ impl<'a> Parser<'a> {
                     while self.pos < self.bytes.len() && self.bytes[self.pos] != b'"' {
                         self.pos += 1;
                     }
-                    let raw =
-                        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
                     self.expect(b'"')?;
                     el.attrs.insert(key, unescape(&raw));
                 }
@@ -342,7 +341,8 @@ mod tests {
 
     #[test]
     fn prolog_and_comments_skipped() {
-        let xml = "<?xml version=\"1.0\"?>\n<!-- hello -->\n<root>\n<!-- inner -->\n<leaf/>\n</root>";
+        let xml =
+            "<?xml version=\"1.0\"?>\n<!-- hello -->\n<root>\n<!-- inner -->\n<leaf/>\n</root>";
         let parsed = parse(xml).unwrap();
         assert_eq!(parsed.name, "root");
         assert_eq!(parsed.children.len(), 1);

@@ -11,9 +11,9 @@ use mamps_sdf::xml::{application_from_xml, application_to_xml};
 
 fn arbitrary_app() -> impl Strategy<Value = ApplicationModel> {
     (
-        2usize..6,                                   // actors
+        2usize..6,                                                               // actors
         proptest::collection::vec((1u64..8, 1u64..8, 0u64..5, 1u64..200), 1..8), // channels
-        proptest::collection::vec(1u64..10_000, 6),  // wcets
+        proptest::collection::vec(1u64..10_000, 6),                              // wcets
         proptest::option::of((1u64..10, 100u64..1_000_000)),
     )
         .prop_map(|(n, chans, wcets, constraint)| {
@@ -22,14 +22,7 @@ fn arbitrary_app() -> impl Strategy<Value = ApplicationModel> {
             // A consistent backbone: unit-rate ring so arbitrary extra
             // channels cannot break consistency if they follow it.
             for i in 0..n {
-                b.add_channel_with_tokens(
-                    format!("ring{i}"),
-                    ids[i],
-                    1,
-                    ids[(i + 1) % n],
-                    1,
-                    1,
-                );
+                b.add_channel_with_tokens(format!("ring{i}"), ids[i], 1, ids[(i + 1) % n], 1, 1);
             }
             for (k, (src, dst, tokens, size)) in chans.into_iter().enumerate() {
                 let s = (src as usize) % n;
@@ -65,10 +58,8 @@ fn arbitrary_app() -> impl Strategy<Value = ApplicationModel> {
                     }],
                 );
             }
-            let constraint = constraint.map(|(iterations, cycles)| ThroughputConstraint {
-                iterations,
-                cycles,
-            });
+            let constraint =
+                constraint.map(|(iterations, cycles)| ThroughputConstraint { iterations, cycles });
             ApplicationModel::new(graph, impls, constraint).unwrap()
         })
 }

@@ -488,8 +488,7 @@ impl<'a> System<'a> {
             Op::SendWord { channel } => {
                 if let ChannelState::Cross(c) = &mut self.channels[channel.0] {
                     let delivery = c.conn.push_word(self.now);
-                    self.events
-                        .push(std::cmp::Reverse((delivery, channel.0)));
+                    self.events.push(std::cmp::Reverse((delivery, channel.0)));
                     c.srel_progress += 1;
                     if c.srel_progress == c.n_words {
                         c.srel_progress = 0;
@@ -661,10 +660,7 @@ mod tests {
         }
         let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
         let sys = System::new(app.graph(), &mapped.mapping, &arch, &times).unwrap();
-        assert!(matches!(
-            sys.run(10, 1_000_000),
-            Err(SimError::Deadlock(_))
-        ));
+        assert!(matches!(sys.run(10, 1_000_000), Err(SimError::Deadlock(_))));
     }
 
     #[test]

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 4 parameters per interconnect.
     println!("\n--- connection parameters ---");
     let fsl = CommParams::for_connection(&Interconnect::fsl(), TileId(0), TileId(1), 0);
-    println!("FSL:           w={} alpha_n={} latency={} cycles/word={}", fsl.w, fsl.alpha_n, fsl.latency, fsl.cycles_per_word);
+    println!(
+        "FSL:           w={} alpha_n={} latency={} cycles/word={}",
+        fsl.w, fsl.alpha_n, fsl.latency, fsl.cycles_per_word
+    );
     let noc = Interconnect::noc_for_tiles(9);
     for (to, wires) in [(1usize, 1u32), (1, 4), (8, 4)] {
         let p = CommParams::for_connection(&noc, TileId(0), TileId(to), wires);

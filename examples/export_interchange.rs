@@ -1,0 +1,39 @@
+//! Regenerates the checked-in interchange XML pair under `examples/data/`:
+//! a one-frame small-geometry MJPEG decoder application and a 3-tile
+//! homogeneous FSL architecture. The CI smoke job feeds these files to the
+//! `mamps` CLI.
+//!
+//! ```text
+//! cargo run --example export_interchange [out-dir]
+//! ```
+
+use mamps::mjpeg::app_model::mjpeg_application;
+use mamps::mjpeg::encoder::StreamConfig;
+use mamps::platform::arch::Architecture;
+use mamps::platform::interconnect::Interconnect;
+use mamps::platform::xml::architecture_to_xml;
+use mamps::sdf::xml::application_to_xml;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/data".to_string());
+    let dir = std::path::Path::new(&out);
+    std::fs::create_dir_all(dir)?;
+
+    let cfg = StreamConfig {
+        frames: 1,
+        ..StreamConfig::small()
+    };
+    let app = mjpeg_application(&cfg, None)?;
+    let app_path = dir.join("mjpeg_small_app.xml");
+    std::fs::write(&app_path, application_to_xml(&app))?;
+    println!("wrote {}", app_path.display());
+
+    let arch = Architecture::homogeneous("fsl3", 3, Interconnect::fsl())?;
+    let arch_path = dir.join("fsl_3tile_arch.xml");
+    std::fs::write(&arch_path, architecture_to_xml(&arch))?;
+    println!("wrote {}", arch_path.display());
+
+    Ok(())
+}

@@ -25,20 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tiles = 3;
     let iterations = 300;
 
-    let (flow_fsl, rows_fsl) =
-        fig6_experiment(&cfg, tiles, Interconnect::fsl(), iterations)?;
+    let (flow_fsl, rows_fsl) = fig6_experiment(&cfg, tiles, Interconnect::fsl(), iterations)?;
     println!("{}", render_table1(&table1(&flow_fsl.timings)));
     println!(
         "{}",
         render_fig6("Fig 6(a): FSL interconnect (MCU/MHz/s)", &rows_fsl)
     );
 
-    let (_, rows_noc) = fig6_experiment(
-        &cfg,
-        tiles,
-        Interconnect::noc_for_tiles(tiles),
-        iterations,
-    )?;
+    let (_, rows_noc) =
+        fig6_experiment(&cfg, tiles, Interconnect::noc_for_tiles(tiles), iterations)?;
     println!(
         "{}",
         render_fig6("Fig 6(b): NoC interconnect (MCU/MHz/s)", &rows_noc)

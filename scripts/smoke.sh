@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the release `mamps` binary against the
+# checked-in interchange pair under examples/data/. Used by the CI smoke
+# job and runnable locally:
+#
+#   cargo build --release && scripts/smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+APP=examples/data/mjpeg_small_app.xml
+ARCH=examples/data/fsl_3tile_arch.xml
+BIN=${MAMPS_BIN:-target/release/mamps}
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+[ -x "$BIN" ] || fail "$BIN not built (run cargo build --release first)"
+
+echo "== mamps analyze"
+out=$("$BIN" analyze "$APP")
+echo "$out"
+grep -q "consistent" <<<"$out" || fail "analyze did not report consistency"
+grep -q "iterations/cycle" <<<"$out" || fail "analyze printed no throughput"
+
+echo "== mamps map"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+out=$("$BIN" map "$APP" "$ARCH" "$tmp/mapping.xml")
+echo "$out"
+# Guaranteed worst-case throughput must be printed and nonzero: the
+# mantissa of the scientific-notation figure must contain a nonzero digit.
+bound=$(grep -oE '[0-9]+\.[0-9]+e-?[0-9]+' <<<"$out" | head -1)
+[ -n "$bound" ] || fail "map printed no throughput bound"
+grep -qE '[1-9]' <<<"${bound%%e*}" || fail "guaranteed throughput is zero: $bound"
+[ -s "$tmp/mapping.xml" ] || fail "mapping.xml not written"
+grep -q "<mapping>" "$tmp/mapping.xml" || fail "mapping.xml malformed"
+
+echo "== mamps simulate"
+out=$("$BIN" simulate "$APP" "$ARCH" 50)
+echo "$out"
+grep -q "HOLDS" <<<"$out" || fail "throughput guarantee violated in simulation"
+
+echo "== mamps dse"
+out=$("$BIN" dse "$APP" 4)
+echo "$out"
+grep -qE '[1-9]' <<<"$out" || fail "dse printed no nonzero figures"
+
+echo "smoke: OK"

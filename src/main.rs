@@ -43,7 +43,9 @@ fn load_app(path: &str) -> Result<mamps::sdf::model::ApplicationModel, Box<dyn s
     Ok(application_from_xml(&xml)?)
 }
 
-fn load_arch(path: &str) -> Result<mamps::platform::arch::Architecture, Box<dyn std::error::Error>> {
+fn load_arch(
+    path: &str,
+) -> Result<mamps::platform::arch::Architecture, Box<dyn std::error::Error>> {
     let xml = std::fs::read_to_string(path)?;
     Ok(architecture_from_xml(&xml)?)
 }
@@ -57,7 +59,10 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         ("analyze", 2) => {
             let app = load_app(&args[1])?;
             let q = mamps::sdf::repetition::repetition_vector(app.graph())?;
-            println!("graph `{}` is consistent; repetition vector:", app.graph().name());
+            println!(
+                "graph `{}` is consistent; repetition vector:",
+                app.graph().name()
+            );
             for (aid, a) in app.graph().actors() {
                 println!("  {:<16} q = {}", a.name(), q.of(aid));
             }

@@ -48,8 +48,16 @@ fn cli_subcommands_work_end_to_end() {
     let arch = dir.join("arch.xml");
 
     // analyze
-    let out = Command::new(bin()).arg("analyze").arg(&app).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(bin())
+        .arg("analyze")
+        .arg(&app)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("consistent"));
     assert!(text.contains("VLD"));
@@ -63,7 +71,11 @@ fn cli_subcommands_work_end_to_end() {
         .arg(&map_out)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(map_out.exists());
     assert!(std::fs::read_to_string(&map_out)
         .unwrap()
@@ -78,7 +90,11 @@ fn cli_subcommands_work_end_to_end() {
         .arg(&proj)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(proj.join("system.tcl").exists());
 
     // simulate: exit code reflects the guarantee.
@@ -89,7 +105,11 @@ fn cli_subcommands_work_end_to_end() {
         .arg("50")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("HOLDS"));
 
     // bad usage

@@ -83,10 +83,7 @@ fn accelerator_improves_bound_and_guarantee_still_holds() {
     // streaming) still honours the analysed bound at WCET.
     let times = WcetTimes::new(hw.mapped.mapping.binding.wcet_of.clone());
     let system = System::new(app.graph(), &hw.mapped.mapping, &hw.arch, &times).unwrap();
-    let measured = system
-        .run(100, 10_000_000_000)
-        .unwrap()
-        .steady_throughput();
+    let measured = system.run(100, 10_000_000_000).unwrap().steady_throughput();
     assert!(
         measured >= hw.guaranteed_throughput() * (1.0 - 1e-9),
         "measured {measured} below bound {}",
@@ -101,10 +98,7 @@ fn ca_platform_simulates_and_honours_bound() {
     let flow = run_flow_with_arch(&app, arch, &FlowOptions::default()).unwrap();
     let times = WcetTimes::new(flow.mapped.mapping.binding.wcet_of.clone());
     let system = System::new(app.graph(), &flow.mapped.mapping, &flow.arch, &times).unwrap();
-    let measured = system
-        .run(100, 10_000_000_000)
-        .unwrap()
-        .steady_throughput();
+    let measured = system.run(100, 10_000_000_000).unwrap().steady_throughput();
     assert!(measured >= flow.guaranteed_throughput() * (1.0 - 1e-9));
 }
 

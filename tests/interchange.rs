@@ -60,8 +60,7 @@ fn full_interchange_pipeline_is_lossless() {
 
     // ...and generate + simulate from the parsed copies: identical project,
     // identical measured throughput.
-    let p1 =
-        generate_project(&app, app.graph(), &mapped.mapping, &arch, "sys").unwrap();
+    let p1 = generate_project(&app, app.graph(), &mapped.mapping, &arch, "sys").unwrap();
     let p2 = generate_project(&app2, app2.graph(), &map2, &arch2, "sys").unwrap();
     assert_eq!(p1.files, p2.files);
 

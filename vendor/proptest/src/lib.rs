@@ -1,0 +1,21 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API used by this workspace's
+//! property tests: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! integer-range and tuple strategies, [`strategy::Just`], `prop_oneof!`,
+//! [`collection::vec`], [`option::of`], `any::<bool>()`, the `proptest!`
+//! test macro with `#![proptest_config(...)]`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertion macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: no shrinking (failures report the case number of a
+//! deterministic seed instead of a minimized input), and case generation
+//! is deterministic per test so CI failures always reproduce.
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};

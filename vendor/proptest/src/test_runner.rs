@@ -1,0 +1,121 @@
+//! Deterministic case runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+
+/// SplitMix64 RNG driving value generation. Seeded deterministically per
+/// test case so failures reproduce byte-for-byte across runs and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated before the
+    /// runner gives up (counted globally, like proptest's
+    /// `max_global_rejects`).
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is not counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Executes the configured number of cases against a strategy.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` on `config.cases` generated inputs, panicking on the
+    /// first failing case (there is no shrinking; the reported seed index
+    /// identifies the failing input deterministically).
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while passed < self.config.cases {
+            let mut rng = TestRng::new(0x5EED_0000_0000_0000 ^ case_index);
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest: too many global rejects ({} cases passed, {} rejected)",
+                            passed, rejected
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case failed (deterministic case index {case_index}, \
+                         after {passed} passing cases): {msg}"
+                    );
+                }
+            }
+            case_index += 1;
+        }
+    }
+}

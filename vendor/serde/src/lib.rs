@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no network access, so the
+//! real serde cannot be fetched. The workspace types only *derive*
+//! `Serialize`/`Deserialize` (nothing serializes at runtime), so marker
+//! traits with blanket implementations are sufficient: every type
+//! satisfies the bounds, and the no-op derives in [`serde_derive`] keep
+//! the attribute syntax compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace builds in an offline container, so the real crates.io
+//! dependency graph is unavailable. Nothing in this repository serializes
+//! through serde at runtime — the `#[derive(Serialize, Deserialize)]`
+//! attributes only declare intent for downstream users — so the derives
+//! expand to nothing. The `attributes(serde)` registration keeps field
+//! attributes like `#[serde(skip)]` compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
