@@ -1,0 +1,282 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! A self-contained micro-benchmark harness with Criterion's surface API
+//! (`Criterion`, `Bencher`, `BenchmarkGroup`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`, `black_box`). Measurements are
+//! real — warm-up, then `sample_size` timed samples whose mean, min and
+//! max are reported — but there is no HTML reporting, statistics engine,
+//! or state persistence. `--bench`/`--test` CLI arguments passed by
+//! `cargo bench`/`cargo test` are accepted and benchmark name filters are
+//! honoured.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub use std::hint::black_box;
+
+/// Benchmark driver holding the measurement configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut filter = None;
+        let mut list_only = false;
+        // `cargo bench` invokes the target with `--bench`; `cargo test`
+        // (on harness = false targets it does not, but keep parity with
+        // real Criterion) passes `--test`. Anything that is not a flag is
+        // a name filter.
+        let mut bench_mode = false;
+        for arg in &args[1..] {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => bench_mode = false,
+                "--list" => list_only = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter,
+            list_only,
+            bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.list_only {
+            println!("{id}: benchmark");
+            return;
+        }
+        if !self.bench_mode {
+            // `cargo test` runs bench targets once for sanity: execute a
+            // single iteration without the timing loop.
+            let mut b = Bencher {
+                mode: Mode::TestOnce,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+
+        // Warm-up.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut b = Bencher {
+            mode: Mode::Timed { iters: 1 },
+            samples: Vec::new(),
+        };
+        while Instant::now() < warm_deadline {
+            f(&mut b);
+        }
+        b.samples.clear();
+
+        // Measurement: split the measurement budget over sample_size
+        // samples, each sample timing one closure invocation.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            let deadline = Instant::now() + per_sample;
+            f(&mut b);
+            while Instant::now() < deadline && b.samples.len() < self.sample_size * 64 {
+                f(&mut b);
+            }
+        }
+
+        let samples = &b.samples;
+        if samples.is_empty() {
+            println!("{id}: no samples collected");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id}\n                        time:   [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+enum Mode {
+    TestOnce,
+    Timed { iters: u64 },
+}
+
+/// Passed to the benchmark closure; times calls to [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` per configured iteration.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::Timed { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.samples.push(start.elapsed() / iters as u32);
+            }
+        }
+    }
+}
+
+/// Identifier combining a function name and an input parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against one `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks a function with no per-input parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
