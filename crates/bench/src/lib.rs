@@ -15,19 +15,73 @@
 //! | `analysis_ablation` | state-space vs HSDF+MCR throughput analysis |
 //! | `buffer_sweep` | guaranteed throughput vs buffer capacity |
 //! | `mesh_scaling` | MJPEG bound vs platform size, FSL and NoC |
+//! | `state_space` | throughput-kernel fast path vs retained naive reference |
 //!
 //! Run all with `cargo bench`, or a single artefact with e.g.
 //! `cargo bench -p mamps-bench --bench fig6_fsl`.
+//!
+//! Setting `MAMPS_BENCH_QUICK=1` shrinks warm-up and measurement times to
+//! CI-smoke scale, and `MAMPS_BENCH_JSON=<file>` makes the harness append
+//! one JSON line per measured benchmark (see `scripts/bench_json.sh`).
 
 use criterion::Criterion;
 
 /// A Criterion configuration short enough for the full suite to run in a
-/// few minutes while still averaging over several samples.
+/// few minutes while still averaging over several samples. With
+/// `MAMPS_BENCH_QUICK=1` in the environment the times shrink further, for
+/// the CI smoke job's perf-trajectory snapshot.
 pub fn short_criterion() -> Criterion {
+    let quick = quick_mode();
     Criterion::default()
         .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(if quick {
+            200
+        } else {
+            2000
+        }))
+        .warm_up_time(std::time::Duration::from_millis(if quick {
+            50
+        } else {
+            300
+        }))
+}
+
+/// True when `MAMPS_BENCH_QUICK` requests the shortened CI configuration.
+pub fn quick_mode() -> bool {
+    std::env::var("MAMPS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The WCET-annotated, Fig. 4-expanded, statically-ordered analysis graph
+/// of the MJPEG decoder mapped on `tiles` FSL tiles, plus the analysis
+/// options the mapping flow uses on it. This is the realistic workload of
+/// the throughput kernel: every candidate probed by the mapping step's
+/// buffer growth re-analyses a graph of this shape.
+pub fn mjpeg_expanded_graph(
+    tiles: usize,
+) -> (
+    mamps_sdf::graph::SdfGraph,
+    mamps_sdf::state_space::AnalysisOptions,
+) {
+    let cfg = bench_stream_config();
+    let app = mamps_mjpeg::app_model::mjpeg_application(&cfg, None).unwrap();
+    let arch = mamps_platform::arch::Architecture::homogeneous(
+        "bench",
+        tiles,
+        mamps_platform::interconnect::Interconnect::fsl(),
+    )
+    .unwrap();
+    let mapped = mamps_mapping::flow::map_application(
+        &app,
+        &arch,
+        &mamps_mapping::flow::MapOptions::default(),
+    )
+    .unwrap();
+    let opts = mamps_sdf::state_space::AnalysisOptions {
+        auto_concurrency: true,
+        max_states: 2_000_000,
+        ..mamps_sdf::state_space::AnalysisOptions::default()
+    };
+    (mapped.expanded.graph, opts)
 }
 
 /// The stream geometry used by all benches: one frame of the small

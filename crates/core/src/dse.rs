@@ -2,12 +2,21 @@
 //! future work; this module provides the straightforward sweep the flow's
 //! speed enables: "designers \[can\] perform a very fast design space
 //! exploration").
+//!
+//! Design points are independent full flow runs, so [`explore_report`]
+//! evaluates them concurrently via [`crate::parallel::parallel_map`] when
+//! [`FlowOptions::jobs`] asks for it; the result is point-for-point
+//! identical to the sequential sweep. Infeasible points are not silently
+//! discarded: they come back as [`SkippedPoint`]s naming the failing flow
+//! step, surfaced by `mamps dse` and
+//! [`crate::report::render_dse_report`].
 
 use mamps_platform::area::platform_area;
 use mamps_platform::interconnect::Interconnect;
 use mamps_sdf::model::ApplicationModel;
 
 use crate::flow::{run_flow, FlowOptions};
+use crate::parallel::parallel_map;
 
 /// One evaluated design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,57 +31,148 @@ pub struct DsePoint {
     pub slices: u64,
 }
 
+/// A design point the flow could not map, with the reason it failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedPoint {
+    /// Tile count.
+    pub tiles: usize,
+    /// Interconnect kind (`"fsl"` / `"noc"`).
+    pub interconnect: &'static str,
+    /// Rendered flow error (which step failed and why).
+    pub reason: String,
+}
+
+/// Outcome of a design-space sweep: the feasible points plus every skipped
+/// configuration with its reason.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DseReport {
+    /// Feasible points, sorted by descending guaranteed throughput
+    /// (ties: fewer slices first).
+    pub points: Vec<DsePoint>,
+    /// Infeasible configurations in sweep order.
+    pub skipped: Vec<SkippedPoint>,
+}
+
 /// Sweeps tile counts and interconnects, returning all feasible points
 /// sorted by descending guaranteed throughput (ties: fewer slices first).
+///
+/// Convenience wrapper over [`explore_report`] with default options that
+/// drops the skip records.
 pub fn explore(app: &ApplicationModel, tile_counts: &[usize], include_noc: bool) -> Vec<DsePoint> {
-    let mut points = Vec::new();
+    explore_report(app, tile_counts, include_noc, &FlowOptions::default()).points
+}
+
+/// Sweeps tile counts and interconnects, recording both feasible and
+/// skipped design points. `opts.jobs > 1` evaluates independent design
+/// points concurrently with identical results.
+pub fn explore_report(
+    app: &ApplicationModel,
+    tile_counts: &[usize],
+    include_noc: bool,
+    opts: &FlowOptions,
+) -> DseReport {
+    let mut configs: Vec<(usize, &'static str, Interconnect)> = Vec::new();
     for &tiles in tile_counts {
-        let mut configs = vec![("fsl", Interconnect::fsl())];
+        configs.push((tiles, "fsl", Interconnect::fsl()));
         if include_noc {
-            configs.push(("noc", Interconnect::noc_for_tiles(tiles)));
-        }
-        for (name, ic) in configs {
-            if let Ok(flow) = run_flow(app, tiles, ic, &FlowOptions::default()) {
-                let cross_links = app
-                    .graph()
-                    .channels()
-                    .filter(|(_, c)| {
-                        !c.is_self_edge()
-                            && flow.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
-                    })
-                    .count();
-                let area = platform_area(&flow.arch, cross_links);
-                points.push(DsePoint {
-                    tiles,
-                    interconnect: name,
-                    guaranteed: flow.guaranteed_throughput(),
-                    slices: area.total.slices,
-                });
-            }
+            configs.push((tiles, "noc", Interconnect::noc_for_tiles(tiles)));
         }
     }
-    points.sort_by(|a, b| {
+
+    let evaluated = parallel_map(opts.jobs, &configs, |_, &(tiles, name, ic)| match run_flow(
+        app, tiles, ic, opts,
+    ) {
+        Ok(flow) => {
+            let cross_links = app
+                .graph()
+                .channels()
+                .filter(|(_, c)| {
+                    !c.is_self_edge() && flow.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
+                })
+                .count();
+            let area = platform_area(&flow.arch, cross_links);
+            Ok(DsePoint {
+                tiles,
+                interconnect: name,
+                guaranteed: flow.guaranteed_throughput(),
+                slices: area.total.slices,
+            })
+        }
+        Err(e) => Err(SkippedPoint {
+            tiles,
+            interconnect: name,
+            reason: e.to_string(),
+        }),
+    });
+
+    let mut report = DseReport::default();
+    for r in evaluated {
+        match r {
+            Ok(p) => report.points.push(p),
+            Err(s) => report.skipped.push(s),
+        }
+    }
+    report.points.sort_by(|a, b| {
         b.guaranteed
             .partial_cmp(&a.guaranteed)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.slices.cmp(&b.slices))
     });
-    points
+    report
 }
 
 /// The Pareto front of `points` over (throughput up, slices down).
+///
+/// Single sort by descending throughput plus a sweep with a running
+/// slice minimum — O(n log n) instead of the all-pairs scan — with the
+/// exact tie semantics of the quadratic definition: a point is dominated
+/// iff some point has strictly higher throughput at no more slices, or at
+/// least equal throughput with strictly fewer slices. Equal (throughput,
+/// slices) duplicates are all kept, and the input order is preserved.
 pub fn pareto_front(points: &[DsePoint]) -> Vec<DsePoint> {
-    let mut front: Vec<DsePoint> = Vec::new();
-    for p in points {
-        let dominated = points.iter().any(|q| {
-            (q.guaranteed > p.guaranteed && q.slices <= p.slices)
-                || (q.guaranteed >= p.guaranteed && q.slices < p.slices)
-        });
-        if !dominated {
-            front.push(p.clone());
+    // NaN throughputs compare false against everything, so such points are
+    // never dominated and dominate nothing: keep them out of the sweep
+    // entirely. This also keeps the sort comparator a total order.
+    let mut order: Vec<usize> = (0..points.len())
+        .filter(|&i| !points[i].guaranteed.is_nan())
+        .collect();
+    order.sort_by(|&a, &b| {
+        points[b]
+            .guaranteed
+            .partial_cmp(&points[a].guaranteed)
+            .expect("NaN throughputs were filtered out")
+    });
+
+    let mut dominated = vec![false; points.len()];
+    // Minimum slices over every point with strictly higher throughput than
+    // the group currently being swept.
+    let mut min_higher = u64::MAX;
+    let mut i = 0;
+    while i < order.len() {
+        let g = points[order[i]].guaranteed;
+        // Gather the group of equal-throughput points and its slice minimum.
+        let mut j = i;
+        let mut min_group = u64::MAX;
+        while j < order.len() && points[order[j]].guaranteed == g {
+            min_group = min_group.min(points[order[j]].slices);
+            j += 1;
         }
+        for &idx in &order[i..j] {
+            let s = points[idx].slices;
+            if min_higher <= s || min_group < s {
+                dominated[idx] = true;
+            }
+        }
+        min_higher = min_higher.min(min_group);
+        i = j;
     }
-    front
+
+    points
+        .iter()
+        .enumerate()
+        .filter(|&(idx, _)| !dominated[idx])
+        .map(|(_, p)| p.clone())
+        .collect()
 }
 
 #[cfg(test)]
@@ -93,6 +193,21 @@ mod tests {
             mb.actor(format!("a{i}"), 100, 2048, 256);
         }
         mb.finish(g, None).unwrap()
+    }
+
+    /// The original O(n²) definition, kept as the oracle for the sweep.
+    fn pareto_front_naive(points: &[DsePoint]) -> Vec<DsePoint> {
+        let mut front: Vec<DsePoint> = Vec::new();
+        for p in points {
+            let dominated = points.iter().any(|q| {
+                (q.guaranteed > p.guaranteed && q.slices <= p.slices)
+                    || (q.guaranteed >= p.guaranteed && q.slices < p.slices)
+            });
+            if !dominated {
+                front.push(p.clone());
+            }
+        }
+        front
     }
 
     #[test]
@@ -126,5 +241,99 @@ mod tests {
         let p1 = points.iter().find(|p| p.tiles == 1).unwrap();
         let p3 = points.iter().find(|p| p.tiles == 3).unwrap();
         assert!(p3.slices > p1.slices);
+    }
+
+    #[test]
+    fn infeasible_points_are_recorded_with_reasons() {
+        // 0 tiles cannot host any actor: the architecture step fails.
+        let report = explore_report(&app(), &[0, 2], false, &FlowOptions::default());
+        assert_eq!(report.skipped.len(), 1);
+        let s = &report.skipped[0];
+        assert_eq!((s.tiles, s.interconnect), (0, "fsl"));
+        assert!(!s.reason.is_empty(), "reason must name the failing step");
+        assert_eq!(report.points.len(), 1);
+        assert_eq!(report.points[0].tiles, 2);
+    }
+
+    #[test]
+    fn parallel_explore_matches_sequential() {
+        let a = app();
+        let seq = explore_report(&a, &[0, 1, 2, 3], true, &FlowOptions::default());
+        let par = explore_report(
+            &a,
+            &[0, 1, 2, 3],
+            true,
+            &FlowOptions {
+                jobs: 4,
+                ..FlowOptions::default()
+            },
+        );
+        assert_eq!(seq.points, par.points, "points must match point-for-point");
+        assert_eq!(seq.skipped, par.skipped);
+    }
+
+    #[test]
+    fn pareto_sweep_matches_naive_on_random_inputs() {
+        // Deterministic pseudo-random point clouds, including duplicates
+        // and throughput ties.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [0usize, 1, 2, 7, 33, 100] {
+            let points: Vec<DsePoint> = (0..n)
+                .map(|_| DsePoint {
+                    tiles: 1,
+                    interconnect: "fsl",
+                    // Coarse buckets force plenty of exact ties.
+                    guaranteed: (next() % 7) as f64 * 1e-6,
+                    slices: next() % 9,
+                })
+                .collect();
+            assert_eq!(
+                pareto_front(&points),
+                pareto_front_naive(&points),
+                "sweep diverges from the quadratic oracle at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_ignores_nan_points_without_splitting_groups() {
+        // A NaN point is never dominated and dominates nothing, and it must
+        // not split an equal-throughput group when it sorts between its
+        // members.
+        let mk = |g: f64, s: u64| DsePoint {
+            tiles: 1,
+            interconnect: "fsl",
+            guaranteed: g,
+            slices: s,
+        };
+        let points = [mk(1.0, 5), mk(f64::NAN, 1), mk(1.0, 5)];
+        let front = pareto_front(&points);
+        let naive = pareto_front_naive(&points);
+        // NaN != NaN, so compare structure rather than the points directly.
+        let shape = |f: &[DsePoint]| -> Vec<(u64, bool)> {
+            f.iter()
+                .map(|p| (p.slices, p.guaranteed.is_nan()))
+                .collect()
+        };
+        assert_eq!(shape(&front), shape(&naive));
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn pareto_keeps_equal_duplicates() {
+        let p = DsePoint {
+            tiles: 2,
+            interconnect: "fsl",
+            guaranteed: 1e-5,
+            slices: 100,
+        };
+        let front = pareto_front(&[p.clone(), p.clone()]);
+        assert_eq!(front.len(), 2);
     }
 }

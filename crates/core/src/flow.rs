@@ -84,6 +84,10 @@ pub struct FlowOptions {
     pub project_name: String,
     /// Iterations of the warm-up/validation run in the synthesis step.
     pub boot_iterations: u64,
+    /// Worker threads for callers that evaluate independent flow runs
+    /// (e.g. the DSE sweep and the `mamps dse --jobs` knob). A single flow
+    /// run is sequential regardless; results never depend on this value.
+    pub jobs: usize,
 }
 
 impl Default for FlowOptions {
@@ -92,6 +96,7 @@ impl Default for FlowOptions {
             map: MapOptions::default(),
             project_name: "mamps_system".into(),
             boot_iterations: 3,
+            jobs: 1,
         }
     }
 }

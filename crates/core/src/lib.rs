@@ -34,16 +34,18 @@ pub mod arbitration;
 pub mod dse;
 pub mod experiments;
 pub mod flow;
+pub mod parallel;
 pub mod predict;
 pub mod report;
 pub mod validate;
 
 pub use arbitration::{apply_peripheral_arbitration, ArbitrationError, PeripheralAccesses};
-pub use dse::{explore, pareto_front, DsePoint};
+pub use dse::{explore, explore_report, pareto_front, DsePoint, DseReport, SkippedPoint};
 pub use experiments::{
     ca_overhead_experiment, ca_overhead_vs_serialization_cost, fig6_experiment,
     noc_flow_control_overhead, table1, CaOverheadResult, Fig6Row, Table1Row,
 };
 pub use flow::{run_flow, run_flow_with_arch, FlowError, FlowOptions, FlowResult, StepTimings};
+pub use parallel::{default_jobs, parallel_map};
 pub use predict::predicted_throughput;
 pub use validate::GuaranteeReport;

@@ -1,0 +1,107 @@
+//! Scoped-thread parallelism helper for embarrassingly parallel flow work.
+//!
+//! The design flow evaluates many *independent* pure computations — DSE
+//! design points, buffer-growth candidates, per-sequence experiments — whose
+//! results must come back in a deterministic order. This module provides the
+//! one primitive that pattern needs, on `std` only (no registry
+//! dependencies): [`parallel_map`] fans items out over `std::thread::scope`
+//! workers pulling from an atomic cursor and returns results in input
+//! order, so callers behave identically for any job count.
+//!
+//! `mamps_sdf::buffer` uses the same scoped-worker pattern internally for
+//! concurrent buffer-growth candidates (it sits below this crate in the
+//! dependency graph); everything at flow level should use this helper.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A sensible default for `jobs` knobs: the machine's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` on up to `jobs` scoped threads and
+/// returns the results in input order.
+///
+/// `f` receives the item index alongside the item. The worker count is
+/// additionally capped at the machine's available parallelism — the work is
+/// CPU-bound, so oversubscription only adds contention. With an effective
+/// single job (or a single item) everything runs on the calling thread —
+/// the results are identical either way, only the wall-clock differs.
+/// Worker panics propagate to the caller once the scope joins.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.min(default_jobs()).clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = parallel_map(1, &items, |_, &x| x * x);
+        let par = parallel_map(8, &items, |_, &x| x * x);
+        assert_eq!(seq, par);
+        assert_eq!(par[13], 169);
+    }
+
+    #[test]
+    fn passes_indices() {
+        let items = ["a", "b", "c"];
+        let r = parallel_map(2, &items, |i, &s| format!("{i}{s}"));
+        assert_eq!(r, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let items: Vec<u32> = (0..3).collect();
+        assert_eq!(parallel_map(64, &items, |_, &x| x), items);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use crate::dse::DsePoint;
+use crate::dse::{DsePoint, DseReport};
 use crate::experiments::{Fig6Row, Table1Row};
 
 /// Renders Fig. 6 rows as an aligned text table; throughputs are shown in
@@ -63,6 +63,24 @@ pub fn render_dse(points: &[DsePoint]) -> String {
     out
 }
 
+/// Renders a DSE sweep including the skipped (infeasible) design points
+/// with the reason each one failed.
+pub fn render_dse_report(report: &DseReport) -> String {
+    let mut out = render_dse(&report.points);
+    if !report.skipped.is_empty() {
+        let _ = writeln!(
+            out,
+            "skipped {} infeasible design point{}:",
+            report.skipped.len(),
+            if report.skipped.len() == 1 { "" } else { "s" }
+        );
+        for s in &report.skipped {
+            let _ = writeln!(out, "  {:<6} {:<6} {}", s.tiles, s.interconnect, s.reason);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +130,33 @@ mod tests {
         }]);
         assert!(s.contains("fsl"));
         assert!(s.contains("1234"));
+    }
+
+    #[test]
+    fn dse_report_render_lists_skips() {
+        let report = DseReport {
+            points: vec![DsePoint {
+                tiles: 2,
+                interconnect: "fsl",
+                guaranteed: 1e-5,
+                slices: 1234,
+            }],
+            skipped: vec![crate::dse::SkippedPoint {
+                tiles: 9,
+                interconnect: "noc",
+                reason: "mapping step failed: no feasible binding".into(),
+            }],
+        };
+        let s = render_dse_report(&report);
+        assert!(s.contains("1234"));
+        assert!(s.contains("skipped 1 infeasible design point"));
+        assert!(s.contains("no feasible binding"));
+
+        // No skip section when everything mapped.
+        let clean = render_dse_report(&DseReport {
+            skipped: Vec::new(),
+            ..report
+        });
+        assert!(!clean.contains("skipped"));
     }
 }

@@ -110,7 +110,7 @@ pub fn map_application(
     let (schedules, rounds) = build_schedules(graph, &binding, arch)?;
 
     // Initial buffer allocation.
-    let mut channels: Vec<ChannelAlloc> = graph
+    let channels: Vec<ChannelAlloc> = graph
         .channels()
         .map(|(cid, ch)| ChannelAlloc {
             wires: wires[cid.0],
@@ -124,27 +124,28 @@ pub fn map_application(
         .target
         .or_else(|| app.throughput_constraint().map(|c| c.as_ratio()));
 
-    let build_mapping = |channels: &[ChannelAlloc]| Mapping {
-        binding: binding.clone(),
-        schedules: schedules.clone(),
-        rounds_per_iteration: rounds.clone(),
-        channels: channels.to_vec(),
+    // One mapping, mutated in place across the search: the greedy growth
+    // below probes many candidate allocations, and cloning the binding,
+    // the schedules and the channel vector once per candidate used to
+    // dominate the mapping step's cost outside the throughput kernel.
+    let mut mapping = Mapping {
+        binding,
+        schedules,
+        rounds_per_iteration: rounds,
+        channels,
         guaranteed_iterations: 0,
         guaranteed_cycles: 1,
     };
-    let analyse =
-        |channels: &[ChannelAlloc]| -> Result<(ExpandedGraph, ThroughputResult), MapError> {
-            let m = build_mapping(channels);
-            let e = expand(&wcet_graph, &m, arch)?;
-            let t =
-                throughput(&e.graph, &analysis_options(opts.max_states)).map_err(MapError::Sdf)?;
-            Ok((e, t))
-        };
+    let analyse = |m: &Mapping| -> Result<(ExpandedGraph, ThroughputResult), MapError> {
+        let e = expand(&wcet_graph, m, arch)?;
+        let t = throughput(&e.graph, &analysis_options(opts.max_states)).map_err(MapError::Sdf)?;
+        Ok((e, t))
+    };
 
     // Phase 1: reach liveness by doubling buffers on deadlock.
     let mut attempt = 0;
     let mut current = loop {
-        match analyse(&channels) {
+        match analyse(&mapping) {
             Ok(r) => break r,
             Err(MapError::Sdf(SdfError::Deadlock(msg))) => {
                 attempt += 1;
@@ -152,7 +153,7 @@ pub fn map_application(
                     return Err(MapError::Sdf(SdfError::Deadlock(msg)));
                 }
                 for (cid, ch) in graph.channels() {
-                    let c = &mut channels[cid.0];
+                    let c = &mut mapping.channels[cid.0];
                     c.alpha_src += ch.production_rate().max(ch.initial_tokens());
                     c.alpha_dst += ch.consumption_rate();
                     c.local_capacity +=
@@ -163,8 +164,27 @@ pub fn map_application(
         }
     };
 
+    // Applies or reverts one growth step of `kind` on channel `idx`.
+    let grow = |m: &mut Mapping, idx: usize, kind: u8, revert: bool| {
+        let ch = graph.channel(mamps_sdf::graph::ChannelId(idx));
+        let (field, step) = match kind {
+            0 => (&mut m.channels[idx].alpha_src, ch.production_rate()),
+            1 => (&mut m.channels[idx].alpha_dst, ch.consumption_rate()),
+            _ => (
+                &mut m.channels[idx].local_capacity,
+                mamps_sdf::ratio::gcd(ch.production_rate(), ch.consumption_rate()),
+            ),
+        };
+        if revert {
+            *field -= step;
+        } else {
+            *field += step;
+        }
+    };
+
     // Phase 2: greedy growth toward the target (or saturation when no
-    // target is set, bounded by the growth budget).
+    // target is set, bounded by the growth budget). Candidates are probed
+    // by mutating the mapping in place and reverting.
     let mut budget = opts.growth_budget;
     loop {
         let met = match target {
@@ -180,22 +200,16 @@ pub fn map_application(
             if ch.is_self_edge() {
                 continue;
             }
-            let steps: &[(u8, u64)] = if binding.crosses_tiles(ch.src(), ch.dst()) {
-                &[(0, 1), (1, 1)] // grow alpha_src / alpha_dst
+            let steps: &[u8] = if mapping.binding.crosses_tiles(ch.src(), ch.dst()) {
+                &[0, 1] // grow alpha_src / alpha_dst
             } else {
-                &[(2, 1)] // grow local capacity
+                &[2] // grow local capacity
             };
-            for &(kind, _) in steps {
-                let mut trial = channels.clone();
-                match kind {
-                    0 => trial[cid.0].alpha_src += ch.production_rate(),
-                    1 => trial[cid.0].alpha_dst += ch.consumption_rate(),
-                    _ => {
-                        trial[cid.0].local_capacity +=
-                            mamps_sdf::ratio::gcd(ch.production_rate(), ch.consumption_rate())
-                    }
-                }
-                if let Ok(r) = analyse(&trial) {
+            for &kind in steps {
+                grow(&mut mapping, cid.0, kind, false);
+                let r = analyse(&mapping);
+                grow(&mut mapping, cid.0, kind, true);
+                if let Ok(r) = r {
                     let better = match &best {
                         None => r.1.iterations_per_cycle > current.1.iterations_per_cycle,
                         Some((_, _, b)) => r.1.iterations_per_cycle > b.1.iterations_per_cycle,
@@ -208,15 +222,7 @@ pub fn map_application(
         }
         match best {
             Some((idx, kind, r)) => {
-                let ch = graph.channel(mamps_sdf::graph::ChannelId(idx));
-                match kind {
-                    0 => channels[idx].alpha_src += ch.production_rate(),
-                    1 => channels[idx].alpha_dst += ch.consumption_rate(),
-                    _ => {
-                        channels[idx].local_capacity +=
-                            mamps_sdf::ratio::gcd(ch.production_rate(), ch.consumption_rate())
-                    }
-                }
+                grow(&mut mapping, idx, kind, false);
                 current = r;
             }
             None => break, // saturated
@@ -232,7 +238,6 @@ pub fn map_application(
         }
     }
 
-    let mut mapping = build_mapping(&channels);
     mapping.guaranteed_iterations = current.1.iterations_per_cycle.numer().max(0) as u64;
     mapping.guaranteed_cycles = current.1.iterations_per_cycle.denom() as u64;
     Ok(MappedApplication {

@@ -9,13 +9,32 @@
 //! minimal live distribution is found by demand-driven growth from the
 //! per-channel lower bound, and throughput targets are met by greedy growth
 //! of the most profitable buffer.
+//!
+//! Greedy growth re-analyses the graph once per candidate channel per step,
+//! which makes the throughput kernel the hot path of the whole sizing
+//! search. Two optimizations keep that affordable:
+//!
+//! * every analysis goes through [`AnalysisCache`], which memoizes
+//!   [`ThroughputResult`]s by capacity vector (so [`size_for_throughput`]
+//!   and [`storage_throughput_pareto`] never analyse the same distribution
+//!   twice, even across calls when a cache is shared) and reuses the
+//!   kernel's scratch allocations between analyses;
+//! * independent growth candidates of one greedy step can be analysed
+//!   concurrently with the `jobs` knob of the `_with` variants — the best
+//!   candidate is still selected in channel order, so results are identical
+//!   to the sequential search.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::error::SdfError;
 use crate::graph::{ActorId, ChannelId, SdfGraph};
 use crate::ratio::{gcd, Ratio};
-use crate::repetition::repetition_vector;
-use crate::state_space::{throughput, AnalysisOptions, ThroughputResult};
-use crate::transform::with_buffer_capacities;
+use crate::repetition::{repetition_vector, RepetitionVector};
+use crate::state_space::{
+    throughput, throughput_bounded, throughput_bounded_with, AnalysisOptions, ThroughputResult,
+};
 
 /// Per-channel lower bound for a deadlock-free capacity of a single channel
 /// in isolation: `p + c - gcd(p, c)`, raised to the initial token count if
@@ -26,6 +45,112 @@ pub fn capacity_lower_bound(graph: &SdfGraph, id: ChannelId) -> u64 {
     let c = ch.consumption_rate();
     let lb = p + c - gcd(p, c);
     lb.max(ch.initial_tokens())
+}
+
+/// Memoizes bounded throughput analyses of **one** graph by capacity
+/// vector, and carries the kernel scratch buffers so repeated analyses are
+/// allocation-free.
+///
+/// Greedy buffer growth walks a chain of capacity distributions and probes
+/// one growth step per channel at every link; sharing a cache across
+/// [`size_for_throughput_with`] and [`storage_throughput_pareto_with`]
+/// calls on the same graph means no distribution is ever analysed twice.
+/// Errors are memoized too (a saturating candidate stays saturating).
+///
+/// The cache does not track graph identity: create one cache per graph.
+/// Analysis options *are* tracked — a call with different options than the
+/// memoized entries invalidates the table, so stale results are never
+/// returned.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    map: HashMap<Vec<u64>, Result<ThroughputResult, SdfError>>,
+    /// Fingerprint of the options the memoized entries were computed with.
+    opts_fingerprint: Option<(bool, usize, usize)>,
+    scratch: crate::state_space::Scratch,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// Analyses `graph` bounded by `caps`, returning the memoized result
+    /// when this distribution was seen before (with the same options).
+    ///
+    /// # Errors
+    ///
+    /// The (possibly memoized) errors of [`throughput_bounded`].
+    pub fn analyse(
+        &mut self,
+        graph: &SdfGraph,
+        caps: &[u64],
+        opts: &AnalysisOptions,
+    ) -> Result<ThroughputResult, SdfError> {
+        self.check_options(opts);
+        if let Some(r) = self.map.get(caps) {
+            self.hits += 1;
+            return r.clone();
+        }
+        let r = throughput_bounded_with(graph, caps, opts, &mut self.scratch);
+        self.misses += 1;
+        self.map.insert(caps.to_vec(), r.clone());
+        r
+    }
+
+    /// Drops memoized entries computed under different analysis options, so
+    /// one cache can never serve a result from a mismatched configuration.
+    fn check_options(&mut self, opts: &AnalysisOptions) {
+        let fp = (
+            opts.auto_concurrency,
+            opts.max_states,
+            opts.max_firings_per_instant,
+        );
+        if self.opts_fingerprint != Some(fp) {
+            if self.opts_fingerprint.is_some() {
+                self.map.clear();
+            }
+            self.opts_fingerprint = Some(fp);
+        }
+    }
+
+    /// Memoized result for `caps`, if present (no analysis is run). Counts
+    /// as a hit so the statistics agree between the sequential and the
+    /// parallel candidate-evaluation paths.
+    fn peek(&mut self, caps: &[u64]) -> Option<Result<ThroughputResult, SdfError>> {
+        let r = self.map.get(caps).cloned();
+        if r.is_some() {
+            self.hits += 1;
+        }
+        r
+    }
+
+    fn insert(&mut self, caps: Vec<u64>, r: Result<ThroughputResult, SdfError>) {
+        self.map.insert(caps, r);
+        self.misses += 1;
+    }
+
+    /// Number of analyses answered from the memo table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of analyses actually run.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of memoized distributions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 /// Computes a minimal-ish deadlock-free buffer distribution.
@@ -61,7 +186,7 @@ pub fn minimal_live_capacities(graph: &SdfGraph) -> Result<Vec<u64>, SdfError> {
         + 16;
 
     for _ in 0..10_000 {
-        match blocked_channels(graph, &caps)? {
+        match blocked_channels(graph, &q, &caps)? {
             None => return Ok(caps),
             Some(blocked) => {
                 let mut grew = false;
@@ -91,6 +216,9 @@ pub fn minimal_live_capacities(graph: &SdfGraph) -> Result<Vec<u64>, SdfError> {
 ///
 /// Returns the capacities and the throughput actually achieved.
 ///
+/// Equivalent to [`size_for_throughput_with`] with a fresh cache and
+/// sequential candidate evaluation.
+///
 /// # Errors
 ///
 /// * Errors from [`minimal_live_capacities`] and the throughput analysis.
@@ -102,9 +230,27 @@ pub fn size_for_throughput(
     target: Ratio,
     opts: &AnalysisOptions,
 ) -> Result<(Vec<u64>, ThroughputResult), SdfError> {
+    size_for_throughput_with(graph, target, opts, &mut AnalysisCache::new(), 1)
+}
+
+/// [`size_for_throughput`] with a shared [`AnalysisCache`] and `jobs`
+/// worker threads for the candidate evaluations of each greedy step.
+/// Results are identical for any `jobs` value.
+///
+/// # Errors
+///
+/// See [`size_for_throughput`].
+pub fn size_for_throughput_with(
+    graph: &SdfGraph,
+    target: Ratio,
+    opts: &AnalysisOptions,
+    cache: &mut AnalysisCache,
+    jobs: usize,
+) -> Result<(Vec<u64>, ThroughputResult), SdfError> {
     let mut caps = minimal_live_capacities(graph)?;
-    let mut current = analyse(graph, &caps, opts)?;
+    let mut current = cache.analyse(graph, &caps, opts)?;
     let mut budget = 64 * graph.channel_count().max(1);
+    let candidates = growth_candidates(graph);
 
     while current.iterations_per_cycle < target {
         if budget == 0 {
@@ -116,21 +262,16 @@ pub fn size_for_throughput(
         budget -= 1;
 
         // Greedy: try one growth step on each channel, keep the best.
+        let results = analyse_candidates(graph, &mut caps, &candidates, opts, cache, jobs);
         let mut best: Option<(usize, ThroughputResult)> = None;
-        for (cid, ch) in graph.channels() {
-            if ch.is_self_edge() {
-                continue;
-            }
-            let step = gcd(ch.production_rate(), ch.consumption_rate());
-            caps[cid.0] += step;
-            let t = analyse(graph, &caps, opts)?;
-            caps[cid.0] -= step;
+        for (&(idx, _), r) in candidates.iter().zip(results) {
+            let t = r?;
             let better = match &best {
                 None => t.iterations_per_cycle > current.iterations_per_cycle,
                 Some((_, bt)) => t.iterations_per_cycle > bt.iterations_per_cycle,
             };
             if better {
-                best = Some((cid.0, t));
+                best = Some((idx, t));
             }
         }
         match best {
@@ -151,20 +292,138 @@ pub fn size_for_throughput(
 }
 
 /// Analyses the graph bounded by `caps`.
+///
+/// Uses the materialization-free bounded kernel
+/// ([`throughput_bounded`]); the result is identical to
+/// `throughput(&with_buffer_capacities(graph, caps)?, opts)`.
+///
+/// # Errors
+///
+/// See [`throughput_bounded`].
 pub fn analyse(
     graph: &SdfGraph,
     caps: &[u64],
     opts: &AnalysisOptions,
 ) -> Result<ThroughputResult, SdfError> {
-    let bounded = with_buffer_capacities(graph, caps)?;
-    throughput(&bounded, opts)
+    throughput_bounded(graph, caps, opts)
+}
+
+/// The growth candidates of the greedy searches: `(channel index, step)`
+/// for every non-self channel, in channel order.
+fn growth_candidates(graph: &SdfGraph) -> Vec<(usize, u64)> {
+    graph
+        .channels()
+        .filter(|(_, ch)| !ch.is_self_edge())
+        .map(|(cid, ch)| (cid.0, gcd(ch.production_rate(), ch.consumption_rate())))
+        .collect()
+}
+
+/// Analyses every candidate distribution `caps + step·e_idx` of one greedy
+/// step, returning results in candidate order. Cache hits are answered
+/// directly; misses are computed — concurrently when `jobs > 1`, each
+/// worker with its own scratch space — and memoized.
+///
+/// Small graphs fall back to the sequential path regardless of `jobs`:
+/// their analyses finish in microseconds, below the cost of spawning the
+/// scoped workers.
+fn analyse_candidates(
+    graph: &SdfGraph,
+    caps: &mut [u64],
+    candidates: &[(usize, u64)],
+    opts: &AnalysisOptions,
+    cache: &mut AnalysisCache,
+    jobs: usize,
+) -> Vec<Result<ThroughputResult, SdfError>> {
+    cache.check_options(opts);
+    let tiny = graph.actor_count() + graph.channel_count() < 32;
+    if jobs <= 1 || candidates.len() <= 1 || tiny {
+        return candidates
+            .iter()
+            .map(|&(idx, step)| {
+                caps[idx] += step;
+                let r = cache.analyse(graph, caps, opts);
+                caps[idx] -= step;
+                r
+            })
+            .collect();
+    }
+
+    let mut results: Vec<Option<Result<ThroughputResult, SdfError>>> =
+        Vec::with_capacity(candidates.len());
+    let mut missing: Vec<(usize, Vec<u64>)> = Vec::new();
+    for (ci, &(idx, step)) in candidates.iter().enumerate() {
+        caps[idx] += step;
+        match cache.peek(caps) {
+            Some(r) => results.push(Some(r)),
+            None => {
+                results.push(None);
+                missing.push((ci, caps.to_vec()));
+            }
+        }
+        caps[idx] -= step;
+    }
+
+    let computed = analyse_distributions_parallel(graph, &missing, opts, jobs);
+    for ((ci, dist), r) in missing.into_iter().zip(computed) {
+        cache.insert(dist, r.clone());
+        results[ci] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every candidate analysed"))
+        .collect()
+}
+
+/// Analyses independent capacity distributions on `jobs` scoped threads.
+/// Work is handed out through an atomic cursor; each worker owns its
+/// scratch space, so no locking happens on the hot path. The worker count
+/// is capped at the available parallelism (the work is CPU-bound).
+fn analyse_distributions_parallel(
+    graph: &SdfGraph,
+    work: &[(usize, Vec<u64>)],
+    opts: &AnalysisOptions,
+    jobs: usize,
+) -> Vec<Result<ThroughputResult, SdfError>> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let jobs = jobs.min(cores).min(work.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<ThroughputResult, SdfError>>>> =
+        work.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut scratch = crate::state_space::Scratch::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let r = throughput_bounded_with(graph, &work[i].1, opts, &mut scratch);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every work item claimed")
+        })
+        .collect()
 }
 
 /// Runs the abstract iteration on the bounded graph; on stall, returns the
 /// forward channels whose capacity blocks a pending actor (`Ok(None)` when
 /// the iteration completes).
-fn blocked_channels(graph: &SdfGraph, caps: &[u64]) -> Result<Option<Vec<ChannelId>>, SdfError> {
-    let q = repetition_vector(graph)?;
+fn blocked_channels(
+    graph: &SdfGraph,
+    q: &RepetitionVector,
+    caps: &[u64],
+) -> Result<Option<Vec<ChannelId>>, SdfError> {
     let n = graph.actor_count();
     let mut fill: Vec<u64> = graph.channels().map(|(_, c)| c.initial_tokens()).collect();
     let mut remaining: Vec<u64> = (0..n).map(|i| q.of(ActorId(i))).collect();
@@ -235,6 +494,7 @@ fn blocked_channels(graph: &SdfGraph, caps: &[u64]) -> Result<Option<Vec<Channel
 mod tests {
     use super::*;
     use crate::graph::SdfGraphBuilder;
+    use crate::transform::with_buffer_capacities;
 
     fn chain(p: u64, c: u64) -> SdfGraph {
         let mut b = SdfGraphBuilder::new("chain");
@@ -332,6 +592,102 @@ mod tests {
         let bounded = with_buffer_capacities(&g, &caps).unwrap();
         assert!(throughput(&bounded, &AnalysisOptions::default()).is_ok());
     }
+
+    #[test]
+    fn cache_memoizes_repeated_distributions() {
+        let g = chain(2, 3);
+        let mut cache = AnalysisCache::new();
+        let opts = AnalysisOptions::default();
+        let a1 = cache.analyse(&g, &[5], &opts).unwrap();
+        let a2 = cache.analyse(&g, &[5], &opts).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_spans_sizing_and_pareto() {
+        let g = chain(2, 3);
+        let opts = AnalysisOptions::default();
+        let mut cache = AnalysisCache::new();
+        // 1/6 is the saturation throughput of the chain, so sizing and the
+        // pareto walk stop at the same link of the greedy chain.
+        let (caps, t) =
+            size_for_throughput_with(&g, Ratio::new(1, 6), &opts, &mut cache, 1).unwrap();
+        let analyses_after_sizing = cache.misses();
+        // The pareto walk revisits the same greedy chain: mostly cache hits.
+        let points = storage_throughput_pareto_with(&g, &opts, 32, &mut cache, 1).unwrap();
+        assert!(cache.hits() > 0, "pareto should reuse sizing analyses");
+        assert!(cache.misses() >= analyses_after_sizing);
+        // Both searches agree on the saturation point.
+        assert_eq!(points.last().unwrap().throughput, t.iterations_per_cycle);
+        assert_eq!(points.last().unwrap().capacities, caps);
+    }
+
+    #[test]
+    fn cache_invalidates_on_option_change() {
+        let g = chain(2, 3);
+        let mut cache = AnalysisCache::new();
+        let a = cache
+            .analyse(&g, &[6], &AnalysisOptions::default())
+            .unwrap();
+        // Same capacities, different options: must re-analyse, not serve
+        // the memoized default-options result.
+        let auto = AnalysisOptions {
+            auto_concurrency: true,
+            ..AnalysisOptions::default()
+        };
+        let b = cache.analyse(&g, &[6], &auto).unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(a, analyse(&g, &[6], &AnalysisOptions::default()).unwrap());
+        assert_eq!(b, analyse(&g, &[6], &auto).unwrap());
+    }
+
+    #[test]
+    fn parallel_sizing_matches_sequential_on_large_ring() {
+        // Big enough (20 actors + 20 channels) to take the threaded
+        // candidate-evaluation path rather than the tiny-graph fallback.
+        let n = 20usize;
+        let mut b = SdfGraphBuilder::new("bigring");
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_actor(format!("a{i}"), 1 + (i as u64 % 4)))
+            .collect();
+        for i in 0..n {
+            b.add_channel_with_tokens(format!("e{i}"), ids[i], 1, ids[(i + 1) % n], 1, 2);
+        }
+        let g = b.build().unwrap();
+        let opts = AnalysisOptions::default();
+        let target = Ratio::new(1, 200);
+        let seq = size_for_throughput(&g, target, &opts);
+        let par = size_for_throughput_with(&g, target, &opts, &mut AnalysisCache::new(), 4);
+        match (seq, par) {
+            (Ok(s), Ok(p)) => assert_eq!(s, p),
+            (Err(_), Err(_)) => {}
+            (s, p) => panic!("sequential/parallel sizing disagree: {s:?} vs {p:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_sizing_matches_sequential() {
+        let g = {
+            let mut b = SdfGraphBuilder::new("net");
+            let a = b.add_actor("A", 2);
+            let c = b.add_actor("B", 3);
+            let d = b.add_actor("C", 5);
+            b.add_channel("e0", a, 2, c, 3);
+            b.add_channel("e1", c, 1, d, 2);
+            b.add_channel("e2", a, 1, d, 3);
+            b.build().unwrap()
+        };
+        let opts = AnalysisOptions::default();
+        let target = Ratio::new(1, 40);
+        let seq = size_for_throughput(&g, target, &opts).unwrap();
+        let par =
+            size_for_throughput_with(&g, target, &opts, &mut AnalysisCache::new(), 4).unwrap();
+        assert_eq!(seq, par);
+    }
 }
 
 /// A point of the storage/throughput trade-off.
@@ -354,6 +710,9 @@ pub struct StoragePoint {
 /// The returned points are Pareto-optimal within the explored (greedy)
 /// chain: strictly increasing in both storage and throughput.
 ///
+/// Equivalent to [`storage_throughput_pareto_with`] with a fresh cache and
+/// sequential candidate evaluation.
+///
 /// # Errors
 ///
 /// Propagates liveness/analysis errors.
@@ -362,37 +721,51 @@ pub fn storage_throughput_pareto(
     opts: &AnalysisOptions,
     max_steps: usize,
 ) -> Result<Vec<StoragePoint>, SdfError> {
+    storage_throughput_pareto_with(graph, opts, max_steps, &mut AnalysisCache::new(), 1)
+}
+
+/// [`storage_throughput_pareto`] with a shared [`AnalysisCache`] and `jobs`
+/// worker threads for the candidate evaluations of each greedy step.
+/// Results are identical for any `jobs` value.
+///
+/// # Errors
+///
+/// See [`storage_throughput_pareto`].
+pub fn storage_throughput_pareto_with(
+    graph: &SdfGraph,
+    opts: &AnalysisOptions,
+    max_steps: usize,
+    cache: &mut AnalysisCache,
+    jobs: usize,
+) -> Result<Vec<StoragePoint>, SdfError> {
     let unbounded = throughput(graph, opts)?.iterations_per_cycle;
     let mut caps = minimal_live_capacities(graph)?;
-    let mut current = analyse(graph, &caps, opts)?;
+    let mut current = cache.analyse(graph, &caps, opts)?;
     let mut points = vec![StoragePoint {
         capacities: caps.clone(),
         total_tokens: caps.iter().sum(),
         throughput: current.iterations_per_cycle,
     }];
+    let candidates = growth_candidates(graph);
 
     for _ in 0..max_steps {
         if current.iterations_per_cycle >= unbounded {
             break;
         }
-        // Greedy: the single growth step with the best gain.
+        // Greedy: the single growth step with the best gain. Analysis
+        // errors disqualify a candidate, matching the sequential search.
+        let results = analyse_candidates(graph, &mut caps, &candidates, opts, cache, jobs);
         let mut best: Option<(usize, ThroughputResult)> = None;
-        for (cid, ch) in graph.channels() {
-            if ch.is_self_edge() {
-                continue;
-            }
-            let step = gcd(ch.production_rate(), ch.consumption_rate());
-            caps[cid.0] += step;
-            if let Ok(t) = analyse(graph, &caps, opts) {
+        for (&(idx, _), r) in candidates.iter().zip(results) {
+            if let Ok(t) = r {
                 let better = match &best {
                     None => t.iterations_per_cycle > current.iterations_per_cycle,
                     Some((_, bt)) => t.iterations_per_cycle > bt.iterations_per_cycle,
                 };
                 if better {
-                    best = Some((cid.0, t));
+                    best = Some((idx, t));
                 }
             }
-            caps[cid.0] -= step;
         }
         match best {
             Some((idx, t)) => {
@@ -452,5 +825,15 @@ mod pareto_tests {
         let min = minimal_live_capacities(&g).unwrap();
         let points = storage_throughput_pareto(&g, &AnalysisOptions::default(), 8).unwrap();
         assert_eq!(points[0].capacities, min);
+    }
+
+    #[test]
+    fn parallel_pareto_matches_sequential() {
+        let g = chain();
+        let opts = AnalysisOptions::default();
+        let seq = storage_throughput_pareto(&g, &opts, 32).unwrap();
+        let par =
+            storage_throughput_pareto_with(&g, &opts, 32, &mut AnalysisCache::new(), 4).unwrap();
+        assert_eq!(seq, par);
     }
 }

@@ -82,6 +82,76 @@ proptest! {
         }
     }
 
+    /// The optimized worklist kernel must return the *identical*
+    /// `ThroughputResult` — throughput, transient, period, even the state
+    /// count — as the retained naive reference, in both auto-concurrency
+    /// modes, on randomized live multirate graphs.
+    #[test]
+    fn fast_kernel_equals_reference_on_live_rings(
+        (q, exec, tokens) in ring_strategy(),
+        auto in any::<bool>(),
+    ) {
+        let g = ring_graph(&q, &exec, &tokens);
+        let opts = AnalysisOptions { auto_concurrency: auto, ..AnalysisOptions::default() };
+        match (throughput(&g, &opts), mamps_sdf::state_space::reference::throughput(&g, &opts)) {
+            (Ok(fast), Ok(slow)) => prop_assert_eq!(fast, slow),
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "fast/reference disagree: {f:?} vs {s:?}"),
+        }
+    }
+
+    /// The materialization-free bounded analysis must match analysing the
+    /// reverse-channel graph built by `with_buffer_capacities`, for both
+    /// the fast kernel and the reference.
+    #[test]
+    fn bounded_fast_path_equals_materialized_bounded_graph(
+        (q, exec, tokens) in ring_strategy(),
+        extra_cap in 0u64..6,
+    ) {
+        let g = ring_graph(&q, &exec, &tokens);
+        prop_assume!(exec.iter().any(|&e| e > 0));
+        let caps: Vec<u64> = g
+            .channels()
+            .map(|(id, _)| mamps_sdf::buffer::capacity_lower_bound(&g, id) + extra_cap)
+            .collect();
+        let opts = AnalysisOptions::default();
+        let fast = mamps_sdf::state_space::throughput_bounded(&g, &caps, &opts);
+        let bounded_graph = with_buffer_capacities(&g, &caps).unwrap();
+        let slow = mamps_sdf::state_space::reference::throughput(&bounded_graph, &opts);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => prop_assert_eq!(f, s),
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "bounded fast/reference disagree: {f:?} vs {s:?}"),
+        }
+    }
+
+    /// Greedy sizing through the memoizing cache with parallel candidate
+    /// evaluation is identical to the plain sequential search.
+    #[test]
+    fn cached_parallel_sizing_equals_sequential(
+        (q, exec, tokens) in ring_strategy(),
+        denom in 20u64..200,
+    ) {
+        let g = ring_graph(&q, &exec, &tokens);
+        prop_assume!(check_liveness(&g).is_ok());
+        prop_assume!(exec.iter().any(|&e| e > 0));
+        let opts = AnalysisOptions::default();
+        let target = mamps_sdf::ratio::Ratio::new(1, denom as i128);
+        let seq = mamps_sdf::buffer::size_for_throughput(&g, target, &opts);
+        let par = mamps_sdf::buffer::size_for_throughput_with(
+            &g,
+            target,
+            &opts,
+            &mut mamps_sdf::buffer::AnalysisCache::new(),
+            4,
+        );
+        match (seq, par) {
+            (Ok(s), Ok(p)) => prop_assert_eq!(s, p),
+            (Err(_), Err(_)) => {}
+            (s, p) => prop_assert!(false, "sequential/parallel sizing disagree: {s:?} vs {p:?}"),
+        }
+    }
+
     #[test]
     fn adding_tokens_never_decreases_throughput(
         (q, exec, mut tokens) in ring_strategy(),

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the state-space kernel benchmark and assembles the perf-trajectory
+# snapshot BENCH_state_space.json at the repository root. Used locally to
+# refresh the checked-in figures and by the CI smoke job (quick mode) to
+# keep the kernel's perf trajectory visible on every run:
+#
+#   scripts/bench_json.sh            # full measurement, refreshes the file
+#   scripts/bench_json.sh --quick    # CI-scale measurement, written to a
+#                                    # temp file and printed (not checked in)
+#
+# The bench harness appends one JSON line per benchmark to the file named
+# by MAMPS_BENCH_JSON; this script wraps those lines into a JSON document.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [ "${1:-}" = "--quick" ]; then
+  QUICK=1
+fi
+
+lines=$(mktemp)
+trap 'rm -f "$lines"' EXIT
+
+if [ "$QUICK" = 1 ]; then
+  export MAMPS_BENCH_QUICK=1
+  out=$(mktemp -t BENCH_state_space.XXXXXX.json)
+else
+  out=BENCH_state_space.json
+fi
+
+MAMPS_BENCH_JSON="$lines" cargo bench -p mamps_bench --bench state_space
+
+[ -s "$lines" ] || { echo "bench_json: no measurements were emitted" >&2; exit 1; }
+
+{
+  echo '{'
+  echo "  \"bench\": \"state_space\","
+  echo "  \"quick\": $([ "$QUICK" = 1 ] && echo true || echo false),"
+  echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo '  "results": ['
+  sed 's/^/    /; $!s/$/,/' "$lines"
+  echo '  ]'
+  echo '}'
+} > "$out"
+
+echo "bench_json: wrote $out"
+cat "$out"

@@ -7,12 +7,12 @@
 //! mamps map      <app.xml> <arch.xml> [out.xml]  # bind/schedule/size, print bound
 //! mamps generate <app.xml> <arch.xml> <dir>      # full project generation
 //! mamps simulate <app.xml> <arch.xml> [iters]    # flow + WCET platform run
-//! mamps dse      <app.xml> <max_tiles>           # design-space sweep
+//! mamps dse      <app.xml> <max_tiles> [--jobs N] # design-space sweep
 //! ```
 
 use std::process::ExitCode;
 
-use mamps::flow::report::render_dse;
+use mamps::flow::report::render_dse_report;
 use mamps::flow::{run_flow_with_arch, FlowOptions, GuaranteeReport};
 use mamps::mapping::xml::mapping_to_xml;
 use mamps::platform::xml::architecture_from_xml;
@@ -22,7 +22,7 @@ use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps analyze  <app.xml>\n  mamps map      <app.xml> <arch.xml> [mapping-out.xml]\n  mamps generate <app.xml> <arch.xml> <out-dir>\n  mamps simulate <app.xml> <arch.xml> [iterations]\n  mamps dse      <app.xml> <max-tiles>"
+        "usage:\n  mamps analyze  <app.xml>\n  mamps map      <app.xml> <arch.xml> [mapping-out.xml]\n  mamps generate <app.xml> <arch.xml> <out-dir>\n  mamps simulate <app.xml> <arch.xml> [iterations]\n  mamps dse      <app.xml> <max-tiles> [--jobs N]"
     );
     ExitCode::from(2)
 }
@@ -125,12 +125,28 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 ExitCode::FAILURE
             })
         }
-        ("dse", 3) => {
+        ("dse", 3) | ("dse", 5) => {
             let app = load_app(&args[1])?;
             let max: usize = args[2].parse()?;
+            let jobs = match args.get(3) {
+                None => 1,
+                Some(flag) if flag == "--jobs" => {
+                    let n: usize = args[4].parse()?;
+                    if n == 0 {
+                        mamps::flow::parallel::default_jobs()
+                    } else {
+                        n
+                    }
+                }
+                Some(_) => return Ok(usage()),
+            };
             let tiles: Vec<usize> = (1..=max.max(1)).collect();
-            let points = mamps::flow::dse::explore(&app, &tiles, true);
-            print!("{}", render_dse(&points));
+            let opts = FlowOptions {
+                jobs,
+                ..FlowOptions::default()
+            };
+            let report = mamps::flow::dse::explore_report(&app, &tiles, true, &opts);
+            print!("{}", render_dse_report(&report));
             Ok(ExitCode::SUCCESS)
         }
         _ => Ok(usage()),

@@ -8,6 +8,12 @@
 //! or state persistence. `--bench`/`--test` CLI arguments passed by
 //! `cargo bench`/`cargo test` are accepted and benchmark name filters are
 //! honoured.
+//!
+//! Machine-readable output: when the `MAMPS_BENCH_JSON` environment
+//! variable names a file, every measured benchmark appends one JSON line
+//! (`{"id": ..., "median_ns": ..., "mean_ns": ..., "min_ns": ...,
+//! "max_ns": ..., "samples": ...}`) to it. `scripts/bench_json.sh` uses
+//! this to assemble the checked-in `BENCH_*.json` perf-trajectory files.
 
 use std::time::{Duration, Instant};
 
@@ -147,12 +153,69 @@ impl Criterion {
         let mean = total / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
         let max = samples.iter().max().copied().unwrap_or_default();
+        let median = {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            sorted[sorted.len() / 2]
+        };
+        if let Ok(path) = std::env::var("MAMPS_BENCH_JSON") {
+            if !path.is_empty() {
+                append_json_line(&path, id, median, mean, min, max, samples.len());
+            }
+        }
         println!(
             "{id}\n                        time:   [{} {} {}]",
             fmt_duration(min),
             fmt_duration(mean),
             fmt_duration(max)
         );
+    }
+}
+
+/// Appends one JSON-lines record for a measured benchmark to `path`.
+/// Failures are reported on stderr but never fail the benchmark run.
+#[allow(clippy::too_many_arguments)]
+fn append_json_line(
+    path: &str,
+    id: &str,
+    median: Duration,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+) {
+    use std::io::Write as _;
+    let mut escaped = String::with_capacity(id.len());
+    for c in id.chars() {
+        match c {
+            '"' | '\\' => {
+                escaped.push('\\');
+                escaped.push(c);
+            }
+            c if c.is_control() => {
+                // JSON-style escape (Rust's escape_default would emit the
+                // invalid `\u{..}` form).
+                escaped.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => escaped.push(c),
+        }
+    }
+    let line = format!(
+        "{{\"id\": \"{escaped}\", \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \
+         \"max_ns\": {}, \"samples\": {}}}\n",
+        median.as_nanos(),
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+        samples
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion: cannot append to {path}: {e}");
     }
 }
 
