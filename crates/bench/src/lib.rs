@@ -16,6 +16,7 @@
 //! | `buffer_sweep` | guaranteed throughput vs buffer capacity |
 //! | `mesh_scaling` | MJPEG bound vs platform size, FSL and NoC |
 //! | `state_space` | throughput-kernel fast path vs retained naive reference |
+//! | `binders` | binding strategies: greedy vs spiral vs genetic on MJPEG |
 //!
 //! Run all with `cargo bench`, or a single artefact with e.g.
 //! `cargo bench -p mamps-bench --bench fig6_fsl`.

@@ -3,14 +3,19 @@
 //! speed enables: "designers \[can\] perform a very fast design space
 //! exploration").
 //!
-//! Design points are independent full flow runs, so [`explore_report`]
-//! evaluates them concurrently via [`crate::parallel::parallel_map`] when
-//! [`FlowOptions::jobs`] asks for it; the result is point-for-point
-//! identical to the sequential sweep. Infeasible points are not silently
-//! discarded: they come back as [`SkippedPoint`]s naming the failing flow
-//! step, surfaced by `mamps dse` and
-//! [`crate::report::render_dse_report`].
+//! The sweep is three-dimensional: tile counts × interconnects × *binding
+//! strategies* ([`mamps_mapping::strategy`]). Every design point records
+//! which strategy produced it, so Pareto fronts can be read per strategy —
+//! e.g. a `spiral` point that ties `greedy` throughput at fewer allocated
+//! NoC wire-links. Design points are independent full flow runs, so
+//! [`explore_report`] evaluates them concurrently via
+//! [`crate::parallel::parallel_map`] when [`FlowOptions::jobs`] asks for
+//! it; the result is point-for-point identical to the sequential sweep.
+//! Infeasible points are not silently discarded: they come back as
+//! [`SkippedPoint`]s naming the strategy and the failing flow step,
+//! surfaced by `mamps dse` and [`crate::report::render_dse_report`].
 
+use mamps_mapping::StrategyHandle;
 use mamps_platform::area::platform_area;
 use mamps_platform::interconnect::Interconnect;
 use mamps_sdf::model::ApplicationModel;
@@ -25,10 +30,14 @@ pub struct DsePoint {
     pub tiles: usize,
     /// Interconnect kind (`"fsl"` / `"noc"`).
     pub interconnect: &'static str,
+    /// Binding strategy that produced the mapping.
+    pub strategy: &'static str,
     /// Guaranteed throughput (iterations/cycle).
     pub guaranteed: f64,
     /// Total platform slices (area model).
     pub slices: u64,
+    /// Allocated NoC wire-links (SDM wires × route hops; 0 on FSL).
+    pub wire_units: u64,
 }
 
 /// A design point the flow could not map, with the reason it failed.
@@ -38,71 +47,97 @@ pub struct SkippedPoint {
     pub tiles: usize,
     /// Interconnect kind (`"fsl"` / `"noc"`).
     pub interconnect: &'static str,
+    /// Binding strategy that was attempted.
+    pub strategy: &'static str,
     /// Rendered flow error (which step failed and why).
     pub reason: String,
 }
 
 /// Outcome of a design-space sweep: the feasible points plus every skipped
-/// configuration with its reason.
+/// configuration with its reason. Each entry — kept or skipped — is
+/// attributed to the binding strategy that produced it.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DseReport {
     /// Feasible points, sorted by descending guaranteed throughput
-    /// (ties: fewer slices first).
+    /// (ties: fewer slices, then fewer wire-links first).
     pub points: Vec<DsePoint>,
     /// Infeasible configurations in sweep order.
     pub skipped: Vec<SkippedPoint>,
 }
 
-/// Sweeps tile counts and interconnects, returning all feasible points
-/// sorted by descending guaranteed throughput (ties: fewer slices first).
-///
-/// Convenience wrapper over [`explore_report`] with default options that
-/// drops the skip records.
+/// Sweeps tile counts and interconnects with default options, returning
+/// the feasible points only.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `explore_report`, which also records skipped points and \
+            sweeps binding strategies"
+)]
 pub fn explore(app: &ApplicationModel, tile_counts: &[usize], include_noc: bool) -> Vec<DsePoint> {
     explore_report(app, tile_counts, include_noc, &FlowOptions::default()).points
 }
 
-/// Sweeps tile counts and interconnects, recording both feasible and
-/// skipped design points. `opts.jobs > 1` evaluates independent design
-/// points concurrently with identical results.
+/// Sweeps tile counts × interconnects × binding strategies, recording both
+/// feasible and skipped design points. The strategies come from
+/// [`FlowOptions::binders`]; when that is empty the single configured
+/// `opts.map.bind.strategy` is swept. `opts.jobs > 1` evaluates
+/// independent design points concurrently with identical results.
 pub fn explore_report(
     app: &ApplicationModel,
     tile_counts: &[usize],
     include_noc: bool,
     opts: &FlowOptions,
 ) -> DseReport {
-    let mut configs: Vec<(usize, &'static str, Interconnect)> = Vec::new();
-    for &tiles in tile_counts {
-        configs.push((tiles, "fsl", Interconnect::fsl()));
-        if include_noc {
-            configs.push((tiles, "noc", Interconnect::noc_for_tiles(tiles)));
+    let strategies: Vec<StrategyHandle> = if opts.binders.is_empty() {
+        vec![opts.map.bind.strategy.clone()]
+    } else {
+        opts.binders.clone()
+    };
+
+    let mut configs: Vec<(usize, &'static str, Interconnect, StrategyHandle)> = Vec::new();
+    for strategy in &strategies {
+        for &tiles in tile_counts {
+            configs.push((tiles, "fsl", Interconnect::fsl(), strategy.clone()));
+            if include_noc {
+                configs.push((
+                    tiles,
+                    "noc",
+                    Interconnect::noc_for_tiles(tiles),
+                    strategy.clone(),
+                ));
+            }
         }
     }
 
-    let evaluated = parallel_map(opts.jobs, &configs, |_, &(tiles, name, ic)| match run_flow(
-        app, tiles, ic, opts,
-    ) {
-        Ok(flow) => {
-            let cross_links = app
-                .graph()
-                .channels()
-                .filter(|(_, c)| {
-                    !c.is_self_edge() && flow.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
+    let evaluated = parallel_map(opts.jobs, &configs, |_, (tiles, name, ic, strategy)| {
+        let mut point_opts = opts.clone();
+        point_opts.map.bind.strategy = strategy.clone();
+        match run_flow(app, *tiles, *ic, &point_opts) {
+            Ok(flow) => {
+                let cross_links = app
+                    .graph()
+                    .channels()
+                    .filter(|(_, c)| {
+                        !c.is_self_edge()
+                            && flow.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
+                    })
+                    .count();
+                let area = platform_area(&flow.arch, cross_links);
+                Ok(DsePoint {
+                    tiles: *tiles,
+                    interconnect: name,
+                    strategy: flow.strategy(),
+                    guaranteed: flow.guaranteed_throughput(),
+                    slices: area.total.slices,
+                    wire_units: flow.mapped.mapping.noc_wire_units(app.graph(), &flow.arch),
                 })
-                .count();
-            let area = platform_area(&flow.arch, cross_links);
-            Ok(DsePoint {
-                tiles,
+            }
+            Err(e) => Err(SkippedPoint {
+                tiles: *tiles,
                 interconnect: name,
-                guaranteed: flow.guaranteed_throughput(),
-                slices: area.total.slices,
-            })
+                strategy: strategy.name(),
+                reason: e.to_string(),
+            }),
         }
-        Err(e) => Err(SkippedPoint {
-            tiles,
-            interconnect: name,
-            reason: e.to_string(),
-        }),
     });
 
     let mut report = DseReport::default();
@@ -117,6 +152,7 @@ pub fn explore_report(
             .partial_cmp(&a.guaranteed)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.slices.cmp(&b.slices))
+            .then(a.wire_units.cmp(&b.wire_units))
     });
     report
 }
@@ -195,6 +231,17 @@ mod tests {
         mb.finish(g, None).unwrap()
     }
 
+    fn point(guaranteed: f64, slices: u64) -> DsePoint {
+        DsePoint {
+            tiles: 1,
+            interconnect: "fsl",
+            strategy: "greedy",
+            guaranteed,
+            slices,
+            wire_units: 0,
+        }
+    }
+
     /// The original O(n²) definition, kept as the oracle for the sweep.
     fn pareto_front_naive(points: &[DsePoint]) -> Vec<DsePoint> {
         let mut front: Vec<DsePoint> = Vec::new();
@@ -212,16 +259,31 @@ mod tests {
 
     #[test]
     fn exploration_returns_sorted_points() {
-        let points = explore(&app(), &[1, 2, 3], true);
+        let points = explore_report(&app(), &[1, 2, 3], true, &FlowOptions::default()).points;
         assert!(points.len() >= 4);
         for w in points.windows(2) {
             assert!(w[0].guaranteed >= w[1].guaranteed - 1e-15);
         }
+        assert!(points.iter().all(|p| p.strategy == "greedy"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn explore_shim_keeps_its_contract() {
+        // The deprecated shim's observable contract: only the feasible
+        // points (infeasible configurations silently dropped), sorted by
+        // descending guaranteed throughput, default greedy strategy.
+        let shim = explore(&app(), &[0, 1, 2], true);
+        assert_eq!(shim.len(), 4, "0 tiles is infeasible and must be dropped");
+        for w in shim.windows(2) {
+            assert!(w[0].guaranteed >= w[1].guaranteed - 1e-15);
+        }
+        assert!(shim.iter().all(|p| p.strategy == "greedy"));
     }
 
     #[test]
     fn pareto_front_is_subset_and_nondominated() {
-        let points = explore(&app(), &[1, 2, 3], true);
+        let points = explore_report(&app(), &[1, 2, 3], true, &FlowOptions::default()).points;
         let front = pareto_front(&points);
         assert!(!front.is_empty());
         assert!(front.len() <= points.len());
@@ -237,7 +299,7 @@ mod tests {
 
     #[test]
     fn more_tiles_cost_more_area() {
-        let points = explore(&app(), &[1, 3], false);
+        let points = explore_report(&app(), &[1, 3], false, &FlowOptions::default()).points;
         let p1 = points.iter().find(|p| p.tiles == 1).unwrap();
         let p3 = points.iter().find(|p| p.tiles == 3).unwrap();
         assert!(p3.slices > p1.slices);
@@ -250,24 +312,46 @@ mod tests {
         assert_eq!(report.skipped.len(), 1);
         let s = &report.skipped[0];
         assert_eq!((s.tiles, s.interconnect), (0, "fsl"));
+        assert_eq!(s.strategy, "greedy");
         assert!(!s.reason.is_empty(), "reason must name the failing step");
         assert_eq!(report.points.len(), 1);
         assert_eq!(report.points[0].tiles, 2);
     }
 
     #[test]
+    fn strategy_sweep_attributes_every_point() {
+        let opts = FlowOptions {
+            binders: vec![
+                mamps_mapping::strategy::by_name("greedy").unwrap(),
+                mamps_mapping::strategy::by_name("spiral").unwrap(),
+            ],
+            ..FlowOptions::default()
+        };
+        // Tile count 0 fails for every strategy: skips are attributed too.
+        let report = explore_report(&app(), &[0, 1, 2], true, &opts);
+        for strategy in ["greedy", "spiral"] {
+            let kept = report.points.iter().filter(|p| p.strategy == strategy);
+            let skipped = report.skipped.iter().filter(|s| s.strategy == strategy);
+            // 2 feasible tile counts x 2 interconnects, 1 infeasible x 2.
+            assert_eq!(kept.count(), 4, "{strategy} points");
+            assert_eq!(skipped.count(), 2, "{strategy} skips");
+        }
+    }
+
+    #[test]
     fn parallel_explore_matches_sequential() {
         let a = app();
-        let seq = explore_report(&a, &[0, 1, 2, 3], true, &FlowOptions::default());
-        let par = explore_report(
-            &a,
-            &[0, 1, 2, 3],
-            true,
-            &FlowOptions {
-                jobs: 4,
-                ..FlowOptions::default()
-            },
-        );
+        let binders: Vec<_> = mamps_mapping::strategy::registry()
+            .iter()
+            .filter(|(n, _)| *n != "genetic") // keep the test fast
+            .map(|(_, make)| make())
+            .collect();
+        let opts = FlowOptions {
+            binders,
+            ..FlowOptions::default()
+        };
+        let seq = explore_report(&a, &[0, 1, 2, 3], true, &opts);
+        let par = explore_report(&a, &[0, 1, 2, 3], true, &FlowOptions { jobs: 4, ..opts });
         assert_eq!(seq.points, par.points, "points must match point-for-point");
         assert_eq!(seq.skipped, par.skipped);
     }
@@ -285,13 +369,8 @@ mod tests {
         };
         for n in [0usize, 1, 2, 7, 33, 100] {
             let points: Vec<DsePoint> = (0..n)
-                .map(|_| DsePoint {
-                    tiles: 1,
-                    interconnect: "fsl",
-                    // Coarse buckets force plenty of exact ties.
-                    guaranteed: (next() % 7) as f64 * 1e-6,
-                    slices: next() % 9,
-                })
+                // Coarse buckets force plenty of exact ties.
+                .map(|_| point((next() % 7) as f64 * 1e-6, next() % 9))
                 .collect();
             assert_eq!(
                 pareto_front(&points),
@@ -306,13 +385,7 @@ mod tests {
         // A NaN point is never dominated and dominates nothing, and it must
         // not split an equal-throughput group when it sorts between its
         // members.
-        let mk = |g: f64, s: u64| DsePoint {
-            tiles: 1,
-            interconnect: "fsl",
-            guaranteed: g,
-            slices: s,
-        };
-        let points = [mk(1.0, 5), mk(f64::NAN, 1), mk(1.0, 5)];
+        let points = [point(1.0, 5), point(f64::NAN, 1), point(1.0, 5)];
         let front = pareto_front(&points);
         let naive = pareto_front_naive(&points);
         // NaN != NaN, so compare structure rather than the points directly.
@@ -329,9 +402,7 @@ mod tests {
     fn pareto_keeps_equal_duplicates() {
         let p = DsePoint {
             tiles: 2,
-            interconnect: "fsl",
-            guaranteed: 1e-5,
-            slices: 100,
+            ..point(1e-5, 100)
         };
         let front = pareto_front(&[p.clone(), p.clone()]);
         assert_eq!(front.len(), 2);

@@ -88,6 +88,11 @@ pub struct FlowOptions {
     /// (e.g. the DSE sweep and the `mamps dse --jobs` knob). A single flow
     /// run is sequential regardless; results never depend on this value.
     pub jobs: usize,
+    /// Binding strategies for the DSE sweep ([`crate::dse::explore_report`]
+    /// evaluates every tile count × interconnect × strategy combination).
+    /// Empty means "just the strategy configured in `map.bind.strategy`".
+    /// A single flow run always uses `map.bind.strategy`.
+    pub binders: Vec<mamps_mapping::StrategyHandle>,
 }
 
 impl Default for FlowOptions {
@@ -97,6 +102,7 @@ impl Default for FlowOptions {
             project_name: "mamps_system".into(),
             boot_iterations: 3,
             jobs: 1,
+            binders: Vec::new(),
         }
     }
 }
@@ -118,6 +124,11 @@ impl FlowResult {
     /// The guaranteed worst-case throughput in iterations per cycle.
     pub fn guaranteed_throughput(&self) -> f64 {
         self.mapped.analysis.as_f64()
+    }
+
+    /// Name of the binding strategy that produced the mapping.
+    pub fn strategy(&self) -> &'static str {
+        self.mapped.strategy
     }
 }
 

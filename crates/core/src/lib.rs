@@ -40,7 +40,9 @@ pub mod report;
 pub mod validate;
 
 pub use arbitration::{apply_peripheral_arbitration, ArbitrationError, PeripheralAccesses};
-pub use dse::{explore, explore_report, pareto_front, DsePoint, DseReport, SkippedPoint};
+#[allow(deprecated)] // the `explore` shim stays importable from the crate root
+pub use dse::explore;
+pub use dse::{explore_report, pareto_front, DsePoint, DseReport, SkippedPoint};
 pub use experiments::{
     ca_overhead_experiment, ca_overhead_vs_serialization_cost, fig6_experiment,
     noc_flow_control_overhead, table1, CaOverheadResult, Fig6Row, Table1Row,

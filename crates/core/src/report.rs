@@ -2,7 +2,13 @@
 
 use std::fmt::Write as _;
 
-use crate::dse::{DsePoint, DseReport};
+use mamps_mapping::MappedApplication;
+use mamps_platform::arch::Architecture;
+use mamps_platform::types::TileId;
+use mamps_sdf::model::ApplicationModel;
+use mamps_sdf::repetition::repetition_vector;
+
+use crate::dse::{pareto_front, DsePoint, DseReport};
 use crate::experiments::{Fig6Row, Table1Row};
 
 /// Renders Fig. 6 rows as an aligned text table; throughputs are shown in
@@ -45,28 +51,65 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     out
 }
 
-/// Renders a DSE sweep.
+/// Renders a DSE sweep. Every point is attributed to the binding strategy
+/// that produced it; `wires` is the allocated NoC wire-links (0 on FSL).
 pub fn render_dse(points: &[DsePoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<6} {:<6} {:>16} {:>10}",
-        "tiles", "ic", "it/cycle", "slices"
+        "{:<8} {:<6} {:<6} {:>16} {:>10} {:>7}",
+        "binder", "tiles", "ic", "it/cycle", "slices", "wires"
     );
     for p in points {
         let _ = writeln!(
             out,
-            "{:<6} {:<6} {:>16.3e} {:>10}",
-            p.tiles, p.interconnect, p.guaranteed, p.slices
+            "{:<8} {:<6} {:<6} {:>16.3e} {:>10} {:>7}",
+            p.strategy, p.tiles, p.interconnect, p.guaranteed, p.slices, p.wire_units
         );
     }
     out
 }
 
 /// Renders a DSE sweep including the skipped (infeasible) design points
-/// with the reason each one failed.
+/// with the reason each one failed. Points on the (throughput, slices)
+/// Pareto front are marked with `*` and summarized per binding strategy,
+/// so strategy comparisons are readable straight off the report.
 pub fn render_dse_report(report: &DseReport) -> String {
-    let mut out = render_dse(&report.points);
+    let front = pareto_front(&report.points);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<2} {:<8} {:<6} {:<6} {:>16} {:>10} {:>7}",
+        "", "binder", "tiles", "ic", "it/cycle", "slices", "wires"
+    );
+    for p in &report.points {
+        let marker = if front.contains(p) { "*" } else { "" };
+        let _ = writeln!(
+            out,
+            "{:<2} {:<8} {:<6} {:<6} {:>16.3e} {:>10} {:>7}",
+            marker, p.strategy, p.tiles, p.interconnect, p.guaranteed, p.slices, p.wire_units
+        );
+    }
+    if !front.is_empty() {
+        let mut per_strategy: Vec<(&str, usize)> = Vec::new();
+        for p in &front {
+            match per_strategy.iter_mut().find(|(s, _)| *s == p.strategy) {
+                Some((_, n)) => *n += 1,
+                None => per_strategy.push((p.strategy, 1)),
+            }
+        }
+        let summary = per_strategy
+            .iter()
+            .map(|(s, n)| format!("{s} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "pareto front (*): {} of {} points ({summary})",
+            front.len(),
+            report.points.len()
+        );
+    }
     if !report.skipped.is_empty() {
         let _ = writeln!(
             out,
@@ -75,8 +118,62 @@ pub fn render_dse_report(report: &DseReport) -> String {
             if report.skipped.len() == 1 { "" } else { "s" }
         );
         for s in &report.skipped {
-            let _ = writeln!(out, "  {:<6} {:<6} {}", s.tiles, s.interconnect, s.reason);
+            let _ = writeln!(
+                out,
+                "  {:<8} {:<6} {:<6} {}",
+                s.strategy, s.tiles, s.interconnect, s.reason
+            );
         }
+    }
+    out
+}
+
+/// Renders a per-tile summary of a mapped application: which binding
+/// strategy produced it, each tile's actors, its share of the total work
+/// (WCET × repetitions of the bound implementations), its memory usage,
+/// and the allocated NoC wire-links. This is what `mamps map` prints so
+/// strategy choices can be compared from the CLI.
+pub fn render_mapping_summary(
+    app: &ApplicationModel,
+    arch: &Architecture,
+    mapped: &MappedApplication,
+) -> String {
+    let graph = app.graph();
+    let mut out = String::new();
+    let _ = writeln!(out, "binder: {}", mapped.strategy);
+    let Ok(q) = repetition_vector(graph) else {
+        // A produced mapping implies consistency; defensive fallback only.
+        return out;
+    };
+    let binding = &mapped.mapping.binding;
+    let n = graph.actor_count();
+    let work = |i: usize| binding.wcet_of[i] * q.of(mamps_sdf::graph::ActorId(i));
+    let total: f64 = (0..n).map(|i| work(i) as f64).sum::<f64>().max(1.0);
+    let _ = writeln!(
+        out,
+        "{:<6} {:>6} {:>12}  actors",
+        "tile", "load", "mem(bytes)"
+    );
+    for t in 0..arch.tile_count() {
+        let actors = binding.actors_on(TileId(t));
+        let load: f64 = actors.iter().map(|&a| work(a.0) as f64).sum::<f64>() / total;
+        let mem: u64 = actors
+            .iter()
+            .filter_map(|&a| {
+                app.implementation_for(a, binding.processor_of[a.0].name())
+                    .map(|im| im.instruction_memory + im.data_memory)
+            })
+            .sum();
+        let names = actors
+            .iter()
+            .map(|&a| graph.actor(a).name())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "{t:<6} {:>5.1}% {mem:>12}  {names}", load * 100.0);
+    }
+    let wire_units = mapped.mapping.noc_wire_units(graph, arch);
+    if wire_units > 0 {
+        let _ = writeln!(out, "noc wire-links allocated: {wire_units}");
     }
     out
 }
@@ -125,11 +222,15 @@ mod tests {
         let s = render_dse(&[DsePoint {
             tiles: 2,
             interconnect: "fsl",
+            strategy: "greedy",
             guaranteed: 1e-5,
             slices: 1234,
+            wire_units: 0,
         }]);
         assert!(s.contains("fsl"));
         assert!(s.contains("1234"));
+        assert!(s.contains("greedy"));
+        assert!(s.contains("binder"));
     }
 
     #[test]
@@ -138,19 +239,25 @@ mod tests {
             points: vec![DsePoint {
                 tiles: 2,
                 interconnect: "fsl",
+                strategy: "spiral",
                 guaranteed: 1e-5,
                 slices: 1234,
+                wire_units: 3,
             }],
             skipped: vec![crate::dse::SkippedPoint {
                 tiles: 9,
                 interconnect: "noc",
+                strategy: "greedy",
                 reason: "mapping step failed: no feasible binding".into(),
             }],
         };
         let s = render_dse_report(&report);
         assert!(s.contains("1234"));
+        assert!(s.contains("spiral"));
         assert!(s.contains("skipped 1 infeasible design point"));
         assert!(s.contains("no feasible binding"));
+        // The single point is trivially on the Pareto front.
+        assert!(s.contains("pareto front (*): 1 of 1 points (spiral 1)"));
 
         // No skip section when everything mapped.
         let clean = render_dse_report(&DseReport {
@@ -158,5 +265,28 @@ mod tests {
             ..report
         });
         assert!(!clean.contains("skipped"));
+    }
+
+    #[test]
+    fn mapping_summary_lists_tiles_and_strategy() {
+        use mamps_mapping::flow::{map_application, MapOptions};
+        use mamps_platform::interconnect::Interconnect;
+        use mamps_sdf::graph::SdfGraphBuilder;
+        use mamps_sdf::model::HomogeneousModelBuilder;
+
+        let mut b = SdfGraphBuilder::new("s");
+        let x = b.add_actor("x", 1);
+        let y = b.add_actor("y", 1);
+        b.add_channel_full("e", x, 1, y, 1, 0, 16);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("x", 40, 2048, 256).actor("y", 70, 2048, 256);
+        let app = mb.finish(g, None).unwrap();
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let s = render_mapping_summary(&app, &arch, &mapped);
+        assert!(s.contains("binder: greedy"));
+        assert!(s.contains('x') && s.contains('y'));
+        assert!(s.contains("load"));
     }
 }

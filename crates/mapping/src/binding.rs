@@ -1,36 +1,50 @@
-//! Actor-to-tile binding.
+//! Actor-to-tile binding: options and strategy dispatch.
 //!
-//! A deterministic greedy list binder: actors are placed in order of
-//! decreasing work (WCET x repetitions); each actor goes to the feasible
-//! tile with the lowest weighted cost ([`crate::cost`]). Feasibility
-//! requires an implementation for the tile's processor type and sufficient
-//! tile memory. The algorithm mirrors the load-balancing binder of SDF3
-//! (paper §5.1 keeps "the algorithms used during mapping ... from \[14\]").
-
-use std::collections::HashMap;
+//! The binding algorithm is pluggable (see [`crate::strategy`]): the
+//! [`BindOptions`] carry a [`StrategyHandle`] alongside the cost weights
+//! and pinning constraints, and [`bind`] dispatches to it. The default
+//! strategy is the deterministic greedy list binder
+//! ([`crate::strategy::GreedyBinder`]) — actors placed in order of
+//! decreasing work (WCET x repetitions), each on the feasible tile with
+//! the lowest weighted cost ([`crate::cost`]) — mirroring the
+//! load-balancing binder of SDF3 (paper §5.1 keeps "the algorithms used
+//! during mapping ... from \[14\]").
 
 use mamps_platform::arch::Architecture;
-use mamps_platform::interconnect::Interconnect;
-use mamps_platform::types::{words_per_token, TileId};
+use mamps_platform::types::TileId;
 use mamps_sdf::graph::ActorId;
 use mamps_sdf::model::ApplicationModel;
-use mamps_sdf::repetition::repetition_vector;
 
-use crate::cost::{CostBreakdown, CostWeights};
+use crate::cost::CostWeights;
 use crate::error::MapError;
 use crate::mapping::Binding;
+use crate::strategy::StrategyHandle;
 
 /// Options for the binder.
 #[derive(Debug, Clone, Default)]
 pub struct BindOptions {
-    /// Cost weights (defaults favour processing balance).
+    /// Cost weights (defaults favour processing balance). Used by the
+    /// greedy strategy; other strategies may ignore them.
     pub weights: CostWeights,
     /// Force specific actors onto specific tiles (e.g. peripherals-needing
-    /// actors onto the master tile).
+    /// actors onto the master tile). Honoured by every strategy.
     pub pinned: Vec<(ActorId, TileId)>,
+    /// The binding strategy to dispatch to (default: greedy).
+    pub strategy: StrategyHandle,
 }
 
-/// Binds the application's actors to the architecture's tiles.
+impl BindOptions {
+    /// The default options with a specific strategy.
+    pub fn with_strategy(strategy: StrategyHandle) -> BindOptions {
+        BindOptions {
+            strategy,
+            ..BindOptions::default()
+        }
+    }
+}
+
+/// Binds the application's actors to the architecture's tiles by
+/// dispatching to `opts.strategy`.
 ///
 /// # Errors
 ///
@@ -42,153 +56,7 @@ pub fn bind(
     arch: &Architecture,
     opts: &BindOptions,
 ) -> Result<Binding, MapError> {
-    let graph = app.graph();
-    let q = repetition_vector(graph)?;
-    let n = graph.actor_count();
-
-    // Work per actor: max WCET over its implementations x repetitions
-    // (placement order heuristic only).
-    let mut order: Vec<ActorId> = (0..n).map(ActorId).collect();
-    let work = |a: ActorId| -> u64 {
-        app.implementations(a)
-            .iter()
-            .map(|im| im.wcet)
-            .max()
-            .unwrap_or(0)
-            * q.of(a)
-    };
-    order.sort_by_key(|&a| std::cmp::Reverse((work(a), std::cmp::Reverse(a.0))));
-
-    let total_work: f64 = (0..n)
-        .map(|i| work(ActorId(i)) as f64)
-        .sum::<f64>()
-        .max(1.0);
-    let total_comm: f64 = graph
-        .channels()
-        .map(|(_, c)| {
-            (q.of(c.src()) * c.production_rate() * words_per_token(c.token_size())) as f64
-        })
-        .sum::<f64>()
-        .max(1.0);
-    let mesh_diameter = match arch.interconnect() {
-        Interconnect::Noc(noc) => (noc.width + noc.height - 2).max(1) as f64,
-        Interconnect::Fsl { .. } => 1.0,
-    };
-
-    let pinned: HashMap<ActorId, TileId> = opts.pinned.iter().copied().collect();
-    let mut tile_load = vec![0f64; arch.tile_count()];
-    let mut tile_mem = vec![0u64; arch.tile_count()];
-    let mut placed: Vec<Option<TileId>> = vec![None; n];
-
-    for &a in &order {
-        let candidates: Vec<TileId> = match pinned.get(&a) {
-            Some(&t) => vec![t],
-            None => (0..arch.tile_count()).map(TileId).collect(),
-        };
-        let mut best: Option<(f64, TileId)> = None;
-        for t in candidates {
-            let tile = arch.tile(t);
-            let im = match app.implementation_for(a, tile.processor().name()) {
-                Some(im) => im,
-                None => continue,
-            };
-            let mem_needed = im.instruction_memory + im.data_memory;
-            if tile_mem[t.0] + mem_needed > tile.imem_bytes() + tile.dmem_bytes() {
-                continue;
-            }
-            let mut comm = 0f64;
-            let mut lat = 0f64;
-            let mut neighbours = 0u32;
-            for (_, ch) in graph.channels() {
-                let (other, volume) = if ch.src() == a {
-                    (
-                        ch.dst(),
-                        (q.of(a) * ch.production_rate() * words_per_token(ch.token_size())) as f64,
-                    )
-                } else if ch.dst() == a {
-                    (
-                        ch.src(),
-                        (q.of(ch.src()) * ch.production_rate() * words_per_token(ch.token_size()))
-                            as f64,
-                    )
-                } else {
-                    continue;
-                };
-                if other == a {
-                    continue;
-                }
-                if let Some(ot) = placed[other.0] {
-                    if ot != t {
-                        let hops = match arch.interconnect() {
-                            Interconnect::Noc(noc) => noc.hops(t, ot).max(1) as f64,
-                            Interconnect::Fsl { .. } => 1.0,
-                        };
-                        comm += volume * hops;
-                        lat += hops;
-                        neighbours += 1;
-                    }
-                }
-            }
-            let breakdown = CostBreakdown {
-                processing: (tile_load[t.0] + work(a) as f64) / total_work,
-                memory: (tile_mem[t.0] + mem_needed) as f64
-                    / (tile.imem_bytes() + tile.dmem_bytes()).max(1) as f64,
-                communication: comm / total_comm,
-                latency: if neighbours > 0 {
-                    lat / neighbours as f64 / mesh_diameter
-                } else {
-                    0.0
-                },
-            };
-            let cost = breakdown.weighted(&opts.weights);
-            let better = match best {
-                None => true,
-                // Tie-break on tile id for determinism.
-                Some((bc, bt)) => cost < bc - 1e-12 || (cost <= bc + 1e-12 && t.0 < bt.0),
-            };
-            if better {
-                best = Some((cost, t));
-            }
-        }
-        match best {
-            Some((_, t)) => {
-                placed[a.0] = Some(t);
-                tile_load[t.0] += work(a) as f64;
-                let im = app
-                    .implementation_for(a, arch.tile(t).processor().name())
-                    .expect("feasibility checked above");
-                tile_mem[t.0] += im.instruction_memory + im.data_memory;
-            }
-            None => {
-                return Err(MapError::Infeasible(format!(
-                    "actor `{}` fits no tile (implementations: {:?})",
-                    graph.actor(a).name(),
-                    app.implementations(a)
-                        .iter()
-                        .map(|i| i.processor_type.as_str())
-                        .collect::<Vec<_>>()
-                )));
-            }
-        }
-    }
-
-    let tile_of: Vec<TileId> = placed.into_iter().map(|p| p.expect("all placed")).collect();
-    let processor_of = tile_of
-        .iter()
-        .map(|&t| arch.tile(t).processor().clone())
-        .collect();
-    let wcet_of = (0..n)
-        .map(|i| {
-            app.implementation_for(ActorId(i), arch.tile(tile_of[i]).processor().name())
-                .expect("chosen tiles have implementations")
-                .wcet
-        })
-        .collect();
-    Ok(Binding {
-        tile_of,
-        processor_of,
-        wcet_of,
-    })
+    opts.strategy.bind(app, arch, opts)
 }
 
 #[cfg(test)]
@@ -292,5 +160,18 @@ mod tests {
         let b1 = bind(&app, &arch, &BindOptions::default()).unwrap();
         let b2 = bind(&app, &arch, &BindOptions::default()).unwrap();
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn dispatch_uses_the_configured_strategy() {
+        use crate::strategy::BindingStrategy as _;
+        let app = pipeline_app(4, &[50, 50, 50, 50]);
+        let arch = Architecture::homogeneous("a", 4, Interconnect::noc_for_tiles(4)).unwrap();
+        let spiral = BindOptions::with_strategy(crate::strategy::by_name("spiral").unwrap());
+        let via_dispatch = bind(&app, &arch, &spiral).unwrap();
+        let direct = crate::strategy::SpiralBinder
+            .bind(&app, &arch, &spiral)
+            .unwrap();
+        assert_eq!(via_dispatch, direct);
     }
 }

@@ -1,6 +1,9 @@
-//! The complete mapping step of the design flow (paper §5.1): bind, allocate
-//! NoC wires, schedule, size buffers, and compute the guaranteed throughput
-//! of the resulting bound graph.
+//! The complete mapping step of the design flow (paper §5.1): bind (with
+//! the strategy configured in [`BindOptions`], see [`crate::strategy`]),
+//! allocate NoC wires, schedule, size buffers, and compute the guaranteed
+//! throughput of the resulting bound graph. Whatever strategy produced the
+//! binding, the verification pipeline is identical — so the worst-case
+//! guarantee holds for every strategy.
 
 use mamps_platform::arch::Architecture;
 use mamps_platform::interconnect::Interconnect;
@@ -20,7 +23,7 @@ use crate::schedule::build_schedules;
 /// Options of the mapping flow.
 #[derive(Debug, Clone)]
 pub struct MapOptions {
-    /// Binder options (cost weights, pinning).
+    /// Binder options (strategy, cost weights, pinning).
     pub bind: BindOptions,
     /// Throughput target in iterations/cycle; `None` uses the application's
     /// constraint, and if that is absent too, buffers grow until saturation.
@@ -45,6 +48,16 @@ impl Default for MapOptions {
     }
 }
 
+impl MapOptions {
+    /// The default options with a specific binding strategy.
+    pub fn with_strategy(strategy: crate::strategy::StrategyHandle) -> MapOptions {
+        MapOptions {
+            bind: BindOptions::with_strategy(strategy),
+            ..MapOptions::default()
+        }
+    }
+}
+
 /// A mapped application: the mapping, the expanded analysis graph it was
 /// verified on, and the throughput analysis result.
 #[derive(Debug, Clone)]
@@ -55,6 +68,8 @@ pub struct MappedApplication {
     pub expanded: ExpandedGraph,
     /// The worst-case throughput analysis of `expanded`.
     pub analysis: ThroughputResult,
+    /// Name of the binding strategy that produced the mapping.
+    pub strategy: &'static str,
 }
 
 fn analysis_options(max_states: usize) -> AnalysisOptions {
@@ -244,6 +259,7 @@ pub fn map_application(
         mapping,
         expanded: current.0,
         analysis: current.1,
+        strategy: opts.bind.strategy.name(),
     })
 }
 
@@ -343,6 +359,17 @@ mod tests {
         let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
         let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
         assert!(mapped.analysis.iterations_per_cycle >= Ratio::new(1, 100_000));
+    }
+
+    #[test]
+    fn strategy_recorded_in_mapped_application() {
+        let app = pipeline_app(&[100, 100], 16);
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        assert_eq!(mapped.strategy, "greedy");
+        let spiral = MapOptions::with_strategy(crate::strategy::by_name("spiral").unwrap());
+        let mapped = map_application(&app, &arch, &spiral).unwrap();
+        assert_eq!(mapped.strategy, "spiral");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! platform generator and the simulator, eliminating the manual translation
 //! step the paper criticizes in prior flows (§2).
 //!
+//! Binding is pluggable: [`strategy`] defines the [`BindingStrategy`]
+//! trait with three built-in binders (`greedy`, `spiral`, `genetic`), all
+//! verified through the same scheduling/buffer-sizing/throughput pipeline.
+//!
 //! ## Example
 //!
 //! ```
@@ -42,6 +46,7 @@ pub mod error;
 pub mod flow;
 pub mod mapping;
 pub mod schedule;
+pub mod strategy;
 pub mod xml;
 
 pub use binding::{bind, BindOptions};
@@ -50,3 +55,4 @@ pub use error::MapError;
 pub use flow::{map_application, MapOptions, MappedApplication};
 pub use mapping::{Binding, ChannelAlloc, Mapping, ScheduleEntry};
 pub use schedule::build_schedules;
+pub use strategy::{BindingStrategy, GeneticBinder, GreedyBinder, SpiralBinder, StrategyHandle};

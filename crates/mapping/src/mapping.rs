@@ -4,8 +4,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
 use mamps_platform::types::{ProcessorType, TileId};
-use mamps_sdf::graph::{ActorId, ChannelId};
+use mamps_sdf::graph::{ActorId, ChannelId, SdfGraph};
+use mamps_sdf::model::ApplicationModel;
 use mamps_sdf::ratio::Ratio;
 
 /// Actor-to-tile binding with the chosen implementations.
@@ -123,6 +126,117 @@ impl Mapping {
                 self.guaranteed_cycles as i128,
             )
         }
+    }
+
+    /// Total allocated NoC wire-links: the sum over cross-tile channels of
+    /// allocated SDM wires times the route length in hops. Zero on FSL
+    /// interconnects. A strategy-comparison metric: two mappings with the
+    /// same throughput and area can still differ in how much of the mesh
+    /// they reserve.
+    pub fn noc_wire_units(&self, graph: &SdfGraph, arch: &Architecture) -> u64 {
+        let Interconnect::Noc(noc) = arch.interconnect() else {
+            return 0;
+        };
+        graph
+            .channels()
+            .map(|(cid, ch)| {
+                if ch.is_self_edge() || !self.binding.crosses_tiles(ch.src(), ch.dst()) {
+                    return 0;
+                }
+                let from = self.binding.tile_of[ch.src().0];
+                let to = self.binding.tile_of[ch.dst().0];
+                u64::from(self.channels[cid.0].wires) * noc.hops(from, to)
+            })
+            .sum()
+    }
+
+    /// Structural validation of the mapping against the application and
+    /// architecture it claims to map: every strategy's output must pass.
+    ///
+    /// Checks that every actor is bound to an existing tile whose processor
+    /// matches the recorded implementation choice (processor type and WCET),
+    /// that per-tile memory stays within the tile's capacity, that the
+    /// channel allocation covers every channel, and that each actor is
+    /// fired by its own tile's static-order schedule.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation found.
+    pub fn validate(&self, app: &ApplicationModel, arch: &Architecture) -> Result<(), String> {
+        let graph = app.graph();
+        let n = graph.actor_count();
+        if self.binding.tile_of.len() != n
+            || self.binding.processor_of.len() != n
+            || self.binding.wcet_of.len() != n
+        {
+            return Err(format!("binding does not cover all {n} actors"));
+        }
+        let tiles = arch.tile_count();
+        let mut mem_used = vec![0u64; tiles];
+        for (aid, actor) in graph.actors() {
+            let t = self.binding.tile_of[aid.0];
+            if t.0 >= tiles {
+                return Err(format!("actor `{}` bound to nonexistent {t}", actor.name()));
+            }
+            let proc = arch.tile(t).processor();
+            if self.binding.processor_of[aid.0] != *proc {
+                return Err(format!(
+                    "actor `{}` records processor `{}` but {t} has `{}`",
+                    actor.name(),
+                    self.binding.processor_of[aid.0].name(),
+                    proc.name()
+                ));
+            }
+            let Some(im) = app.implementation_for(aid, proc.name()) else {
+                return Err(format!(
+                    "actor `{}` has no implementation for `{}`",
+                    actor.name(),
+                    proc.name()
+                ));
+            };
+            if im.wcet != self.binding.wcet_of[aid.0] {
+                return Err(format!(
+                    "actor `{}` records WCET {} but the `{}` implementation has {}",
+                    actor.name(),
+                    self.binding.wcet_of[aid.0],
+                    proc.name(),
+                    im.wcet
+                ));
+            }
+            mem_used[t.0] += im.instruction_memory + im.data_memory;
+        }
+        for (t, &used) in mem_used.iter().enumerate() {
+            let tile = arch.tile(TileId(t));
+            let cap = tile.imem_bytes() + tile.dmem_bytes();
+            if used > cap {
+                return Err(format!(
+                    "tile {t} overcommitted: {used} bytes used of {cap}"
+                ));
+            }
+        }
+        if self.channels.len() != graph.channel_count() {
+            return Err(format!(
+                "channel allocation covers {} of {} channels",
+                self.channels.len(),
+                graph.channel_count()
+            ));
+        }
+        if self.schedules.len() != tiles || self.rounds_per_iteration.len() != tiles {
+            return Err(format!("schedules do not cover all {tiles} tiles"));
+        }
+        for (aid, actor) in graph.actors() {
+            let t = self.binding.tile_of[aid.0];
+            let fired = self.schedules[t.0]
+                .iter()
+                .any(|e| matches!(e, ScheduleEntry::Fire { actor, .. } if *actor == aid));
+            if !fired {
+                return Err(format!(
+                    "actor `{}` is not fired by its tile's schedule ({t})",
+                    actor.name()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

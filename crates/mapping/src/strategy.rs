@@ -1,0 +1,1039 @@
+//! Pluggable actor-to-tile binding strategies.
+//!
+//! The paper fixes one greedy list binder ("the algorithms used during
+//! mapping ... from \[14\]"), but the quality of the whole flow — and of
+//! the DSE sweep built on top of it — is bounded by the mappings it can
+//! express. This module turns the binder into an extension point:
+//!
+//! * [`BindingStrategy`] — the object-safe (`Send + Sync`) trait every
+//!   binder implements, so strategies thread through the parallel DSE
+//!   fan-out unchanged.
+//! * [`StrategyHandle`] — a cheaply-cloneable shared handle carried by
+//!   [`BindOptions`]; its [`Default`] is the greedy binder, keeping the
+//!   pre-existing flow behaviour bit-identical.
+//! * [`GreedyBinder`] — the paper's deterministic cost-weighted list
+//!   binder, extracted verbatim from the previous hard-coded `bind()`.
+//! * [`SpiralBinder`] — NoC-distance-aware placement: actors are visited
+//!   in communication order and filled onto tiles along a spiral of
+//!   increasing hop distance from a load-chosen seed tile (after the
+//!   run-time spiral mapping heuristics of Benhaoua et al.).
+//! * [`GeneticBinder`] — a seeded bias-elitist genetic algorithm over
+//!   actor→tile assignment vectors (after Quan & Pimentel), whose fitness
+//!   is the guaranteed throughput of the candidate binding computed with
+//!   the existing state-space analysis and memoized per assignment;
+//!   infeasible assignments are penalized instead of discarded.
+//! * [`registry`] / [`by_name`] — name → constructor table used by the
+//!   CLI (`mamps map --binder`, `mamps dse --binders`) and the DSE
+//!   strategy sweep.
+//!
+//! Every strategy returns a [`Binding`] that flows through the unchanged
+//! wire-allocation / scheduling / buffer-sizing / throughput-verification
+//! pipeline of [`crate::flow::map_application`], so the worst-case
+//! guarantee holds for all of them.
+//!
+//! ## Picking a strategy
+//!
+//! * `greedy` — the default; fast, balances load with a communication
+//!   penalty. Best all-rounder and the paper-faithful choice.
+//! * `spiral` — minimizes NoC hop distance between communicating actors;
+//!   prefer it on mesh NoCs when wire usage (and thus interconnect area
+//!   and contention) matters more than perfect load balance.
+//! * `genetic` — searches the assignment space with the throughput
+//!   analysis in the loop; slowest, but can escape greedy's local optima
+//!   on irregular graphs. Deterministic for a fixed [`GeneticBinder::seed`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
+use mamps_platform::types::{words_per_token, TileId};
+use mamps_sdf::buffer::capacity_lower_bound;
+use mamps_sdf::graph::ActorId;
+use mamps_sdf::model::ApplicationModel;
+use mamps_sdf::repetition::repetition_vector;
+use mamps_sdf::state_space::{throughput, AnalysisOptions};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::binding::BindOptions;
+use crate::comm_expand::expand;
+use crate::cost::CostBreakdown;
+use crate::error::MapError;
+use crate::mapping::{Binding, ChannelAlloc, Mapping};
+use crate::schedule::build_schedules;
+
+/// An actor-to-tile binding heuristic.
+///
+/// Implementations must be deterministic: the same inputs must produce the
+/// same [`Binding`], so DSE results are reproducible and independent of the
+/// job count. `Send + Sync` lets handles fan out across the parallel DSE
+/// workers.
+pub trait BindingStrategy: Send + Sync {
+    /// Stable identifier of the strategy (CLI name, report column).
+    fn name(&self) -> &'static str;
+
+    /// Binds the application's actors to the architecture's tiles.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::Sdf`] if the graph is inconsistent.
+    /// * [`MapError::Infeasible`] if no feasible placement exists.
+    fn bind(
+        &self,
+        app: &ApplicationModel,
+        arch: &Architecture,
+        opts: &BindOptions,
+    ) -> Result<Binding, MapError>;
+}
+
+/// Shared, cheaply-cloneable handle to a [`BindingStrategy`].
+///
+/// Carried by [`BindOptions::strategy`]; the default is [`GreedyBinder`],
+/// which keeps the pre-strategy flow behaviour bit-identical.
+#[derive(Clone)]
+pub struct StrategyHandle(Arc<dyn BindingStrategy>);
+
+impl StrategyHandle {
+    /// Wraps a strategy into a handle.
+    pub fn new(strategy: impl BindingStrategy + 'static) -> StrategyHandle {
+        StrategyHandle(Arc::new(strategy))
+    }
+
+    /// The wrapped strategy's name.
+    pub fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    /// Dispatches to the wrapped strategy's [`BindingStrategy::bind`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the strategy's binding errors.
+    pub fn bind(
+        &self,
+        app: &ApplicationModel,
+        arch: &Architecture,
+        opts: &BindOptions,
+    ) -> Result<Binding, MapError> {
+        self.0.bind(app, arch, opts)
+    }
+}
+
+impl std::fmt::Debug for StrategyHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StrategyHandle({})", self.name())
+    }
+}
+
+impl Default for StrategyHandle {
+    fn default() -> Self {
+        StrategyHandle::new(GreedyBinder)
+    }
+}
+
+/// One registry entry: the strategy's name and its constructor.
+pub type StrategyEntry = (&'static str, fn() -> StrategyHandle);
+
+/// The built-in name → constructor table.
+///
+/// The CLI and the DSE strategy sweep resolve `--binder` / `--binders`
+/// names through this registry, so adding a strategy here makes it
+/// available everywhere at once.
+pub fn registry() -> &'static [StrategyEntry] {
+    &[
+        ("greedy", || StrategyHandle::new(GreedyBinder)),
+        ("spiral", || StrategyHandle::new(SpiralBinder)),
+        ("genetic", || StrategyHandle::new(GeneticBinder::default())),
+    ]
+}
+
+/// Resolves a strategy by registry name.
+pub fn by_name(name: &str) -> Option<StrategyHandle> {
+    registry()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, make)| make())
+}
+
+/// The registered strategy names, in registry order.
+pub fn names() -> Vec<&'static str> {
+    registry().iter().map(|(n, _)| *n).collect()
+}
+
+/// Completes a tile assignment into a full [`Binding`] by choosing each
+/// actor's implementation for its tile's processor.
+///
+/// # Panics
+///
+/// Panics if some actor has no implementation for its tile — callers must
+/// have checked feasibility.
+fn finish_binding(app: &ApplicationModel, arch: &Architecture, tile_of: Vec<TileId>) -> Binding {
+    let processor_of = tile_of
+        .iter()
+        .map(|&t| arch.tile(t).processor().clone())
+        .collect();
+    let wcet_of = tile_of
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            app.implementation_for(ActorId(i), arch.tile(t).processor().name())
+                .expect("chosen tiles have implementations")
+                .wcet
+        })
+        .collect();
+    Binding {
+        tile_of,
+        processor_of,
+        wcet_of,
+    }
+}
+
+/// Memory needed on tile `t` by actor `a`, or `None` when the tile's
+/// processor type has no implementation of the actor.
+fn mem_needed(app: &ApplicationModel, arch: &Architecture, a: ActorId, t: TileId) -> Option<u64> {
+    app.implementation_for(a, arch.tile(t).processor().name())
+        .map(|im| im.instruction_memory + im.data_memory)
+}
+
+fn infeasible_actor(app: &ApplicationModel, a: ActorId) -> MapError {
+    MapError::Infeasible(format!(
+        "actor `{}` fits no tile (implementations: {:?})",
+        app.graph().actor(a).name(),
+        app.implementations(a)
+            .iter()
+            .map(|i| i.processor_type.as_str())
+            .collect::<Vec<_>>()
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Greedy
+// ---------------------------------------------------------------------------
+
+/// The deterministic greedy list binder (the previous hard-coded `bind()`,
+/// extracted verbatim): actors are placed in order of decreasing work
+/// (WCET x repetitions); each actor goes to the feasible tile with the
+/// lowest weighted cost ([`crate::cost`]). Feasibility requires an
+/// implementation for the tile's processor type and sufficient tile memory.
+/// The algorithm mirrors the load-balancing binder of SDF3 (paper §5.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyBinder;
+
+impl BindingStrategy for GreedyBinder {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn bind(
+        &self,
+        app: &ApplicationModel,
+        arch: &Architecture,
+        opts: &BindOptions,
+    ) -> Result<Binding, MapError> {
+        let graph = app.graph();
+        let q = repetition_vector(graph)?;
+        let n = graph.actor_count();
+
+        // Work per actor: max WCET over its implementations x repetitions
+        // (placement order heuristic only).
+        let mut order: Vec<ActorId> = (0..n).map(ActorId).collect();
+        let work = |a: ActorId| -> u64 {
+            app.implementations(a)
+                .iter()
+                .map(|im| im.wcet)
+                .max()
+                .unwrap_or(0)
+                * q.of(a)
+        };
+        order.sort_by_key(|&a| std::cmp::Reverse((work(a), std::cmp::Reverse(a.0))));
+
+        let total_work: f64 = (0..n)
+            .map(|i| work(ActorId(i)) as f64)
+            .sum::<f64>()
+            .max(1.0);
+        let total_comm: f64 = graph
+            .channels()
+            .map(|(_, c)| {
+                (q.of(c.src()) * c.production_rate() * words_per_token(c.token_size())) as f64
+            })
+            .sum::<f64>()
+            .max(1.0);
+        let mesh_diameter = match arch.interconnect() {
+            Interconnect::Noc(noc) => (noc.width + noc.height - 2).max(1) as f64,
+            Interconnect::Fsl { .. } => 1.0,
+        };
+
+        let pinned: HashMap<ActorId, TileId> = opts.pinned.iter().copied().collect();
+        let mut tile_load = vec![0f64; arch.tile_count()];
+        let mut tile_mem = vec![0u64; arch.tile_count()];
+        let mut placed: Vec<Option<TileId>> = vec![None; n];
+
+        for &a in &order {
+            let candidates: Vec<TileId> = match pinned.get(&a) {
+                Some(&t) => vec![t],
+                None => (0..arch.tile_count()).map(TileId).collect(),
+            };
+            let mut best: Option<(f64, TileId)> = None;
+            for t in candidates {
+                let tile = arch.tile(t);
+                let im = match app.implementation_for(a, tile.processor().name()) {
+                    Some(im) => im,
+                    None => continue,
+                };
+                let mem_needed = im.instruction_memory + im.data_memory;
+                if tile_mem[t.0] + mem_needed > tile.imem_bytes() + tile.dmem_bytes() {
+                    continue;
+                }
+                let mut comm = 0f64;
+                let mut lat = 0f64;
+                let mut neighbours = 0u32;
+                for (_, ch) in graph.channels() {
+                    let (other, volume) = if ch.src() == a {
+                        (
+                            ch.dst(),
+                            (q.of(a) * ch.production_rate() * words_per_token(ch.token_size()))
+                                as f64,
+                        )
+                    } else if ch.dst() == a {
+                        (
+                            ch.src(),
+                            (q.of(ch.src())
+                                * ch.production_rate()
+                                * words_per_token(ch.token_size()))
+                                as f64,
+                        )
+                    } else {
+                        continue;
+                    };
+                    if other == a {
+                        continue;
+                    }
+                    if let Some(ot) = placed[other.0] {
+                        if ot != t {
+                            let hops = match arch.interconnect() {
+                                Interconnect::Noc(noc) => noc.hops(t, ot).max(1) as f64,
+                                Interconnect::Fsl { .. } => 1.0,
+                            };
+                            comm += volume * hops;
+                            lat += hops;
+                            neighbours += 1;
+                        }
+                    }
+                }
+                let breakdown = CostBreakdown {
+                    processing: (tile_load[t.0] + work(a) as f64) / total_work,
+                    memory: (tile_mem[t.0] + mem_needed) as f64
+                        / (tile.imem_bytes() + tile.dmem_bytes()).max(1) as f64,
+                    communication: comm / total_comm,
+                    latency: if neighbours > 0 {
+                        lat / neighbours as f64 / mesh_diameter
+                    } else {
+                        0.0
+                    },
+                };
+                let cost = breakdown.weighted(&opts.weights);
+                let better = match best {
+                    None => true,
+                    // Tie-break on tile id for determinism.
+                    Some((bc, bt)) => cost < bc - 1e-12 || (cost <= bc + 1e-12 && t.0 < bt.0),
+                };
+                if better {
+                    best = Some((cost, t));
+                }
+            }
+            match best {
+                Some((_, t)) => {
+                    placed[a.0] = Some(t);
+                    tile_load[t.0] += work(a) as f64;
+                    let im = app
+                        .implementation_for(a, arch.tile(t).processor().name())
+                        .expect("feasibility checked above");
+                    tile_mem[t.0] += im.instruction_memory + im.data_memory;
+                }
+                None => return Err(infeasible_actor(app, a)),
+            }
+        }
+
+        let tile_of: Vec<TileId> = placed.into_iter().map(|p| p.expect("all placed")).collect();
+        Ok(finish_binding(app, arch, tile_of))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spiral
+// ---------------------------------------------------------------------------
+
+/// NoC-distance-aware spiral binder.
+///
+/// Actors are visited in *communication order*: a breadth-first traversal
+/// of the application graph that starts at the heaviest actor and expands
+/// along the highest-volume channels first, so communicating actors are
+/// adjacent in the visit sequence. Tiles are visited along a *spiral*: the
+/// seed tile is the feasible tile for the heaviest actor closest to the
+/// mesh centre (the load chooses the seed), and the remaining tiles are
+/// ordered by increasing hop distance from it — concentric rings around
+/// the seed. The binder walks the actor sequence and fills the current
+/// spiral tile up to its fair share of the total work before moving
+/// outward, which keeps communicating actors on the same or on physically
+/// adjacent tiles and minimizes allocated NoC wire length.
+///
+/// On FSL interconnects every tile pair is one hop apart, so the spiral
+/// degenerates to tile-id order and the binder becomes a plain
+/// communication-ordered first-fit — still useful as a fast, contention-free
+/// alternative to the cost-driven greedy search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpiralBinder;
+
+impl BindingStrategy for SpiralBinder {
+    fn name(&self) -> &'static str {
+        "spiral"
+    }
+
+    fn bind(
+        &self,
+        app: &ApplicationModel,
+        arch: &Architecture,
+        opts: &BindOptions,
+    ) -> Result<Binding, MapError> {
+        let graph = app.graph();
+        let q = repetition_vector(graph)?;
+        let n = graph.actor_count();
+        let tiles = arch.tile_count();
+
+        let work = |a: ActorId| -> u64 {
+            app.implementations(a)
+                .iter()
+                .map(|im| im.wcet)
+                .max()
+                .unwrap_or(0)
+                * q.of(a)
+        };
+
+        // Channel volumes aggregated per undirected actor pair.
+        let mut adj: Vec<Vec<(ActorId, u64)>> = vec![Vec::new(); n];
+        for (_, ch) in graph.channels() {
+            if ch.is_self_edge() {
+                continue;
+            }
+            let vol = q.of(ch.src()) * ch.production_rate() * words_per_token(ch.token_size());
+            adj[ch.src().0].push((ch.dst(), vol));
+            adj[ch.dst().0].push((ch.src(), vol));
+        }
+        for neighbours in &mut adj {
+            // Highest volume first; ties on actor id for determinism.
+            neighbours.sort_by_key(|&(b, v)| (std::cmp::Reverse(v), b.0));
+        }
+
+        // Communication-ordered visit sequence: BFS from the heaviest actor
+        // of each (possibly disconnected) component, expanding along the
+        // highest-volume channels first.
+        let mut heaviest_first: Vec<ActorId> = (0..n).map(ActorId).collect();
+        heaviest_first.sort_by_key(|&a| (std::cmp::Reverse(work(a)), a.0));
+        let mut visited = vec![false; n];
+        let mut order: Vec<ActorId> = Vec::with_capacity(n);
+        for &root in &heaviest_first {
+            if visited[root.0] {
+                continue;
+            }
+            let mut queue = std::collections::VecDeque::from([root]);
+            visited[root.0] = true;
+            while let Some(a) = queue.pop_front() {
+                order.push(a);
+                for &(b, _) in &adj[a.0] {
+                    if !visited[b.0] {
+                        visited[b.0] = true;
+                        queue.push_back(b);
+                    }
+                }
+            }
+        }
+
+        // Spiral tile order from the load-chosen seed: among the tiles that
+        // can host the heaviest actor, the one closest to the mesh centre
+        // (ties on tile id); remaining tiles by increasing hop distance.
+        let spiral = match order.first() {
+            Some(&first) => {
+                spiral_tile_order(app, arch, first).ok_or_else(|| infeasible_actor(app, first))?
+            }
+            None => Vec::new(),
+        };
+
+        let total_work: f64 = (0..n)
+            .map(|i| work(ActorId(i)) as f64)
+            .sum::<f64>()
+            .max(1.0);
+        let fair_share = total_work / tiles.max(1) as f64;
+
+        let pinned: HashMap<ActorId, TileId> = opts.pinned.iter().copied().collect();
+        let mut tile_load = vec![0f64; tiles];
+        let mut tile_mem = vec![0u64; tiles];
+        let mut placed: Vec<Option<TileId>> = vec![None; n];
+        let mut cursor = 0usize;
+
+        let mut place = |a: ActorId,
+                         t: TileId,
+                         tile_load: &mut Vec<f64>,
+                         tile_mem: &mut Vec<u64>,
+                         need: u64| {
+            placed[a.0] = Some(t);
+            tile_load[t.0] += work(a) as f64;
+            tile_mem[t.0] += need;
+        };
+
+        for &a in &order {
+            let fits = |t: TileId, tile_mem: &[u64]| -> Option<u64> {
+                let need = mem_needed(app, arch, a, t)?;
+                let cap = arch.tile(t).imem_bytes() + arch.tile(t).dmem_bytes();
+                (tile_mem[t.0] + need <= cap).then_some(need)
+            };
+            if let Some(&t) = pinned.get(&a) {
+                match fits(t, &tile_mem) {
+                    Some(need) => place(a, t, &mut tile_load, &mut tile_mem, need),
+                    None => return Err(infeasible_actor(app, a)),
+                }
+                continue;
+            }
+            // The current spiral tile is full: move outward.
+            while cursor + 1 < spiral.len() && tile_load[spiral[cursor].0] >= fair_share {
+                cursor += 1;
+            }
+            // First feasible tile at or after the cursor, else the least
+            // loaded feasible tile anywhere (memory fallback).
+            let forward = spiral[cursor..]
+                .iter()
+                .find_map(|&t| fits(t, &tile_mem).map(|need| (t, need)));
+            let chosen = forward.or_else(|| {
+                spiral
+                    .iter()
+                    .filter_map(|&t| fits(t, &tile_mem).map(|need| (t, need)))
+                    .min_by(|(ta, _), (tb, _)| {
+                        tile_load[ta.0]
+                            .partial_cmp(&tile_load[tb.0])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(ta.0.cmp(&tb.0))
+                    })
+            });
+            match chosen {
+                Some((t, need)) => place(a, t, &mut tile_load, &mut tile_mem, need),
+                None => return Err(infeasible_actor(app, a)),
+            }
+        }
+
+        let tile_of: Vec<TileId> = placed.into_iter().map(|p| p.expect("all placed")).collect();
+        Ok(finish_binding(app, arch, tile_of))
+    }
+}
+
+/// Tile visit order for [`SpiralBinder`]: seed = feasible tile for `first`
+/// nearest the mesh centre, then all tiles by (hop distance from seed,
+/// tile id). Returns `None` when no tile can host `first` at all.
+fn spiral_tile_order(
+    app: &ApplicationModel,
+    arch: &Architecture,
+    first: ActorId,
+) -> Option<Vec<TileId>> {
+    let tiles = arch.tile_count();
+    let feasible = |t: TileId| -> bool {
+        app.implementation_for(first, arch.tile(t).processor().name())
+            .is_some()
+    };
+    let seed = match arch.interconnect() {
+        Interconnect::Noc(noc) => {
+            // Distance to the mesh centre in doubled coordinates (keeps the
+            // comparison integral when width/height are even).
+            let centre_dist = |t: TileId| -> u32 {
+                let c = noc.tile_coord(t);
+                (2 * c.x).abs_diff(noc.width - 1) + (2 * c.y).abs_diff(noc.height - 1)
+            };
+            (0..tiles)
+                .map(TileId)
+                .filter(|&t| feasible(t))
+                .min_by_key(|&t| (centre_dist(t), t.0))?
+        }
+        Interconnect::Fsl { .. } => (0..tiles).map(TileId).find(|&t| feasible(t))?,
+    };
+    let mut spiral: Vec<TileId> = (0..tiles).map(TileId).collect();
+    match arch.interconnect() {
+        Interconnect::Noc(noc) => spiral.sort_by_key(|&t| (noc.hops(seed, t), t.0)),
+        Interconnect::Fsl { .. } => spiral.sort_by_key(|&t| (u64::from(t != seed), t.0)),
+    }
+    Some(spiral)
+}
+
+// ---------------------------------------------------------------------------
+// Genetic
+// ---------------------------------------------------------------------------
+
+/// Bias-elitist genetic binder (after Quan & Pimentel).
+///
+/// Chromosomes are actor→tile assignment vectors. The initial population
+/// seeds the greedy and spiral solutions (when they exist) alongside random
+/// feasibility-aware assignments; each generation copies the `elite` best
+/// chromosomes unchanged and breeds the rest by uniform crossover between
+/// parents drawn with probability `bias` from the elite pool (the
+/// *bias-elitist* selection), followed by per-gene mutation with
+/// probability `1/actors`.
+///
+/// The fitness of a chromosome is the **guaranteed throughput** of the
+/// candidate binding: schedules are built, NoC wires allocated, the Fig. 4
+/// interconnect expansion applied, and the existing state-space analysis
+/// run on the result; fitness values are memoized per assignment so
+/// repeated chromosomes cost nothing. Assignments that violate tile memory
+/// get a large negative penalty, ones that fail wire allocation or
+/// scheduling a smaller one, and ones that deadlock at the initial buffer
+/// allocation a token penalty (the downstream flow can often still grow
+/// buffers to liveness).
+///
+/// The fitness model evaluates candidates under this binder's own
+/// [`wires_per_connection`](GeneticBinder::wires_per_connection) and
+/// [`max_states`](GeneticBinder::max_states) (whose defaults match
+/// `MapOptions`), and at the *initial* buffer allocation — it is a
+/// heuristic ranking, not the final verdict. When the downstream flow
+/// runs with different options, or when a binding only shines after
+/// buffer growth, the GA's ranking can diverge from the flow's final
+/// numbers; the winning binding is always re-verified by the unchanged
+/// pipeline either way.
+///
+/// All randomness comes from a [`StdRng`] seeded with [`GeneticBinder::seed`]:
+/// the same seed always yields the same binding.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticBinder {
+    /// RNG seed; fixed default for reproducible flows.
+    pub seed: u64,
+    /// Chromosomes per generation.
+    pub population: usize,
+    /// Number of generations bred after the initial evaluation.
+    pub generations: usize,
+    /// Best chromosomes copied unchanged into the next generation.
+    pub elite: usize,
+    /// Probability of drawing a parent from the elite pool.
+    pub bias: f64,
+    /// SDM wires requested per NoC connection in the fitness evaluation
+    /// (mirrors `MapOptions::wires_per_connection`).
+    pub wires_per_connection: u32,
+    /// State cap of the fitness throughput analysis.
+    pub max_states: usize,
+}
+
+impl Default for GeneticBinder {
+    fn default() -> Self {
+        GeneticBinder {
+            seed: 0x5DF3_2011,
+            population: 16,
+            generations: 8,
+            elite: 4,
+            bias: 0.7,
+            wires_per_connection: 2,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+impl GeneticBinder {
+    /// The default parameters with a different RNG seed.
+    pub fn with_seed(seed: u64) -> GeneticBinder {
+        GeneticBinder {
+            seed,
+            ..GeneticBinder::default()
+        }
+    }
+
+    /// Penalized guaranteed-throughput fitness of one assignment.
+    fn fitness(&self, app: &ApplicationModel, arch: &Architecture, chrom: &[TileId]) -> f64 {
+        const MEM_PENALTY: f64 = -1e9;
+        const STRUCTURE_PENALTY: f64 = -1e6;
+        const DEADLOCK_PENALTY: f64 = -1.0;
+
+        let graph = app.graph();
+
+        // Tile memory feasibility: one penalty unit per overcommitted tile.
+        let mut mem_used = vec![0u64; arch.tile_count()];
+        for (i, &t) in chrom.iter().enumerate() {
+            match mem_needed(app, arch, ActorId(i), t) {
+                Some(need) => mem_used[t.0] += need,
+                None => return MEM_PENALTY * chrom.len() as f64,
+            }
+        }
+        let overcommitted = (0..arch.tile_count())
+            .filter(|&t| {
+                let tile = arch.tile(TileId(t));
+                mem_used[t] > tile.imem_bytes() + tile.dmem_bytes()
+            })
+            .count();
+        if overcommitted > 0 {
+            return MEM_PENALTY * overcommitted as f64;
+        }
+
+        let binding = finish_binding(app, arch, chrom.to_vec());
+
+        let mut wcet_graph = graph.clone();
+        for (aid, _) in graph.actors() {
+            wcet_graph
+                .actor_mut(aid)
+                .set_execution_time(binding.wcet_of[aid.0]);
+        }
+
+        let mut wires = vec![0u32; graph.channel_count()];
+        if let Interconnect::Noc(noc) = arch.interconnect() {
+            let mut alloc = mamps_platform::noc::WireAllocator::new(*noc);
+            for (cid, ch) in graph.channels() {
+                if ch.is_self_edge() || !binding.crosses_tiles(ch.src(), ch.dst()) {
+                    continue;
+                }
+                let from = binding.tile_of[ch.src().0];
+                let to = binding.tile_of[ch.dst().0];
+                let want = self
+                    .wires_per_connection
+                    .min(alloc.max_allocatable(from, to))
+                    .max(1);
+                if alloc.allocate(from, to, want).is_err() {
+                    return STRUCTURE_PENALTY;
+                }
+                wires[cid.0] = want;
+            }
+        }
+
+        let (schedules, rounds) = match build_schedules(graph, &binding, arch) {
+            Ok(s) => s,
+            Err(_) => return STRUCTURE_PENALTY,
+        };
+        let channels: Vec<ChannelAlloc> = graph
+            .channels()
+            .map(|(cid, ch)| ChannelAlloc {
+                wires: wires[cid.0],
+                alpha_src: ch.initial_tokens() + 2 * ch.production_rate(),
+                alpha_dst: 2 * ch.consumption_rate(),
+                local_capacity: capacity_lower_bound(graph, cid),
+            })
+            .collect();
+        let mapping = Mapping {
+            binding,
+            schedules,
+            rounds_per_iteration: rounds,
+            channels,
+            guaranteed_iterations: 0,
+            guaranteed_cycles: 1,
+        };
+        let expanded = match expand(&wcet_graph, &mapping, arch) {
+            Ok(e) => e,
+            Err(_) => return STRUCTURE_PENALTY,
+        };
+        let opts = AnalysisOptions {
+            auto_concurrency: true,
+            max_states: self.max_states,
+            ..AnalysisOptions::default()
+        };
+        match throughput(&expanded.graph, &opts) {
+            Ok(t) => t.as_f64(),
+            Err(_) => DEADLOCK_PENALTY,
+        }
+    }
+}
+
+impl BindingStrategy for GeneticBinder {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn bind(
+        &self,
+        app: &ApplicationModel,
+        arch: &Architecture,
+        opts: &BindOptions,
+    ) -> Result<Binding, MapError> {
+        let graph = app.graph();
+        // Surface graph inconsistency exactly like the other binders.
+        let _ = repetition_vector(graph)?;
+        let n = graph.actor_count();
+        if n == 0 {
+            return Ok(finish_binding(app, arch, Vec::new()));
+        }
+
+        let pinned: HashMap<ActorId, TileId> = opts.pinned.iter().copied().collect();
+        // Per-gene candidate tiles (implementation exists; pinning fixes
+        // the gene to one tile).
+        let mut candidates: Vec<Vec<TileId>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = ActorId(i);
+            let cands: Vec<TileId> = match pinned.get(&a) {
+                Some(&t) => (mem_needed(app, arch, a, t).is_some())
+                    .then_some(t)
+                    .into_iter()
+                    .collect(),
+                None => (0..arch.tile_count())
+                    .map(TileId)
+                    .filter(|&t| mem_needed(app, arch, a, t).is_some())
+                    .collect(),
+            };
+            if cands.is_empty() {
+                return Err(infeasible_actor(app, a));
+            }
+            candidates.push(cands);
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let population = self.population.max(2);
+        // At least one elite survives, and at least one slot is bred —
+        // elite == population would silently disable the search.
+        let elite = self.elite.clamp(1, population - 1);
+
+        // Seed the population with the deterministic heuristics (standard
+        // practice for bias-elitist mapping GAs), then random assignments.
+        let mut pop: Vec<Vec<TileId>> = Vec::with_capacity(population);
+        for handle in [
+            StrategyHandle::new(GreedyBinder),
+            StrategyHandle::new(SpiralBinder),
+        ] {
+            if let Ok(b) = handle.bind(app, arch, opts) {
+                if !pop.contains(&b.tile_of) {
+                    pop.push(b.tile_of);
+                }
+            }
+        }
+        while pop.len() < population {
+            let chrom: Vec<TileId> = candidates
+                .iter()
+                .map(|c| c[rng.gen_range(0..c.len())])
+                .collect();
+            pop.push(chrom);
+        }
+
+        // Memoized fitness: chromosomes recur across generations (elitism,
+        // converging populations) and each evaluation is a full state-space
+        // analysis, so the cache carries most of the GA's cost.
+        let mut memo: HashMap<Vec<TileId>, f64> = HashMap::new();
+        let score = |chrom: &Vec<TileId>, memo: &mut HashMap<Vec<TileId>, f64>| -> f64 {
+            if let Some(&f) = memo.get(chrom) {
+                return f;
+            }
+            let f = self.fitness(app, arch, chrom);
+            memo.insert(chrom.clone(), f);
+            f
+        };
+        // Deterministic ranking: fitness descending, chromosome ascending.
+        let rank = |pop: &mut Vec<Vec<TileId>>, memo: &mut HashMap<Vec<TileId>, f64>| {
+            pop.sort_by(|a, b| {
+                let (fa, fb) = (memo[a], memo[b]);
+                fb.total_cmp(&fa).then_with(|| a.cmp(b))
+            });
+        };
+
+        for chrom in &pop {
+            score(chrom, &mut memo);
+        }
+        rank(&mut pop, &mut memo);
+
+        for _ in 0..self.generations {
+            let mut next: Vec<Vec<TileId>> = pop[..elite].to_vec();
+            while next.len() < population {
+                let pick = |rng: &mut StdRng| -> usize {
+                    if rng.gen::<f64>() < self.bias {
+                        rng.gen_range(0..elite)
+                    } else {
+                        rng.gen_range(0..pop.len())
+                    }
+                };
+                let (pa, pb) = (pick(&mut rng), pick(&mut rng));
+                let mut child: Vec<TileId> = (0..n)
+                    .map(|i| {
+                        if rng.gen::<bool>() {
+                            pop[pa][i]
+                        } else {
+                            pop[pb][i]
+                        }
+                    })
+                    .collect();
+                for (i, gene) in child.iter_mut().enumerate() {
+                    if rng.gen_range(0..n) == 0 {
+                        let c = &candidates[i];
+                        *gene = c[rng.gen_range(0..c.len())];
+                    }
+                }
+                next.push(child);
+            }
+            pop = next;
+            for chrom in &pop {
+                score(chrom, &mut memo);
+            }
+            rank(&mut pop, &mut memo);
+        }
+
+        let best = pop.into_iter().next().expect("population is non-empty");
+        if memo[&best] <= -1e8 {
+            return Err(MapError::Infeasible(
+                "genetic binder found no memory-feasible assignment".into(),
+            ));
+        }
+        Ok(finish_binding(app, arch, best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::model::HomogeneousModelBuilder;
+
+    fn pipeline_app(wcets: &[u64]) -> ApplicationModel {
+        let n = wcets.len();
+        let mut b = SdfGraphBuilder::new("pipe");
+        let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
+        for i in 0..n - 1 {
+            b.add_channel_full(format!("e{i}"), ids[i], 1, ids[i + 1], 1, 0, 16);
+        }
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        for (i, &w) in wcets.iter().enumerate() {
+            mb.actor(format!("a{i}"), w, 4096, 512);
+        }
+        mb.finish(g, None).unwrap()
+    }
+
+    #[test]
+    fn registry_resolves_all_built_ins() {
+        for name in ["greedy", "spiral", "genetic"] {
+            let h = by_name(name).expect("registered");
+            assert_eq!(h.name(), name);
+        }
+        assert!(by_name("nope").is_none());
+        assert_eq!(names(), vec!["greedy", "spiral", "genetic"]);
+    }
+
+    #[test]
+    fn default_handle_is_greedy() {
+        assert_eq!(StrategyHandle::default().name(), "greedy");
+        assert_eq!(
+            format!("{:?}", StrategyHandle::default()),
+            "StrategyHandle(greedy)"
+        );
+    }
+
+    #[test]
+    fn greedy_strategy_matches_free_function() {
+        let app = pipeline_app(&[7, 3, 9, 4, 6]);
+        let arch = Architecture::homogeneous("a", 3, Interconnect::noc_for_tiles(3)).unwrap();
+        let opts = BindOptions::default();
+        let via_trait = GreedyBinder.bind(&app, &arch, &opts).unwrap();
+        let via_fn = crate::binding::bind(&app, &arch, &opts).unwrap();
+        assert_eq!(via_trait, via_fn);
+    }
+
+    #[test]
+    fn spiral_places_all_actors_and_respects_pinning() {
+        let app = pipeline_app(&[100, 1, 1, 100]);
+        let arch = Architecture::homogeneous("a", 4, Interconnect::noc_for_tiles(4)).unwrap();
+        let b = SpiralBinder
+            .bind(&app, &arch, &BindOptions::default())
+            .unwrap();
+        assert_eq!(b.tile_of.len(), 4);
+
+        let a3 = app.graph().actor_by_name("a3").unwrap();
+        let opts = BindOptions {
+            pinned: vec![(a3, TileId(2))],
+            ..BindOptions::default()
+        };
+        let b = SpiralBinder.bind(&app, &arch, &opts).unwrap();
+        assert_eq!(b.tile_of[a3.0], TileId(2));
+    }
+
+    #[test]
+    fn spiral_keeps_communicating_actors_close() {
+        // A 6-stage pipeline on a 3x2 NoC: spiral placement keeps every
+        // cross-tile channel within 2 hops.
+        let app = pipeline_app(&[50, 50, 50, 50, 50, 50]);
+        let arch = Architecture::homogeneous("a", 6, Interconnect::noc_for_tiles(6)).unwrap();
+        let b = SpiralBinder
+            .bind(&app, &arch, &BindOptions::default())
+            .unwrap();
+        if let Interconnect::Noc(noc) = arch.interconnect() {
+            for (_, ch) in app.graph().channels() {
+                let hops = noc.hops(b.tile_of[ch.src().0], b.tile_of[ch.dst().0]);
+                assert!(hops <= 2, "channel spans {hops} hops");
+            }
+        }
+    }
+
+    #[test]
+    fn spiral_is_deterministic() {
+        let app = pipeline_app(&[7, 3, 9, 4, 6]);
+        let arch = Architecture::homogeneous("a", 4, Interconnect::noc_for_tiles(4)).unwrap();
+        let b1 = SpiralBinder
+            .bind(&app, &arch, &BindOptions::default())
+            .unwrap();
+        let b2 = SpiralBinder
+            .bind(&app, &arch, &BindOptions::default())
+            .unwrap();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn genetic_same_seed_same_binding() {
+        let app = pipeline_app(&[40, 10, 25, 5]);
+        let arch = Architecture::homogeneous("a", 2, Interconnect::fsl()).unwrap();
+        let g = GeneticBinder::with_seed(42);
+        let b1 = g.bind(&app, &arch, &BindOptions::default()).unwrap();
+        let b2 = g.bind(&app, &arch, &BindOptions::default()).unwrap();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn genetic_never_worse_than_greedy_seed() {
+        // The greedy solution seeds the population and elites survive, so
+        // the GA's best fitness is at least the greedy binding's fitness.
+        let app = pipeline_app(&[40, 10, 25, 5]);
+        let arch = Architecture::homogeneous("a", 2, Interconnect::fsl()).unwrap();
+        let ga = GeneticBinder::default();
+        let greedy = GreedyBinder
+            .bind(&app, &arch, &BindOptions::default())
+            .unwrap();
+        let best = ga.bind(&app, &arch, &BindOptions::default()).unwrap();
+        let f_greedy = ga.fitness(&app, &arch, &greedy.tile_of);
+        let f_best = ga.fitness(&app, &arch, &best.tile_of);
+        assert!(
+            f_best >= f_greedy,
+            "GA best {f_best} below greedy {f_greedy}"
+        );
+    }
+
+    #[test]
+    fn genetic_small_population_clamps_elite_and_still_breeds() {
+        // elite (default 4) exceeds the population: it must clamp below
+        // the population size so crossover/mutation still run.
+        let app = pipeline_app(&[40, 10, 25]);
+        let arch = Architecture::homogeneous("a", 2, Interconnect::fsl()).unwrap();
+        let ga = GeneticBinder {
+            population: 2,
+            generations: 2,
+            ..GeneticBinder::default()
+        };
+        let b = ga.bind(&app, &arch, &BindOptions::default()).unwrap();
+        assert_eq!(b.tile_of.len(), 3);
+    }
+
+    #[test]
+    fn genetic_infeasible_when_no_implementation() {
+        let app = pipeline_app(&[1, 1]);
+        let tiles = vec![mamps_platform::tile::TileConfig::master("t0")
+            .with_processor(mamps_platform::types::ProcessorType::custom("dsp"))];
+        let arch = Architecture::new("a", tiles, Interconnect::fsl()).unwrap();
+        assert!(matches!(
+            GeneticBinder::default().bind(&app, &arch, &BindOptions::default()),
+            Err(MapError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn all_strategies_handle_single_tile() {
+        let app = pipeline_app(&[10, 20, 30]);
+        let arch = Architecture::homogeneous("a", 1, Interconnect::fsl()).unwrap();
+        for (name, make) in registry() {
+            let b = make().bind(&app, &arch, &BindOptions::default()).unwrap();
+            assert!(
+                b.tile_of.iter().all(|&t| t == TileId(0)),
+                "{name} strayed off the only tile"
+            );
+        }
+    }
+}

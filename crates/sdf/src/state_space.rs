@@ -29,7 +29,7 @@
 //! be allocation-free per time instant:
 //!
 //! * The graph (or the SCC-induced subgraph, or the capacity-bounded variant
-//!   of a graph) is flattened into a [`KernelGraph`]: CSR-style incoming and
+//!   of a graph) is flattened into a `KernelGraph`: CSR-style incoming and
 //!   outgoing adjacency with the per-channel consumption/production rate
 //!   stored inline next to the channel index, so the ready check touches one
 //!   contiguous slice per actor.
@@ -40,18 +40,18 @@
 //!   firing), the worklist exactly reaches the maximal firing set of each
 //!   instant, and because that set is unique (confluence of dataflow
 //!   firing), the explored states — and therefore throughput, transient and
-//!   period — are bit-identical to the naive rescan in [`reference`].
+//!   period — are bit-identical to the naive rescan in [`mod@reference`].
 //! * State snapshots are encoded into a reused scratch buffer (`Vec<u64>`:
 //!   channel fills followed by the sorted `(actor, remaining-time)` pairs of
 //!   ongoing firings) and interned in a `HashMap<Box<[u64]>, _>` looked up
 //!   by slice, so a revisited state costs zero allocations and a new state
 //!   costs exactly one (its interned storage).
-//! * All scratch buffers live in a [`Scratch`] value that is reused across
+//! * All scratch buffers live in a `Scratch` value that is reused across
 //!   SCC runs and — via [`crate::buffer::AnalysisCache`] — across the many
 //!   re-analyses of greedy buffer growth.
 //!
 //! The pre-optimization implementation is retained verbatim in
-//! [`reference`] as the oracle for property tests and the before/after
+//! [`mod@reference`] as the oracle for property tests and the before/after
 //! kernel benchmark (`cargo bench -p mamps_bench --bench state_space`).
 
 use std::collections::{BinaryHeap, HashMap};
@@ -799,7 +799,7 @@ pub fn strongly_connected_components(graph: &SdfGraph) -> Vec<Vec<ActorId>> {
 /// `state_space` bench measures the speedup of the fast path against it.
 ///
 /// Differences from the fast path: the induced subgraph of each SCC is
-/// materialized through [`SdfGraphBuilder`], every time instant rescans all
+/// materialized through [`crate::graph::SdfGraphBuilder`], every time instant rescans all
 /// actors against all channels, and every snapshot allocates a fresh
 /// [`StateKey`](self) with a sorted copy of the ongoing-firing multiset.
 pub mod reference {

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Runs the state-space kernel benchmark and assembles the perf-trajectory
-# snapshot BENCH_state_space.json at the repository root. Used locally to
-# refresh the checked-in figures and by the CI smoke job (quick mode) to
-# keep the kernel's perf trajectory visible on every run:
+# Runs one benchmark target and assembles its perf-trajectory snapshot
+# BENCH_<name>.json at the repository root. Used locally to refresh the
+# checked-in figures and by the CI smoke job (quick mode) to keep perf
+# trajectories visible on every run:
 #
-#   scripts/bench_json.sh            # full measurement, refreshes the file
-#   scripts/bench_json.sh --quick    # CI-scale measurement, written to a
-#                                    # temp file and printed (not checked in)
+#   scripts/bench_json.sh                    # state_space, full measurement
+#   scripts/bench_json.sh binders            # strategy comparison bench
+#   scripts/bench_json.sh --quick [bench]    # CI-scale measurement, written
+#                                            # to a temp file and printed
+#                                            # (not checked in)
 #
 # The bench harness appends one JSON line per benchmark to the file named
 # by MAMPS_BENCH_JSON; this script wraps those lines into a JSON document.
@@ -14,27 +16,36 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-if [ "${1:-}" = "--quick" ]; then
-  QUICK=1
-fi
+BENCH=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    -*) echo "bench_json: unknown flag $arg" >&2; exit 2 ;;
+    *)
+      [ -z "$BENCH" ] || { echo "bench_json: multiple bench names" >&2; exit 2; }
+      BENCH=$arg
+      ;;
+  esac
+done
+BENCH=${BENCH:-state_space}
 
 lines=$(mktemp)
 trap 'rm -f "$lines"' EXIT
 
 if [ "$QUICK" = 1 ]; then
   export MAMPS_BENCH_QUICK=1
-  out=$(mktemp -t BENCH_state_space.XXXXXX.json)
+  out=$(mktemp -t "BENCH_${BENCH}.XXXXXX.json")
 else
-  out=BENCH_state_space.json
+  out="BENCH_${BENCH}.json"
 fi
 
-MAMPS_BENCH_JSON="$lines" cargo bench -p mamps_bench --bench state_space
+MAMPS_BENCH_JSON="$lines" cargo bench -p mamps_bench --bench "$BENCH"
 
 [ -s "$lines" ] || { echo "bench_json: no measurements were emitted" >&2; exit 1; }
 
 {
   echo '{'
-  echo "  \"bench\": \"state_space\","
+  echo "  \"bench\": \"${BENCH}\","
   echo "  \"quick\": $([ "$QUICK" = 1 ] && echo true || echo false),"
   echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo '  "results": ['

@@ -44,4 +44,16 @@ out=$("$BIN" dse "$APP" 4)
 echo "$out"
 grep -qE '[1-9]' <<<"$out" || fail "dse printed no nonzero figures"
 
+echo "== mamps map --binder spiral"
+out=$("$BIN" map "$APP" "$ARCH" --binder spiral)
+echo "$out"
+grep -q "binder: spiral" <<<"$out" || fail "map did not attribute the spiral binder"
+
+echo "== mamps dse --binders greedy,spiral"
+out=$("$BIN" dse "$APP" 4 --binders greedy,spiral)
+echo "$out"
+grep -q "greedy" <<<"$out" || fail "dse strategy sweep lost the greedy points"
+grep -q "spiral" <<<"$out" || fail "dse strategy sweep lost the spiral points"
+grep -q "pareto front" <<<"$out" || fail "dse printed no pareto summary"
+
 echo "smoke: OK"

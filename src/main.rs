@@ -4,16 +4,21 @@
 //!
 //! ```text
 //! mamps analyze  <app.xml>                       # consistency + unbounded throughput
-//! mamps map      <app.xml> <arch.xml> [out.xml]  # bind/schedule/size, print bound
+//! mamps map      <app.xml> <arch.xml> [out.xml] [--binder <name>]
 //! mamps generate <app.xml> <arch.xml> <dir>      # full project generation
 //! mamps simulate <app.xml> <arch.xml> [iters]    # flow + WCET platform run
-//! mamps dse      <app.xml> <max_tiles> [--jobs N] # design-space sweep
+//! mamps dse      <app.xml> <max_tiles> [--jobs N] [--binders a,b,c]
 //! ```
+//!
+//! Binding strategies (`--binder` / `--binders`) are resolved through
+//! [`mamps::mapping::strategy::registry`]: `greedy` (default), `spiral`,
+//! `genetic`.
 
 use std::process::ExitCode;
 
-use mamps::flow::report::render_dse_report;
+use mamps::flow::report::{render_dse_report, render_mapping_summary};
 use mamps::flow::{run_flow_with_arch, FlowOptions, GuaranteeReport};
+use mamps::mapping::strategy::{self, StrategyHandle};
 use mamps::mapping::xml::mapping_to_xml;
 use mamps::platform::xml::architecture_from_xml;
 use mamps::sdf::state_space::{throughput, AnalysisOptions};
@@ -22,7 +27,8 @@ use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps analyze  <app.xml>\n  mamps map      <app.xml> <arch.xml> [mapping-out.xml]\n  mamps generate <app.xml> <arch.xml> <out-dir>\n  mamps simulate <app.xml> <arch.xml> [iterations]\n  mamps dse      <app.xml> <max-tiles> [--jobs N]"
+        "usage:\n  mamps analyze  <app.xml>\n  mamps map      <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps generate <app.xml> <arch.xml> <out-dir>\n  mamps simulate <app.xml> <arch.xml> [iterations]\n  mamps dse      <app.xml> <max-tiles> [--jobs N] [--binders a,b,c]\nbinders: {}",
+        strategy::names().join(", ")
     );
     ExitCode::from(2)
 }
@@ -50,6 +56,43 @@ fn load_arch(
     Ok(architecture_from_xml(&xml)?)
 }
 
+/// Positional arguments plus `--flag value` pairs, as split by [`split_flags`].
+type ParsedArgs = (Vec<String>, Vec<(String, String)>);
+
+/// Splits `args` into positional arguments and `--flag value` pairs.
+/// Unknown flags and flags without a value produce an error.
+fn split_flags(args: &[String], known: &[&str]) -> Result<ParsedArgs, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if !known.contains(&name) {
+                return Err(format!("unknown flag `--{name}`"));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag `--{name}` needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn resolve_binder(name: &str) -> Result<StrategyHandle, String> {
+    strategy::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown binder `{name}` (available: {})",
+            strategy::names().join(", ")
+        )
+    })
+}
+
 fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let cmd = match args.first() {
         Some(c) => c.as_str(),
@@ -74,16 +117,27 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             );
             Ok(ExitCode::SUCCESS)
         }
-        ("map", 3) | ("map", 4) => {
-            let app = load_app(&args[1])?;
-            let arch = load_arch(&args[2])?;
-            let flow = run_flow_with_arch(&app, arch, &FlowOptions::default())?;
+        ("map", _) => {
+            let (pos, flags) = split_flags(&args[1..], &["binder"])?;
+            if pos.len() < 2 || pos.len() > 3 {
+                return Ok(usage());
+            }
+            let app = load_app(&pos[0])?;
+            let arch = load_arch(&pos[1])?;
+            let mut opts = FlowOptions::default();
+            for (name, value) in &flags {
+                if name == "binder" {
+                    opts.map.bind.strategy = resolve_binder(value)?;
+                }
+            }
+            let flow = run_flow_with_arch(&app, arch, &opts)?;
             println!(
                 "guaranteed worst-case throughput: {:.6e} iterations/cycle ({:.0} cycles/iteration)",
                 flow.guaranteed_throughput(),
                 1.0 / flow.guaranteed_throughput()
             );
-            if let Some(out) = args.get(3) {
+            print!("{}", render_mapping_summary(&app, &flow.arch, &flow.mapped));
+            if let Some(out) = pos.get(2) {
                 std::fs::write(out, mapping_to_xml(&flow.mapped.mapping, app.graph()))?;
                 println!("mapping written to {out}");
             }
@@ -125,26 +179,35 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 ExitCode::FAILURE
             })
         }
-        ("dse", 3) | ("dse", 5) => {
-            let app = load_app(&args[1])?;
-            let max: usize = args[2].parse()?;
-            let jobs = match args.get(3) {
-                None => 1,
-                Some(flag) if flag == "--jobs" => {
-                    let n: usize = args[4].parse()?;
-                    if n == 0 {
-                        mamps::flow::parallel::default_jobs()
-                    } else {
-                        n
+        ("dse", _) => {
+            let (pos, flags) = split_flags(&args[1..], &["jobs", "binders"])?;
+            if pos.len() != 2 {
+                return Ok(usage());
+            }
+            let app = load_app(&pos[0])?;
+            let max: usize = pos[1].parse()?;
+            let mut opts = FlowOptions::default();
+            for (name, value) in &flags {
+                match name.as_str() {
+                    "jobs" => {
+                        let n: usize = value.parse()?;
+                        opts.jobs = if n == 0 {
+                            mamps::flow::parallel::default_jobs()
+                        } else {
+                            n
+                        };
                     }
+                    "binders" => {
+                        opts.binders = value
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(resolve_binder)
+                            .collect::<Result<Vec<_>, _>>()?;
+                    }
+                    _ => unreachable!("split_flags rejects unknown flags"),
                 }
-                Some(_) => return Ok(usage()),
-            };
+            }
             let tiles: Vec<usize> = (1..=max.max(1)).collect();
-            let opts = FlowOptions {
-                jobs,
-                ..FlowOptions::default()
-            };
             let report = mamps::flow::dse::explore_report(&app, &tiles, true, &opts);
             print!("{}", render_dse_report(&report));
             Ok(ExitCode::SUCCESS)

@@ -81,6 +81,50 @@ fn cli_subcommands_work_end_to_end() {
         .unwrap()
         .contains("<mapping>"));
 
+    // map with an explicit binder: the summary must attribute the strategy.
+    let out = Command::new(bin())
+        .args(["map"])
+        .arg(&app)
+        .arg(&arch)
+        .args(["--binder", "spiral"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("binder: spiral"), "summary: {text}");
+    assert!(text.contains("tile"), "per-tile load table missing: {text}");
+
+    // unknown binder fails with the available names.
+    let out = Command::new(bin())
+        .args(["map"])
+        .arg(&app)
+        .arg(&arch)
+        .args(["--binder", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("greedy"));
+
+    // dse with a strategy sweep: every point is attributed to a binder.
+    let out = Command::new(bin())
+        .arg("dse")
+        .arg(&app)
+        .args(["2", "--binders", "greedy,spiral"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("greedy") && text.contains("spiral"), "{text}");
+    assert!(text.contains("pareto front"), "{text}");
+
     // generate
     let proj = dir.join("proj");
     let out = Command::new(bin())
