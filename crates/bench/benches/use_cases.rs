@@ -1,0 +1,109 @@
+//! Multi-application admission on a shared platform: the MJPEG decoder
+//! plus a synthetic constrained filter pipeline, admitted one at a time
+//! onto a 4-tile platform (FSL and NoC variants).
+//!
+//! The artefact table printed before the timing runs shows what each
+//! configuration admits and with what shared guarantee; the timed
+//! benchmarks (`use_cases/fsl`, `use_cases/noc`) measure the full
+//! admission loop — residual-resource binding, combined static-order
+//! expansion, and the shared state-space verification — which is the
+//! kernel behind both `mamps map-multi` and `mamps dse --apps`.
+//!
+//! `scripts/bench_json.sh use_cases` assembles `BENCH_use_cases.json`,
+//! the same perf-trajectory path the other bench targets use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mamps_bench::{bench_stream_config, short_criterion};
+use mamps_mapping::flow::MapOptions;
+use mamps_mapping::multi::{map_use_case, UseCase};
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
+use mamps_sdf::graph::SdfGraphBuilder;
+use mamps_sdf::model::{ApplicationModel, HomogeneousModelBuilder, ThroughputConstraint};
+
+/// The synthetic second application: a three-stage filter pipeline with a
+/// modest throughput constraint, sized to co-exist with the decoder.
+fn sidecar_app() -> ApplicationModel {
+    let mut b = SdfGraphBuilder::new("sidecar");
+    let prep = b.add_actor("prep", 1);
+    let work = b.add_actor("work", 1);
+    let emit = b.add_actor("emit", 1);
+    b.add_channel_full("p2w", prep, 1, work, 1, 0, 16);
+    b.add_channel_full("w2e", work, 1, emit, 1, 0, 16);
+    let g = b.build().unwrap();
+    let mut mb = HomogeneousModelBuilder::new("microblaze");
+    mb.actor("prep", 300, 2048, 512)
+        .actor("work", 700, 4096, 1024)
+        .actor("emit", 300, 2048, 512);
+    mb.finish(
+        g,
+        Some(ThroughputConstraint {
+            iterations: 1,
+            cycles: 200_000,
+        }),
+    )
+    .unwrap()
+}
+
+fn use_case() -> UseCase {
+    let cfg = bench_stream_config();
+    let mjpeg = mamps_mjpeg::app_model::mjpeg_application(&cfg, None).unwrap();
+    UseCase::new(vec![mjpeg, sidecar_app()]).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let uc = use_case();
+    let variants: [(&str, Interconnect); 2] = [
+        ("fsl", Interconnect::fsl()),
+        ("noc", Interconnect::noc_for_tiles(4)),
+    ];
+
+    // Artefact: admissions and shared guarantees per interconnect. Both
+    // applications must be admitted with their guarantees intact.
+    println!("\nmulti-application admission: MJPEG + constrained pipeline, 4 tiles");
+    println!(
+        "{:<6} {:>9} {:>18} {:>18}",
+        "ic", "admitted", "mjpeg it/cycle", "sidecar it/cycle"
+    );
+    for (name, ic) in variants {
+        let arch = Architecture::homogeneous("bench", 4, ic).unwrap();
+        let r = map_use_case(&uc, &arch, &MapOptions::default());
+        assert!(
+            r.fully_admitted(),
+            "{name}: rejections: {:?}",
+            r.rejected
+                .iter()
+                .map(|x| x.reason.to_string())
+                .collect::<Vec<_>>()
+        );
+        let bound = |app: &str| {
+            r.admitted
+                .iter()
+                .find(|a| a.name == app)
+                .map(|a| a.shared_guarantee.to_f64())
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:<6} {:>9} {:>18.3e} {:>18.3e}",
+            name,
+            format!("{}/{}", r.admitted.len(), uc.len()),
+            bound("mjpeg"),
+            bound("sidecar")
+        );
+    }
+
+    for (name, ic) in variants {
+        let arch = Architecture::homogeneous("bench", 4, ic).unwrap();
+        c.bench_function(&format!("use_cases/{name}"), |b| {
+            b.iter(|| std::hint::black_box(map_use_case(&uc, &arch, &MapOptions::default())))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = short_criterion();
+    targets = bench
+}
+criterion_main!(benches);

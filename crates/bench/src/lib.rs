@@ -17,6 +17,7 @@
 //! | `mesh_scaling` | MJPEG bound vs platform size, FSL and NoC |
 //! | `state_space` | throughput-kernel fast path vs retained naive reference |
 //! | `binders` | binding strategies: greedy vs spiral vs genetic on MJPEG |
+//! | `use_cases` | multi-application admission: MJPEG + constrained pipeline |
 //!
 //! Run all with `cargo bench`, or a single artefact with e.g.
 //! `cargo bench -p mamps-bench --bench fig6_fsl`.
@@ -24,6 +25,21 @@
 //! Setting `MAMPS_BENCH_QUICK=1` shrinks warm-up and measurement times to
 //! CI-smoke scale, and `MAMPS_BENCH_JSON=<file>` makes the harness append
 //! one JSON line per measured benchmark (see `scripts/bench_json.sh`).
+//!
+//! ## Example
+//!
+//! The shared workload helpers are plain functions, usable outside the
+//! Criterion harness too:
+//!
+//! ```
+//! use mamps_bench::{bench_stream_config, mjpeg_expanded_graph};
+//!
+//! let cfg = bench_stream_config();
+//! assert_eq!(cfg.frames, 1);
+//! let (graph, opts) = mjpeg_expanded_graph(2);
+//! assert!(graph.actor_count() > 5); // decoder actors + Fig. 4 helpers
+//! assert!(opts.auto_concurrency);
+//! ```
 
 use criterion::Criterion;
 

@@ -65,17 +65,6 @@ pub struct DseReport {
     pub skipped: Vec<SkippedPoint>,
 }
 
-/// Sweeps tile counts and interconnects with default options, returning
-/// the feasible points only.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `explore_report`, which also records skipped points and \
-            sweeps binding strategies"
-)]
-pub fn explore(app: &ApplicationModel, tile_counts: &[usize], include_noc: bool) -> Vec<DsePoint> {
-    explore_report(app, tile_counts, include_noc, &FlowOptions::default()).points
-}
-
 /// Sweeps tile counts × interconnects × binding strategies, recording both
 /// feasible and skipped design points. The strategies come from
 /// [`FlowOptions::binders`]; when that is empty the single configured
@@ -153,6 +142,174 @@ pub fn explore_report(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.slices.cmp(&b.slices))
             .then(a.wire_units.cmp(&b.wire_units))
+    });
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Use-case sweeps
+// ---------------------------------------------------------------------------
+
+/// One evaluated use-case design point: which applications of the
+/// use-case fit on this platform configuration, and with what guarantees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UseCasePoint {
+    /// Tile count.
+    pub tiles: usize,
+    /// Interconnect kind (`"fsl"` / `"noc"`).
+    pub interconnect: &'static str,
+    /// Binding strategy used by the admission loop.
+    pub strategy: &'static str,
+    /// Names of the admitted applications, in admission order.
+    pub admitted: Vec<String>,
+    /// Rejected applications with their structured reasons, in admission
+    /// order.
+    pub rejected: Vec<(String, String)>,
+    /// The lowest shared guarantee among the admitted applications
+    /// (iterations/cycle; 0 when nothing was admitted).
+    pub min_guarantee: f64,
+    /// Total platform slices (area model).
+    pub slices: u64,
+}
+
+/// Outcome of a use-case sweep over tile counts × interconnects ×
+/// binding strategies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UseCaseDseReport {
+    /// Points sorted by admitted count (descending), then lowest shared
+    /// guarantee (descending), then slices (ascending).
+    pub points: Vec<UseCasePoint>,
+}
+
+/// Sweeps platform configurations for a whole use-case: for every tile
+/// count × interconnect × binding strategy, the admission loop
+/// ([`mamps_mapping::multi::map_use_case`]) decides which subset of
+/// `apps` fits with every per-application guarantee intact. Strategies
+/// come from [`FlowOptions::binders`] (falling back to the configured
+/// `map.bind.strategy`), and `opts.jobs > 1` evaluates configurations
+/// concurrently with identical results.
+pub fn explore_use_cases(
+    apps: &[ApplicationModel],
+    tile_counts: &[usize],
+    include_noc: bool,
+    opts: &FlowOptions,
+) -> UseCaseDseReport {
+    use mamps_mapping::multi::{map_use_case, UseCase};
+    use mamps_platform::arch::Architecture;
+
+    let strategies: Vec<StrategyHandle> = if opts.binders.is_empty() {
+        vec![opts.map.bind.strategy.clone()]
+    } else {
+        opts.binders.clone()
+    };
+
+    let mut configs: Vec<(usize, &'static str, Interconnect, StrategyHandle)> = Vec::new();
+    for strategy in &strategies {
+        for &tiles in tile_counts {
+            configs.push((tiles, "fsl", Interconnect::fsl(), strategy.clone()));
+            if include_noc {
+                configs.push((
+                    tiles,
+                    "noc",
+                    Interconnect::noc_for_tiles(tiles),
+                    strategy.clone(),
+                ));
+            }
+        }
+    }
+
+    // The use-case is configuration-independent: build (and validate) it
+    // once, outside the per-point fan-out.
+    let uc = match UseCase::new(apps.to_vec()) {
+        Ok(uc) => uc,
+        Err(e) => {
+            let reject_all: Vec<(String, String)> = apps
+                .iter()
+                .map(|a| (a.graph().name().to_string(), e.to_string()))
+                .collect();
+            return UseCaseDseReport {
+                points: configs
+                    .iter()
+                    .map(|(tiles, name, _, strategy)| UseCasePoint {
+                        tiles: *tiles,
+                        interconnect: name,
+                        strategy: strategy.name(),
+                        admitted: Vec::new(),
+                        rejected: reject_all.clone(),
+                        min_guarantee: 0.0,
+                        slices: 0,
+                    })
+                    .collect(),
+            };
+        }
+    };
+
+    let points = parallel_map(opts.jobs, &configs, |_, (tiles, name, ic, strategy)| {
+        let mut point = UseCasePoint {
+            tiles: *tiles,
+            interconnect: name,
+            strategy: strategy.name(),
+            admitted: Vec::new(),
+            rejected: Vec::new(),
+            min_guarantee: 0.0,
+            slices: 0,
+        };
+        let arch = match Architecture::homogeneous("auto", *tiles, *ic) {
+            Ok(a) => a,
+            Err(e) => {
+                point.rejected = apps
+                    .iter()
+                    .map(|a| (a.graph().name().to_string(), format!("architecture: {e}")))
+                    .collect();
+                return point;
+            }
+        };
+        let mut map_opts = opts.map.clone();
+        map_opts.bind.strategy = strategy.clone();
+        let outcome = map_use_case(&uc, &arch, &map_opts);
+        point.admitted = outcome.admitted.iter().map(|a| a.name.clone()).collect();
+        point.rejected = outcome
+            .rejected
+            .iter()
+            .map(|r| (r.name.clone(), r.reason.to_string()))
+            .collect();
+        point.min_guarantee = outcome
+            .admitted
+            .iter()
+            .map(|a| a.shared_guarantee.to_f64())
+            .fold(f64::INFINITY, f64::min);
+        if !point.min_guarantee.is_finite() {
+            point.min_guarantee = 0.0;
+        }
+        let cross_links: usize = outcome
+            .admitted
+            .iter()
+            .map(|a| {
+                let g = uc.apps()[a.index].graph();
+                g.channels()
+                    .filter(|(_, c)| {
+                        !c.is_self_edge()
+                            && a.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
+                    })
+                    .count()
+            })
+            .sum();
+        point.slices = platform_area(&arch, cross_links).total.slices;
+        point
+    });
+
+    let mut report = UseCaseDseReport { points };
+    report.points.sort_by(|a, b| {
+        b.admitted
+            .len()
+            .cmp(&a.admitted.len())
+            .then(
+                b.min_guarantee
+                    .partial_cmp(&a.min_guarantee)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.slices.cmp(&b.slices))
+            .then(a.tiles.cmp(&b.tiles))
     });
     report
 }
@@ -267,18 +424,85 @@ mod tests {
         assert!(points.iter().all(|p| p.strategy == "greedy"));
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn explore_shim_keeps_its_contract() {
-        // The deprecated shim's observable contract: only the feasible
-        // points (infeasible configurations silently dropped), sorted by
-        // descending guaranteed throughput, default greedy strategy.
-        let shim = explore(&app(), &[0, 1, 2], true);
-        assert_eq!(shim.len(), 4, "0 tiles is infeasible and must be dropped");
-        for w in shim.windows(2) {
-            assert!(w[0].guaranteed >= w[1].guaranteed - 1e-15);
+    fn named_app(name: &str, wcets: &[u64]) -> ApplicationModel {
+        let mut b = SdfGraphBuilder::new(name);
+        let ids: Vec<_> = (0..wcets.len())
+            .map(|i| b.add_actor(format!("{name}{i}"), 1))
+            .collect();
+        for i in 0..wcets.len() - 1 {
+            b.add_channel_full(format!("{name}e{i}"), ids[i], 1, ids[i + 1], 1, 0, 16);
         }
-        assert!(shim.iter().all(|p| p.strategy == "greedy"));
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        for (i, &w) in wcets.iter().enumerate() {
+            mb.actor(format!("{name}{i}"), w, 2048, 256);
+        }
+        mb.finish(g, None).unwrap()
+    }
+
+    #[test]
+    fn use_case_sweep_counts_admissions_per_config() {
+        let apps = vec![named_app("ua", &[90, 90]), named_app("ub", &[40, 40])];
+        let report = explore_use_cases(&apps, &[1, 2], false, &FlowOptions::default());
+        assert_eq!(report.points.len(), 2);
+        // Both configurations admit both unconstrained apps; sorting puts
+        // the higher-guarantee (or cheaper) point first.
+        for p in &report.points {
+            assert_eq!(p.admitted.len(), 2, "{p:?}");
+            assert!(p.min_guarantee > 0.0);
+            assert!(p.slices > 0);
+        }
+        for w in report.points.windows(2) {
+            assert!(w[0].admitted.len() >= w[1].admitted.len());
+        }
+    }
+
+    #[test]
+    fn use_case_sweep_records_structured_rejections() {
+        use mamps_sdf::model::ThroughputConstraint;
+        let mut b = SdfGraphBuilder::new("hungry");
+        let x = b.add_actor("hx", 1);
+        let y = b.add_actor("hy", 1);
+        b.add_channel_full("he", x, 1, y, 1, 0, 16);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("hx", 800, 2048, 256).actor("hy", 800, 2048, 256);
+        let hungry = mb
+            .finish(
+                g,
+                Some(ThroughputConstraint {
+                    iterations: 1,
+                    cycles: 20,
+                }),
+            )
+            .unwrap();
+        let apps = vec![named_app("uc", &[60, 60]), hungry];
+        let report = explore_use_cases(&apps, &[2], false, &FlowOptions::default());
+        assert_eq!(report.points.len(), 1);
+        let p = &report.points[0];
+        assert_eq!(p.admitted, vec!["uc".to_string()]);
+        assert_eq!(p.rejected.len(), 1);
+        assert_eq!(p.rejected[0].0, "hungry");
+        assert!(p.rejected[0].1.contains("mapping failed"));
+    }
+
+    #[test]
+    fn parallel_use_case_sweep_matches_sequential() {
+        let apps = vec![named_app("pa", &[70, 70]), named_app("pb", &[35, 35])];
+        let opts = FlowOptions {
+            binders: vec![
+                mamps_mapping::strategy::by_name("greedy").unwrap(),
+                mamps_mapping::strategy::by_name("spiral").unwrap(),
+            ],
+            ..FlowOptions::default()
+        };
+        let seq = explore_use_cases(&apps, &[1, 2, 3], true, &opts);
+        let par = explore_use_cases(&apps, &[1, 2, 3], true, &FlowOptions { jobs: 4, ..opts });
+        assert_eq!(seq, par);
+        // Both strategies appear in the sweep.
+        for s in ["greedy", "spiral"] {
+            assert!(seq.points.iter().any(|p| p.strategy == s));
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@ use mamps_platform::interconnect::Interconnect;
 use mamps_sdf::model::ApplicationModel;
 use mamps_sim::{SimError, System, WcetTimes};
 
+use crate::validate::GuaranteeReport;
+
 /// Errors of the end-to-end flow.
 #[derive(Debug)]
 pub enum FlowError {
@@ -197,6 +199,174 @@ fn run_flow_on(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Multi-application flow
+// ---------------------------------------------------------------------------
+
+/// Per-application section of a multi-application flow report.
+#[derive(Debug, Clone)]
+pub struct AppSection {
+    /// The application's (graph) name.
+    pub name: String,
+    /// True when the admission loop accepted the application.
+    pub admitted: bool,
+    /// Binding strategy that mapped it (admitted applications only).
+    pub strategy: Option<&'static str>,
+    /// Tiles the application occupies, ascending (admitted only).
+    pub tiles: Vec<usize>,
+    /// The application's throughput constraint (iterations/cycle).
+    pub constraint: Option<f64>,
+    /// Guaranteed throughput if the application ran alone (admitted only).
+    pub isolated_bound: Option<f64>,
+    /// Guaranteed throughput under sharing — the lockstep bound of the
+    /// application's interference group (admitted only).
+    pub shared_bound: Option<f64>,
+    /// Throughput measured by the cycle-level simulator running all
+    /// admitted applications concurrently (admitted only).
+    pub measured: Option<f64>,
+    /// Measured-vs-shared-bound comparison (admitted only).
+    pub guarantee: Option<GuaranteeReport>,
+    /// The structured rejection reason (rejected applications only).
+    pub rejection: Option<String>,
+}
+
+/// Result of the multi-application flow: the admission outcome, one report
+/// section per application, and the step timings.
+#[derive(Debug)]
+pub struct MultiFlowResult {
+    /// The architecture everything was mapped onto.
+    pub arch: Architecture,
+    /// The full admission outcome (mappings, groups, occupancy).
+    pub outcome: mamps_mapping::multi::UseCaseMapping,
+    /// One section per application, in admission order.
+    pub sections: Vec<AppSection>,
+    /// Step timings (mapping = the whole admission loop, synthesis = the
+    /// concurrent validation runs).
+    pub timings: StepTimings,
+}
+
+impl MultiFlowResult {
+    /// Number of admitted applications.
+    pub fn admitted_count(&self) -> usize {
+        self.outcome.admitted.len()
+    }
+
+    /// True when the simulator validated every admitted application's
+    /// shared guarantee.
+    pub fn all_guarantees_hold(&self) -> bool {
+        self.sections
+            .iter()
+            .filter(|s| s.admitted)
+            .all(|s| s.guarantee.as_ref().is_some_and(|g| g.holds()))
+    }
+}
+
+/// Runs the multi-application flow: admits `apps` one at a time onto
+/// `arch` (see [`mamps_mapping::multi::map_use_case`]), then validates
+/// every admitted application's shared guarantee by simulating each
+/// interference group — all member applications concurrently on the
+/// shared tiles — for `sim_iterations` lockstep iterations at WCET.
+///
+/// Rejected applications do not fail the flow; their sections carry the
+/// structured rejection reason instead.
+///
+/// # Errors
+///
+/// * [`FlowError::Map`] if the use-case itself is invalid (empty,
+///   duplicate application names).
+/// * [`FlowError::Sim`] if a validation run fails to complete.
+pub fn run_multi_flow(
+    apps: Vec<ApplicationModel>,
+    arch: Architecture,
+    opts: &FlowOptions,
+    sim_iterations: u64,
+) -> Result<MultiFlowResult, FlowError> {
+    use mamps_mapping::multi::{map_use_case, UseCase};
+
+    let uc = UseCase::new(apps)?;
+    let t0 = Instant::now();
+    let outcome = map_use_case(&uc, &arch, &opts.map);
+    let mapping_time = t0.elapsed();
+
+    // Validate each interference group with one concurrent WCET run.
+    let t1 = Instant::now();
+    let mut group_measured: Vec<f64> = Vec::with_capacity(outcome.groups.len());
+    for group in &outcome.groups {
+        let times = WcetTimes::new(group.mapping.binding.wcet_of.clone());
+        let system = System::new_with_repetitions(
+            &group.graph,
+            &group.mapping,
+            &arch,
+            &times,
+            group.combined_repetitions(),
+        )?;
+        let m = system.run(sim_iterations, u64::MAX / 4)?;
+        group_measured.push(m.steady_throughput());
+    }
+    let synthesis = t1.elapsed();
+
+    // Assemble one section per application, restoring admission order via
+    // the indices the admission loop recorded.
+    let mut indexed: Vec<(usize, AppSection)> = Vec::with_capacity(uc.len());
+    for a in &outcome.admitted {
+        let shared = a.shared_guarantee.to_f64();
+        let measured = group_measured[a.group];
+        indexed.push((
+            a.index,
+            AppSection {
+                name: a.name.clone(),
+                admitted: true,
+                strategy: Some(a.mapped.strategy),
+                tiles: a.tiles().iter().map(|t| t.0).collect(),
+                constraint: a.constraint.map(|c| c.to_f64()),
+                isolated_bound: Some(a.mapped.analysis.as_f64()),
+                shared_bound: Some(shared),
+                measured: Some(measured),
+                guarantee: Some(GuaranteeReport::new(shared, measured)),
+                rejection: None,
+            },
+        ));
+    }
+    for r in &outcome.rejected {
+        indexed.push((
+            r.index,
+            AppSection {
+                name: r.name.clone(),
+                admitted: false,
+                strategy: None,
+                tiles: Vec::new(),
+                // Same fallback the admission decision used: a global
+                // target override takes precedence over the model's own
+                // constraint, so the report matches the rejection reason.
+                constraint: opts.map.target.map(|t| t.to_f64()).or_else(|| {
+                    uc.apps()[r.index]
+                        .throughput_constraint()
+                        .map(|c| c.as_ratio().to_f64())
+                }),
+                isolated_bound: None,
+                shared_bound: None,
+                measured: None,
+                guarantee: None,
+                rejection: Some(r.reason.to_string()),
+            },
+        ));
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    let sections: Vec<AppSection> = indexed.into_iter().map(|(_, s)| s).collect();
+
+    Ok(MultiFlowResult {
+        arch,
+        outcome,
+        sections,
+        timings: StepTimings {
+            architecture_generation: Duration::ZERO,
+            mapping: mapping_time,
+            platform_generation: Duration::ZERO,
+            synthesis,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +403,91 @@ mod tests {
     fn flow_errors_propagate() {
         let r = run_flow(&app(), 0, Interconnect::fsl(), &FlowOptions::default());
         assert!(matches!(r, Err(FlowError::Arch(_))));
+    }
+
+    fn named_app(name: &str, wcets: &[u64]) -> ApplicationModel {
+        let mut b = SdfGraphBuilder::new(name);
+        let ids: Vec<_> = (0..wcets.len())
+            .map(|i| b.add_actor(format!("{name}{i}"), 1))
+            .collect();
+        for i in 0..wcets.len() - 1 {
+            b.add_channel_full(format!("{name}e{i}"), ids[i], 1, ids[i + 1], 1, 0, 16);
+        }
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        for (i, &w) in wcets.iter().enumerate() {
+            mb.actor(format!("{name}{i}"), w, 2048, 256);
+        }
+        mb.finish(g, None).unwrap()
+    }
+
+    #[test]
+    fn multi_flow_validates_concurrent_apps() {
+        let arch = Architecture::homogeneous("m", 2, Interconnect::fsl()).unwrap();
+        let r = run_multi_flow(
+            vec![named_app("one", &[80, 80]), named_app("two", &[30, 30])],
+            arch,
+            &FlowOptions::default(),
+            60,
+        )
+        .unwrap();
+        assert_eq!(r.admitted_count(), 2);
+        assert!(r.all_guarantees_hold(), "sections: {:?}", r.sections);
+        assert_eq!(r.sections.len(), 2);
+        for s in &r.sections {
+            assert!(s.admitted);
+            assert!(s.measured.unwrap() >= s.shared_bound.unwrap() * (1.0 - 1e-9));
+            assert!(s.shared_bound.unwrap() <= s.isolated_bound.unwrap() + 1e-15);
+            assert!(!s.tiles.is_empty());
+        }
+        assert!(r.timings.mapping > Duration::ZERO);
+    }
+
+    #[test]
+    fn multi_flow_reports_rejections_without_failing() {
+        use mamps_sdf::model::ThroughputConstraint;
+        let mut b = SdfGraphBuilder::new("impossible");
+        let x = b.add_actor("ix", 1);
+        let y = b.add_actor("iy", 1);
+        b.add_channel_full("ie", x, 1, y, 1, 0, 16);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("ix", 900, 2048, 256).actor("iy", 900, 2048, 256);
+        let impossible = mb
+            .finish(
+                g,
+                Some(ThroughputConstraint {
+                    iterations: 1,
+                    cycles: 10,
+                }),
+            )
+            .unwrap();
+
+        let arch = Architecture::homogeneous("m", 2, Interconnect::fsl()).unwrap();
+        let r = run_multi_flow(
+            vec![named_app("fits", &[60, 60]), impossible],
+            arch,
+            &FlowOptions::default(),
+            40,
+        )
+        .unwrap();
+        assert_eq!(r.admitted_count(), 1);
+        assert!(r.all_guarantees_hold());
+        let rejected = r.sections.iter().find(|s| !s.admitted).unwrap();
+        assert_eq!(rejected.name, "impossible");
+        assert!(rejected
+            .rejection
+            .as_ref()
+            .unwrap()
+            .contains("mapping failed"));
+    }
+
+    #[test]
+    fn multi_flow_rejects_invalid_use_case() {
+        let arch = Architecture::homogeneous("m", 2, Interconnect::fsl()).unwrap();
+        assert!(matches!(
+            run_multi_flow(Vec::new(), arch, &FlowOptions::default(), 10),
+            Err(FlowError::Map(_))
+        ));
     }
 }

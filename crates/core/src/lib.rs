@@ -8,6 +8,12 @@
 //! [`experiments`] packages the paper's evaluation (Fig. 6, Table 1, the
 //! §6.3 CA study, the §5.3.1 area figure) for benches and examples.
 //!
+//! Multi-application use-cases run through [`flow::run_multi_flow`]
+//! (incremental admission with per-application guarantees, then one
+//! concurrent validation run per interference group), and
+//! [`dse::explore_use_cases`] sweeps which application subsets fit each
+//! platform configuration.
+//!
 //! ## Example
 //!
 //! ```
@@ -40,14 +46,18 @@ pub mod report;
 pub mod validate;
 
 pub use arbitration::{apply_peripheral_arbitration, ArbitrationError, PeripheralAccesses};
-#[allow(deprecated)] // the `explore` shim stays importable from the crate root
-pub use dse::explore;
-pub use dse::{explore_report, pareto_front, DsePoint, DseReport, SkippedPoint};
+pub use dse::{
+    explore_report, explore_use_cases, pareto_front, DsePoint, DseReport, SkippedPoint,
+    UseCaseDseReport, UseCasePoint,
+};
 pub use experiments::{
     ca_overhead_experiment, ca_overhead_vs_serialization_cost, fig6_experiment,
     noc_flow_control_overhead, table1, CaOverheadResult, Fig6Row, Table1Row,
 };
-pub use flow::{run_flow, run_flow_with_arch, FlowError, FlowOptions, FlowResult, StepTimings};
+pub use flow::{
+    run_flow, run_flow_with_arch, run_multi_flow, AppSection, FlowError, FlowOptions, FlowResult,
+    MultiFlowResult, StepTimings,
+};
 pub use parallel::{default_jobs, parallel_map};
 pub use predict::predicted_throughput;
 pub use validate::GuaranteeReport;

@@ -8,8 +8,9 @@ use mamps_platform::types::TileId;
 use mamps_sdf::model::ApplicationModel;
 use mamps_sdf::repetition::repetition_vector;
 
-use crate::dse::{pareto_front, DsePoint, DseReport};
+use crate::dse::{pareto_front, DsePoint, DseReport, UseCaseDseReport};
 use crate::experiments::{Fig6Row, Table1Row};
+use crate::flow::MultiFlowResult;
 
 /// Renders Fig. 6 rows as an aligned text table; throughputs are shown in
 /// MCUs per MHz per second (iterations/cycle x 1e6), the paper's unit.
@@ -178,6 +179,115 @@ pub fn render_mapping_summary(
     out
 }
 
+/// Renders a multi-application flow result as one section per
+/// application (admission order): admission status, binding strategy and
+/// tiles, the constraint, the isolated and shared (resource-reduced)
+/// bounds, and the concurrently simulated throughput with its guarantee
+/// verdict. Rejected applications carry their structured reason.
+pub fn render_multi_report(result: &MultiFlowResult) -> String {
+    let mut out = String::new();
+    let total = result.sections.len();
+    let _ = writeln!(
+        out,
+        "use-case: {} of {} application{} admitted on `{}`",
+        result.admitted_count(),
+        total,
+        if total == 1 { "" } else { "s" },
+        result.arch.name()
+    );
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.6e} it/cycle"),
+        None => "-".to_string(),
+    };
+    for s in &result.sections {
+        if s.admitted {
+            let tiles = s
+                .tiles
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "== {}: ADMITTED (binder {}, tiles {})",
+                s.name,
+                s.strategy.unwrap_or("?"),
+                tiles
+            );
+            let _ = writeln!(
+                out,
+                "   constraint           {}",
+                match s.constraint {
+                    Some(c) => format!("{c:.6e} it/cycle"),
+                    None => "none".to_string(),
+                }
+            );
+            let _ = writeln!(out, "   isolated bound       {}", fmt_opt(s.isolated_bound));
+            let _ = writeln!(out, "   shared guarantee     {}", fmt_opt(s.shared_bound));
+            if let (Some(m), Some(g)) = (s.measured, &s.guarantee) {
+                let _ = writeln!(
+                    out,
+                    "   measured (WCET sim)  {m:.6e} it/cycle  margin {:.3}x  guarantee {}",
+                    g.margin,
+                    if g.holds() { "HOLDS" } else { "VIOLATED" }
+                );
+            }
+        } else {
+            let _ = writeln!(out, "== {}: REJECTED", s.name);
+            if let Some(reason) = &s.rejection {
+                let _ = writeln!(out, "   reason: {reason}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders a use-case DSE sweep: per platform configuration, how many
+/// (and which) applications were admitted, the lowest shared guarantee
+/// among them, and the platform area — followed by every rejection with
+/// its structured reason.
+pub fn render_use_case_report(report: &UseCaseDseReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<6} {:<6} {:>9} {:>16} {:>10}  admitted",
+        "binder", "tiles", "ic", "admitted", "min it/cycle", "slices"
+    );
+    for p in &report.points {
+        let total = p.admitted.len() + p.rejected.len();
+        let _ = writeln!(
+            out,
+            "{:<8} {:<6} {:<6} {:>9} {:>16.3e} {:>10}  {}",
+            p.strategy,
+            p.tiles,
+            p.interconnect,
+            format!("{}/{}", p.admitted.len(), total),
+            p.min_guarantee,
+            p.slices,
+            p.admitted.join(" ")
+        );
+    }
+    let rejections: Vec<String> = report
+        .points
+        .iter()
+        .flat_map(|p| {
+            p.rejected.iter().map(move |(name, reason)| {
+                format!(
+                    "  {:<8} {:<6} {:<6} {name}: {reason}",
+                    p.strategy, p.tiles, p.interconnect
+                )
+            })
+        })
+        .collect();
+    if !rejections.is_empty() {
+        let _ = writeln!(out, "rejections:");
+        for r in rejections {
+            let _ = writeln!(out, "{r}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +375,76 @@ mod tests {
             ..report
         });
         assert!(!clean.contains("skipped"));
+    }
+
+    #[test]
+    fn multi_report_renders_sections_and_rejections() {
+        use crate::flow::{run_multi_flow, FlowOptions};
+        use mamps_platform::arch::Architecture;
+        use mamps_platform::interconnect::Interconnect;
+        use mamps_sdf::graph::SdfGraphBuilder;
+        use mamps_sdf::model::{HomogeneousModelBuilder, ThroughputConstraint};
+
+        let mk = |name: &str, wcet: u64, constraint: Option<ThroughputConstraint>| {
+            let mut b = SdfGraphBuilder::new(name);
+            let x = b.add_actor(format!("{name}x"), 1);
+            let y = b.add_actor(format!("{name}y"), 1);
+            b.add_channel_full(format!("{name}e"), x, 1, y, 1, 0, 16);
+            let g = b.build().unwrap();
+            let mut mb = HomogeneousModelBuilder::new("microblaze");
+            mb.actor(format!("{name}x"), wcet, 2048, 256).actor(
+                format!("{name}y"),
+                wcet,
+                2048,
+                256,
+            );
+            mb.finish(g, constraint).unwrap()
+        };
+        let arch = Architecture::homogeneous("r", 2, Interconnect::fsl()).unwrap();
+        let r = run_multi_flow(
+            vec![
+                mk("good", 60, None),
+                mk(
+                    "bad",
+                    900,
+                    Some(ThroughputConstraint {
+                        iterations: 1,
+                        cycles: 10,
+                    }),
+                ),
+            ],
+            arch,
+            &FlowOptions::default(),
+            40,
+        )
+        .unwrap();
+        let s = render_multi_report(&r);
+        assert!(s.contains("1 of 2 applications admitted"));
+        assert!(s.contains("good: ADMITTED"));
+        assert!(s.contains("guarantee HOLDS"));
+        assert!(s.contains("bad: REJECTED"));
+        assert!(s.contains("reason: mapping failed"));
+    }
+
+    #[test]
+    fn use_case_report_lists_points_and_rejections() {
+        use crate::dse::{UseCaseDseReport, UseCasePoint};
+        let report = UseCaseDseReport {
+            points: vec![UseCasePoint {
+                tiles: 2,
+                interconnect: "fsl",
+                strategy: "greedy",
+                admitted: vec!["a".into()],
+                rejected: vec![("b".into(), "mapping failed: no fit".into())],
+                min_guarantee: 1e-5,
+                slices: 2345,
+            }],
+        };
+        let s = render_use_case_report(&report);
+        assert!(s.contains("1/2"));
+        assert!(s.contains("2345"));
+        assert!(s.contains("rejections:"));
+        assert!(s.contains("b: mapping failed: no fit"));
     }
 
     #[test]

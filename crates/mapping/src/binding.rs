@@ -11,14 +11,140 @@
 //! during mapping ... from \[14\]").
 
 use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
 use mamps_platform::types::TileId;
 use mamps_sdf::graph::ActorId;
 use mamps_sdf::model::ApplicationModel;
+use mamps_sdf::repetition::repetition_vector;
 
 use crate::cost::CostWeights;
 use crate::error::MapError;
-use crate::mapping::Binding;
+use crate::mapping::{Binding, Mapping};
 use crate::strategy::StrategyHandle;
+
+/// Resources already committed on a partially occupied platform.
+///
+/// The multi-application admission loop ([`crate::multi`]) maps one
+/// application at a time; every binder receives the occupancy of the
+/// previously admitted applications through
+/// [`BindOptions::occupancy`] and places the next application on the
+/// *residual* resources: remaining tile memory, remaining NoC wires, and
+/// (as a load-balancing hint) the work already running on each tile. An
+/// empty occupancy — the default — reproduces single-application binding
+/// exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Occupancy {
+    /// Memory bytes already committed per tile (indexed by tile id; short
+    /// vectors read as zero).
+    pub tile_mem: Vec<u64>,
+    /// Work units (WCET × repetitions per iteration) already placed per
+    /// tile.
+    pub tile_work: Vec<u64>,
+    /// Reserved NoC connections: `(from, to, wires)` per cross-tile
+    /// channel of the already-admitted applications.
+    pub connections: Vec<(TileId, TileId, u32)>,
+}
+
+impl Occupancy {
+    /// An occupancy with all resources free on a `tiles`-tile platform.
+    pub fn empty(tiles: usize) -> Occupancy {
+        Occupancy {
+            tile_mem: vec![0; tiles],
+            tile_work: vec![0; tiles],
+            connections: Vec::new(),
+        }
+    }
+
+    /// Memory bytes already committed on `tile`.
+    pub fn mem_on(&self, tile: TileId) -> u64 {
+        self.tile_mem.get(tile.0).copied().unwrap_or(0)
+    }
+
+    /// Work units already placed on `tile`.
+    pub fn work_on(&self, tile: TileId) -> u64 {
+        self.tile_work.get(tile.0).copied().unwrap_or(0)
+    }
+
+    /// Total work units recorded across all tiles.
+    pub fn total_work(&self) -> u64 {
+        self.tile_work.iter().sum()
+    }
+
+    /// Records the resources of a mapped application: per-tile memory of
+    /// the chosen implementations, per-tile work, and the NoC connections
+    /// of its cross-tile channels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates consistency errors from the repetition vector (cannot
+    /// happen for an application that was successfully mapped).
+    pub fn occupy(&mut self, app: &ApplicationModel, mapping: &Mapping) -> Result<(), MapError> {
+        let graph = app.graph();
+        let q = repetition_vector(graph)?;
+        let binding = &mapping.binding;
+        let max_tile = binding.tile_of.iter().map(|t| t.0 + 1).max().unwrap_or(0);
+        if self.tile_mem.len() < max_tile {
+            self.tile_mem.resize(max_tile, 0);
+            self.tile_work.resize(max_tile, 0);
+        }
+        for (aid, _) in graph.actors() {
+            let t = binding.tile_of[aid.0];
+            if let Some(im) = app.implementation_for(aid, binding.processor_of[aid.0].name()) {
+                self.tile_mem[t.0] += im.instruction_memory + im.data_memory;
+            }
+            self.tile_work[t.0] += binding.wcet_of[aid.0] * q.of(aid);
+        }
+        for (cid, ch) in graph.channels() {
+            if ch.is_self_edge() || !binding.crosses_tiles(ch.src(), ch.dst()) {
+                continue;
+            }
+            let wires = mapping.channels[cid.0].wires;
+            if wires > 0 {
+                self.connections.push((
+                    binding.tile_of[ch.src().0],
+                    binding.tile_of[ch.dst().0],
+                    wires,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Seeds a wire allocator with the reserved connections.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Wires`] if the recorded reservations no longer fit the
+    /// NoC (inconsistent occupancy).
+    pub fn seed_wires(
+        &self,
+        alloc: &mut mamps_platform::noc::WireAllocator,
+    ) -> Result<(), MapError> {
+        for &(from, to, wires) in &self.connections {
+            alloc.allocate(from, to, wires)?;
+        }
+        Ok(())
+    }
+
+    /// Seeds a wire allocator for `arch`'s interconnect, when it is a NoC.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Occupancy::seed_wires`].
+    pub fn wire_allocator(
+        &self,
+        arch: &Architecture,
+    ) -> Result<Option<mamps_platform::noc::WireAllocator>, MapError> {
+        match arch.interconnect() {
+            Interconnect::Noc(noc) => {
+                let mut alloc = mamps_platform::noc::WireAllocator::new(*noc);
+                self.seed_wires(&mut alloc)?;
+                Ok(Some(alloc))
+            }
+            Interconnect::Fsl { .. } => Ok(None),
+        }
+    }
+}
 
 /// Options for the binder.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +157,11 @@ pub struct BindOptions {
     pub pinned: Vec<(ActorId, TileId)>,
     /// The binding strategy to dispatch to (default: greedy).
     pub strategy: StrategyHandle,
+    /// Resources already committed by previously admitted applications
+    /// (multi-application use-cases); empty for single-application flows.
+    /// Honoured by every strategy: binding happens against the residual
+    /// tile memory and, on NoCs, the residual wires.
+    pub occupancy: Occupancy,
 }
 
 impl BindOptions {

@@ -80,6 +80,27 @@ fn analysis_options(max_states: usize) -> AnalysisOptions {
     }
 }
 
+/// How many deadlock-driven buffer-growth attempts are allowed before
+/// giving up (shared by the single-application phase-1 loop and the
+/// multi-app combined-schedule growth in [`crate::multi`]).
+pub(crate) const DEADLOCK_GROWTH_ATTEMPTS: usize = 12;
+
+/// One uniform buffer-growth step on every channel allocation: a
+/// production of slack at the source, a consumption at the destination,
+/// and one rate-gcd token of local capacity. Used whenever an analysis
+/// deadlocks at the current allocation.
+pub(crate) fn grow_channels_one_step(
+    graph: &mamps_sdf::graph::SdfGraph,
+    channels: &mut [ChannelAlloc],
+) {
+    for (cid, ch) in graph.channels() {
+        let c = &mut channels[cid.0];
+        c.alpha_src += ch.production_rate().max(ch.initial_tokens());
+        c.alpha_dst += ch.consumption_rate();
+        c.local_capacity += mamps_sdf::ratio::gcd(ch.production_rate(), ch.consumption_rate());
+    }
+}
+
 /// Maps `app` onto `arch`: the automated "Mapping (SDF3)" step of Table 1.
 ///
 /// # Errors
@@ -105,10 +126,13 @@ pub fn map_application(
         g
     };
 
-    // NoC wire allocation, one connection per cross-tile channel.
+    // NoC wire allocation, one connection per cross-tile channel. The
+    // allocator starts from the occupancy's reservations so an admitted
+    // use-case's connections are never double-allocated.
     let mut wires = vec![0u32; graph.channel_count()];
     if let Interconnect::Noc(noc) = arch.interconnect() {
         let mut alloc = WireAllocator::new(*noc);
+        opts.bind.occupancy.seed_wires(&mut alloc)?;
         for (cid, ch) in graph.channels() {
             if ch.is_self_edge() || !binding.crosses_tiles(ch.src(), ch.dst()) {
                 continue;
@@ -164,16 +188,10 @@ pub fn map_application(
             Ok(r) => break r,
             Err(MapError::Sdf(SdfError::Deadlock(msg))) => {
                 attempt += 1;
-                if attempt > 12 {
+                if attempt > DEADLOCK_GROWTH_ATTEMPTS {
                     return Err(MapError::Sdf(SdfError::Deadlock(msg)));
                 }
-                for (cid, ch) in graph.channels() {
-                    let c = &mut mapping.channels[cid.0];
-                    c.alpha_src += ch.production_rate().max(ch.initial_tokens());
-                    c.alpha_dst += ch.consumption_rate();
-                    c.local_capacity +=
-                        mamps_sdf::ratio::gcd(ch.production_rate(), ch.consumption_rate());
-                }
+                grow_channels_one_step(graph, &mut mapping.channels);
             }
             Err(e) => return Err(e),
         }

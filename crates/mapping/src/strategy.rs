@@ -249,10 +249,14 @@ impl BindingStrategy for GreedyBinder {
         };
         order.sort_by_key(|&a| std::cmp::Reverse((work(a), std::cmp::Reverse(a.0))));
 
+        // Include the occupancy's work so the processing cost stays on the
+        // same normalized scale as the other cost components when tiles
+        // are pre-loaded by previously admitted applications.
         let total_work: f64 = (0..n)
             .map(|i| work(ActorId(i)) as f64)
             .sum::<f64>()
-            .max(1.0);
+            .max(1.0)
+            + opts.occupancy.total_work() as f64;
         let total_comm: f64 = graph
             .channels()
             .map(|(_, c)| {
@@ -266,8 +270,14 @@ impl BindingStrategy for GreedyBinder {
         };
 
         let pinned: HashMap<ActorId, TileId> = opts.pinned.iter().copied().collect();
-        let mut tile_load = vec![0f64; arch.tile_count()];
-        let mut tile_mem = vec![0u64; arch.tile_count()];
+        // Residual-resource start state: tiles begin at the occupancy of
+        // previously admitted applications (all zero for single-app flows).
+        let mut tile_load: Vec<f64> = (0..arch.tile_count())
+            .map(|t| opts.occupancy.work_on(TileId(t)) as f64)
+            .collect();
+        let mut tile_mem: Vec<u64> = (0..arch.tile_count())
+            .map(|t| opts.occupancy.mem_on(TileId(t)))
+            .collect();
         let mut placed: Vec<Option<TileId>> = vec![None; n];
 
         for &a in &order {
@@ -460,15 +470,22 @@ impl BindingStrategy for SpiralBinder {
             None => Vec::new(),
         };
 
+        // Fair share counts the work of previously admitted applications
+        // too, so the spiral walks past already-busy tiles earlier.
         let total_work: f64 = (0..n)
             .map(|i| work(ActorId(i)) as f64)
             .sum::<f64>()
-            .max(1.0);
+            .max(1.0)
+            + opts.occupancy.total_work() as f64;
         let fair_share = total_work / tiles.max(1) as f64;
 
         let pinned: HashMap<ActorId, TileId> = opts.pinned.iter().copied().collect();
-        let mut tile_load = vec![0f64; tiles];
-        let mut tile_mem = vec![0u64; tiles];
+        let mut tile_load: Vec<f64> = (0..tiles)
+            .map(|t| opts.occupancy.work_on(TileId(t)) as f64)
+            .collect();
+        let mut tile_mem: Vec<u64> = (0..tiles)
+            .map(|t| opts.occupancy.mem_on(TileId(t)))
+            .collect();
         let mut placed: Vec<Option<TileId>> = vec![None; n];
         let mut cursor = 0usize;
 
@@ -640,8 +657,15 @@ impl GeneticBinder {
         }
     }
 
-    /// Penalized guaranteed-throughput fitness of one assignment.
-    fn fitness(&self, app: &ApplicationModel, arch: &Architecture, chrom: &[TileId]) -> f64 {
+    /// Penalized guaranteed-throughput fitness of one assignment,
+    /// evaluated against the residual resources left by `occ`.
+    fn fitness(
+        &self,
+        app: &ApplicationModel,
+        arch: &Architecture,
+        occ: &crate::binding::Occupancy,
+        chrom: &[TileId],
+    ) -> f64 {
         const MEM_PENALTY: f64 = -1e9;
         const STRUCTURE_PENALTY: f64 = -1e6;
         const DEADLOCK_PENALTY: f64 = -1.0;
@@ -649,7 +673,9 @@ impl GeneticBinder {
         let graph = app.graph();
 
         // Tile memory feasibility: one penalty unit per overcommitted tile.
-        let mut mem_used = vec![0u64; arch.tile_count()];
+        let mut mem_used: Vec<u64> = (0..arch.tile_count())
+            .map(|t| occ.mem_on(TileId(t)))
+            .collect();
         for (i, &t) in chrom.iter().enumerate() {
             match mem_needed(app, arch, ActorId(i), t) {
                 Some(need) => mem_used[t.0] += need,
@@ -678,6 +704,9 @@ impl GeneticBinder {
         let mut wires = vec![0u32; graph.channel_count()];
         if let Interconnect::Noc(noc) = arch.interconnect() {
             let mut alloc = mamps_platform::noc::WireAllocator::new(*noc);
+            if occ.seed_wires(&mut alloc).is_err() {
+                return STRUCTURE_PENALTY;
+            }
             for (cid, ch) in graph.channels() {
                 if ch.is_self_edge() || !binding.crosses_tiles(ch.src(), ch.dst()) {
                     continue;
@@ -808,7 +837,7 @@ impl BindingStrategy for GeneticBinder {
             if let Some(&f) = memo.get(chrom) {
                 return f;
             }
-            let f = self.fitness(app, arch, chrom);
+            let f = self.fitness(app, arch, &opts.occupancy, chrom);
             memo.insert(chrom.clone(), f);
             f
         };
@@ -989,8 +1018,9 @@ mod tests {
             .bind(&app, &arch, &BindOptions::default())
             .unwrap();
         let best = ga.bind(&app, &arch, &BindOptions::default()).unwrap();
-        let f_greedy = ga.fitness(&app, &arch, &greedy.tile_of);
-        let f_best = ga.fitness(&app, &arch, &best.tile_of);
+        let occ = crate::binding::Occupancy::default();
+        let f_greedy = ga.fitness(&app, &arch, &occ, &greedy.tile_of);
+        let f_best = ga.fitness(&app, &arch, &occ, &best.tile_of);
         assert!(
             f_best >= f_greedy,
             "GA best {f_best} below greedy {f_greedy}"

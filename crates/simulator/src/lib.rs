@@ -18,6 +18,13 @@
 //! * **actual times <= WCET** → measured throughput meets or exceeds the
 //!   bound (conservativeness).
 //!
+//! Multi-application use-cases run through the same engine:
+//! [`System::new_with_repetitions`] executes the (disconnected) union
+//! graph of all admitted applications concurrently on the shared tiles,
+//! with each shared PE walking the concatenated static-order rounds — the
+//! platform's arbitration — so every per-application bound can be
+//! validated in one run.
+//!
 //! ## Example
 //!
 //! ```

@@ -66,6 +66,56 @@ impl<'a> System<'a> {
         arch: &'a Architecture,
         times: &'a dyn FiringTimes,
     ) -> Result<System<'a>, SimError> {
+        let q = repetition_vector(graph).map_err(|e| SimError::Build(e.to_string()))?;
+        Self::build(graph, mapping, arch, times, q.entries().to_vec())
+    }
+
+    /// Like [`new`](Self::new) but with a caller-provided repetition
+    /// vector.
+    ///
+    /// This is the multi-application entry point: the union graph of
+    /// several applications sharing one platform is disconnected (the
+    /// applications exchange no tokens), so no single repetition vector
+    /// can be derived from the graph — the caller passes the members'
+    /// vectors concatenated (see `mamps_mapping::multi::SharedSystem::
+    /// combined_repetitions`). An "iteration" then completes when *every*
+    /// application has completed one of its own iterations, which is the
+    /// lockstep rate the shared static-order schedules guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Build`] if `repetitions` does not cover every actor or
+    /// contains a zero, plus the mapping/graph mismatch errors of
+    /// [`new`](Self::new).
+    pub fn new_with_repetitions(
+        graph: &'a SdfGraph,
+        mapping: &'a Mapping,
+        arch: &'a Architecture,
+        times: &'a dyn FiringTimes,
+        repetitions: Vec<u64>,
+    ) -> Result<System<'a>, SimError> {
+        if repetitions.len() != graph.actor_count() {
+            return Err(SimError::Build(format!(
+                "repetition vector covers {} of {} actors",
+                repetitions.len(),
+                graph.actor_count()
+            )));
+        }
+        if repetitions.contains(&0) {
+            return Err(SimError::Build(
+                "repetition vector contains a zero entry".into(),
+            ));
+        }
+        Self::build(graph, mapping, arch, times, repetitions)
+    }
+
+    fn build(
+        graph: &'a SdfGraph,
+        mapping: &'a Mapping,
+        arch: &'a Architecture,
+        times: &'a dyn FiringTimes,
+        repetitions: Vec<u64>,
+    ) -> Result<System<'a>, SimError> {
         if mapping.channels.len() != graph.channel_count() {
             return Err(SimError::Build(format!(
                 "mapping has {} channel allocations for {} channels",
@@ -212,7 +262,6 @@ impl<'a> System<'a> {
             }
         }
 
-        let q = repetition_vector(graph).map_err(|e| SimError::Build(e.to_string()))?;
         Ok(System {
             graph,
             mapping,
@@ -222,7 +271,7 @@ impl<'a> System<'a> {
             workers,
             fire_overhead,
             firings: vec![0; graph.actor_count()],
-            q: q.entries().to_vec(),
+            q: repetitions,
             iteration_times: Vec::new(),
             now: 0,
             events: BinaryHeap::new(),
@@ -679,6 +728,83 @@ mod tests {
             Err(SimError::CycleLimit(_)) | Err(SimError::Deadlock(_)) => {}
             other => panic!("expected starvation, got {other:?}"),
         }
+    }
+
+    /// Two applications admitted onto shared tiles: the union graph is
+    /// disconnected, so the simulator takes the members' concatenated
+    /// repetition vectors, runs both apps concurrently under the
+    /// concatenated static orders, and the measured lockstep throughput
+    /// must meet the shared-analysis bound.
+    #[test]
+    fn multi_app_union_meets_shared_bound() {
+        use mamps_mapping::multi::{map_use_case, UseCase};
+
+        let mk = |name: &str, wcets: &[u64]| {
+            let n = wcets.len();
+            let mut b = SdfGraphBuilder::new(name);
+            let ids: Vec<_> = (0..n)
+                .map(|i| b.add_actor(format!("{name}{i}"), 1))
+                .collect();
+            for i in 0..n - 1 {
+                b.add_channel_full(format!("{name}e{i}"), ids[i], 1, ids[i + 1], 1, 0, 16);
+            }
+            let g = b.build().unwrap();
+            let mut mb = HomogeneousModelBuilder::new("microblaze");
+            for (i, &w) in wcets.iter().enumerate() {
+                mb.actor(format!("{name}{i}"), w, 4096, 512);
+            }
+            mb.finish(g, None).unwrap()
+        };
+        let uc = UseCase::new(vec![mk("u", &[100, 100]), mk("v", &[40, 40, 40])]).unwrap();
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let r = map_use_case(&uc, &arch, &MapOptions::default());
+        assert!(r.fully_admitted(), "rejections: {:?}", r.rejected);
+        let group = &r.groups[0];
+        assert_eq!(group.members.len(), 2, "apps must share tiles");
+
+        let times = WcetTimes::new(group.mapping.binding.wcet_of.clone());
+        let sys = System::new_with_repetitions(
+            &group.graph,
+            &group.mapping,
+            &arch,
+            &times,
+            group.combined_repetitions(),
+        )
+        .unwrap();
+        let m = sys.run(100, 100_000_000).unwrap();
+        let bound = group.analysis.as_f64();
+        let measured = m.steady_throughput();
+        assert!(
+            measured >= bound * (1.0 - 1e-9),
+            "measured {measured} below shared bound {bound}"
+        );
+        // Every member progresses at least at the lockstep rate.
+        for i in 0..group.members.len() {
+            assert!(group.member_iterations(i, &m.firings) >= m.iteration_times.len() as u64);
+        }
+    }
+
+    #[test]
+    fn explicit_repetitions_validated() {
+        let app = pipeline_app(&[10, 10], 4);
+        let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+        let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        assert!(matches!(
+            System::new_with_repetitions(app.graph(), &mapped.mapping, &arch, &times, vec![1]),
+            Err(SimError::Build(_))
+        ));
+        assert!(matches!(
+            System::new_with_repetitions(app.graph(), &mapped.mapping, &arch, &times, vec![1, 0]),
+            Err(SimError::Build(_))
+        ));
+        // A valid explicit vector behaves exactly like `new`.
+        let m =
+            System::new_with_repetitions(app.graph(), &mapped.mapping, &arch, &times, vec![1, 1])
+                .unwrap()
+                .run(50, 1_000_000)
+                .unwrap();
+        assert!(m.steady_throughput() > 0.0);
     }
 
     #[test]

@@ -8,6 +8,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 APP=examples/data/mjpeg_small_app.xml
+APP2=examples/data/pipeline_small_app.xml
+APP3=examples/data/infeasible_app.xml
 ARCH=examples/data/fsl_3tile_arch.xml
 BIN=${MAMPS_BIN:-target/release/mamps}
 
@@ -55,5 +57,24 @@ echo "$out"
 grep -q "greedy" <<<"$out" || fail "dse strategy sweep lost the greedy points"
 grep -q "spiral" <<<"$out" || fail "dse strategy sweep lost the spiral points"
 grep -q "pareto front" <<<"$out" || fail "dse printed no pareto summary"
+
+echo "== mamps map-multi (MJPEG + pipeline + infeasible burst)"
+out=$("$BIN" map-multi "$APP" "$APP2" "$APP3" "$ARCH" --iters 60)
+echo "$out"
+grep -q "2 of 3 applications admitted" <<<"$out" \
+  || fail "map-multi did not admit exactly the two feasible apps"
+grep -q "mjpeg: ADMITTED" <<<"$out" || fail "map-multi lost the MJPEG app"
+grep -q "pipeline: ADMITTED" <<<"$out" || fail "map-multi lost the pipeline app"
+grep -q "burst: REJECTED" <<<"$out" || fail "map-multi admitted the infeasible app"
+grep -q "reason: mapping failed" <<<"$out" || fail "rejection carries no structured reason"
+[ "$(grep -c 'guarantee HOLDS' <<<"$out")" = 2 ] \
+  || fail "not every admitted per-app guarantee was validated"
+
+echo "== mamps dse --apps (use-case sweep)"
+out=$("$BIN" dse 3 --apps "$APP,$APP2" --jobs 2 --binders greedy,spiral)
+echo "$out"
+grep -q "2/2" <<<"$out" || fail "use-case sweep found no config admitting both apps"
+grep -q "pipeline" <<<"$out" || fail "use-case sweep lost the pipeline app"
+grep -q "spiral" <<<"$out" || fail "use-case sweep lost the spiral strategy"
 
 echo "smoke: OK"

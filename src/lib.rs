@@ -10,8 +10,9 @@
 //!   MCR throughput analysis, buffer sizing, application models.
 //! * [`platform`] — the MAMPS architecture template: tiles, FSL and SDM
 //!   NoC interconnects, area model.
-//! * [`mapping`] — binding, static-order scheduling, buffer allocation and
-//!   the Fig. 4 interconnect-model expansion.
+//! * [`mapping`] — binding, static-order scheduling, buffer allocation,
+//!   the Fig. 4 interconnect-model expansion, and multi-application
+//!   use-case admission (`mapping::multi`).
 //! * [`sim`] — the deterministic cycle-level platform simulator (the
 //!   FPGA stand-in).
 //! * [`mjpeg`] — the MJPEG decoder case study with its cycle-cost model.

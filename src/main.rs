@@ -3,12 +3,23 @@
 //! Drives the flow from XML files in the common interchange format:
 //!
 //! ```text
-//! mamps analyze  <app.xml>                       # consistency + unbounded throughput
-//! mamps map      <app.xml> <arch.xml> [out.xml] [--binder <name>]
-//! mamps generate <app.xml> <arch.xml> <dir>      # full project generation
-//! mamps simulate <app.xml> <arch.xml> [iters]    # flow + WCET platform run
-//! mamps dse      <app.xml> <max_tiles> [--jobs N] [--binders a,b,c]
+//! mamps analyze   <app.xml>                       # consistency + unbounded throughput
+//! mamps map       <app.xml> <arch.xml> [out.xml] [--binder <name>]
+//! mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N]
+//! mamps generate  <app.xml> <arch.xml> <dir>      # full project generation
+//! mamps simulate  <app.xml> <arch.xml> [iters]    # flow + WCET platform run
+//! mamps dse       <app.xml> <max_tiles> [--jobs N] [--binders a,b,c]
+//! mamps dse       <max_tiles> --apps a.xml,b.xml [--jobs N] [--binders ...]
 //! ```
+//!
+//! `map-multi` admits several applications one at a time onto one shared
+//! platform (each keeping its own throughput guarantee), validates every
+//! admitted guarantee with one concurrent cycle-level simulation, and
+//! reports rejected applications with structured reasons. Individual
+//! rejections do not fail the run; the exit code is nonzero only when a
+//! validated guarantee is violated or when *no* application could be
+//! admitted (nothing deployable). `dse --apps` sweeps which application
+//! subsets fit each platform configuration.
 //!
 //! Binding strategies (`--binder` / `--binders`) are resolved through
 //! [`mamps::mapping::strategy::registry`]: `greedy` (default), `spiral`,
@@ -16,8 +27,10 @@
 
 use std::process::ExitCode;
 
-use mamps::flow::report::{render_dse_report, render_mapping_summary};
-use mamps::flow::{run_flow_with_arch, FlowOptions, GuaranteeReport};
+use mamps::flow::report::{
+    render_dse_report, render_mapping_summary, render_multi_report, render_use_case_report,
+};
+use mamps::flow::{run_flow_with_arch, run_multi_flow, FlowOptions, GuaranteeReport};
 use mamps::mapping::strategy::{self, StrategyHandle};
 use mamps::mapping::xml::mapping_to_xml;
 use mamps::platform::xml::architecture_from_xml;
@@ -27,7 +40,7 @@ use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps analyze  <app.xml>\n  mamps map      <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps generate <app.xml> <arch.xml> <out-dir>\n  mamps simulate <app.xml> <arch.xml> [iterations]\n  mamps dse      <app.xml> <max-tiles> [--jobs N] [--binders a,b,c]\nbinders: {}",
+        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c]\nbinders: {}",
         strategy::names().join(", ")
     );
     ExitCode::from(2)
@@ -143,6 +156,36 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             Ok(ExitCode::SUCCESS)
         }
+        ("map-multi", _) => {
+            let (pos, flags) = split_flags(&args[1..], &["binder", "iters"])?;
+            if pos.len() < 2 {
+                return Ok(usage());
+            }
+            let (app_paths, arch_path) = pos.split_at(pos.len() - 1);
+            let apps = app_paths
+                .iter()
+                .map(|p| load_app(p))
+                .collect::<Result<Vec<_>, _>>()?;
+            let arch = load_arch(&arch_path[0])?;
+            let mut opts = FlowOptions::default();
+            let mut iters: u64 = 100;
+            for (name, value) in &flags {
+                match name.as_str() {
+                    "binder" => opts.map.bind.strategy = resolve_binder(value)?,
+                    "iters" => iters = value.parse()?,
+                    _ => unreachable!("split_flags rejects unknown flags"),
+                }
+            }
+            let result = run_multi_flow(apps, arch, &opts, iters)?;
+            print!("{}", render_multi_report(&result));
+            Ok(
+                if result.admitted_count() >= 1 && result.all_guarantees_hold() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                },
+            )
+        }
         ("generate", 4) => {
             let app = load_app(&args[1])?;
             let arch = load_arch(&args[2])?;
@@ -180,13 +223,9 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             })
         }
         ("dse", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["jobs", "binders"])?;
-            if pos.len() != 2 {
-                return Ok(usage());
-            }
-            let app = load_app(&pos[0])?;
-            let max: usize = pos[1].parse()?;
+            let (pos, flags) = split_flags(&args[1..], &["jobs", "binders", "apps"])?;
             let mut opts = FlowOptions::default();
+            let mut multi_apps: Option<Vec<mamps::sdf::model::ApplicationModel>> = None;
             for (name, value) in &flags {
                 match name.as_str() {
                     "jobs" => {
@@ -204,13 +243,43 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                             .map(resolve_binder)
                             .collect::<Result<Vec<_>, _>>()?;
                     }
+                    "apps" => {
+                        multi_apps = Some(
+                            value
+                                .split(',')
+                                .filter(|s| !s.is_empty())
+                                .map(load_app)
+                                .collect::<Result<Vec<_>, _>>()?,
+                        );
+                    }
                     _ => unreachable!("split_flags rejects unknown flags"),
                 }
             }
-            let tiles: Vec<usize> = (1..=max.max(1)).collect();
-            let report = mamps::flow::dse::explore_report(&app, &tiles, true, &opts);
-            print!("{}", render_dse_report(&report));
-            Ok(ExitCode::SUCCESS)
+            match multi_apps {
+                // Use-case sweep: which subsets of the applications fit on
+                // each platform configuration.
+                Some(apps) => {
+                    if pos.len() != 1 {
+                        return Ok(usage());
+                    }
+                    let max: usize = pos[0].parse()?;
+                    let tiles: Vec<usize> = (1..=max.max(1)).collect();
+                    let report = mamps::flow::dse::explore_use_cases(&apps, &tiles, true, &opts);
+                    print!("{}", render_use_case_report(&report));
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => {
+                    if pos.len() != 2 {
+                        return Ok(usage());
+                    }
+                    let app = load_app(&pos[0])?;
+                    let max: usize = pos[1].parse()?;
+                    let tiles: Vec<usize> = (1..=max.max(1)).collect();
+                    let report = mamps::flow::dse::explore_report(&app, &tiles, true, &opts);
+                    print!("{}", render_dse_report(&report));
+                    Ok(ExitCode::SUCCESS)
+                }
+            }
         }
         _ => Ok(usage()),
     }

@@ -156,6 +156,66 @@ fn cli_subcommands_work_end_to_end() {
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("HOLDS"));
 
+    // map-multi: a second app joins the MJPEG decoder on the same
+    // platform; both guarantees must be validated by the concurrent run.
+    let second = dir.join("second.xml");
+    {
+        use mamps::sdf::graph::SdfGraphBuilder;
+        use mamps::sdf::model::{HomogeneousModelBuilder, ThroughputConstraint};
+        let mut b = SdfGraphBuilder::new("sidecar");
+        let x = b.add_actor("sc_in", 1);
+        let y = b.add_actor("sc_out", 1);
+        b.add_channel_full("sc_e", x, 1, y, 1, 0, 16);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("sc_in", 200, 2048, 256)
+            .actor("sc_out", 300, 2048, 256);
+        let side = mb
+            .finish(
+                g,
+                Some(ThroughputConstraint {
+                    iterations: 1,
+                    cycles: 10_000_000,
+                }),
+            )
+            .unwrap();
+        std::fs::write(&second, application_to_xml(&side)).unwrap();
+    }
+    let out = Command::new(bin())
+        .arg("map-multi")
+        .arg(&app)
+        .arg(&second)
+        .arg(&arch)
+        .args(["--iters", "60"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 of 2 applications admitted"), "{text}");
+    assert!(text.contains("guarantee HOLDS"), "{text}");
+
+    // dse --apps: the use-case sweep reports admitted subsets per config.
+    let out = Command::new(bin())
+        .arg("dse")
+        .arg("2")
+        .arg("--apps")
+        .arg(format!("{},{}", app.display(), second.display()))
+        .args(["--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("admitted"), "{text}");
+    assert!(text.contains("sidecar"), "{text}");
+
     // bad usage
     let out = Command::new(bin()).arg("bogus").output().unwrap();
     assert!(!out.status.success());
