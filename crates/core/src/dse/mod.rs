@@ -14,17 +14,69 @@
 //! Infeasible points are not silently discarded: they come back as
 //! [`SkippedPoint`]s naming the strategy and the failing flow step,
 //! surfaced by `mamps dse` and [`crate::report::render_dse_report`].
+//!
+//! # Sharding a sweep across processes
+//!
+//! Beyond one host, the design-point space can be split across processes
+//! or machines with [`shard`]: every result type serializes to JSON lines
+//! (via the workspace's vendored value-based serde), a deterministic
+//! [`shard::ShardSpec`] partitioner — threaded through
+//! [`FlowOptions::shard`] — assigns each process a disjoint slice of the
+//! sweep, and [`shard::merge_reports`] reassembles the partial results
+//! into the very report an unsharded run would have produced, recomputing
+//! the global Pareto front per strategy across shards. Merging is exact:
+//! the merged report compares equal (and renders byte-for-byte identical)
+//! to the unsharded sweep on the same inputs.
+//!
+//! ```
+//! use mamps_core::dse::{explore_report, shard};
+//! use mamps_core::flow::FlowOptions;
+//! use mamps_sdf::graph::SdfGraphBuilder;
+//! use mamps_sdf::model::HomogeneousModelBuilder;
+//!
+//! let mut b = SdfGraphBuilder::new("doc");
+//! let x = b.add_actor("x", 1);
+//! let y = b.add_actor("y", 1);
+//! b.add_channel("e", x, 1, y, 1);
+//! let graph = b.build().unwrap();
+//! let mut mb = HomogeneousModelBuilder::new("microblaze");
+//! mb.actor("x", 40, 2048, 256).actor("y", 70, 2048, 256);
+//! let app = mb.finish(graph, None).unwrap();
+//!
+//! // A 2-point sweep (tile counts 1 and 2, FSL only), unsharded...
+//! let opts = FlowOptions::default();
+//! let full = explore_report(&app, &[1, 2], false, &opts);
+//!
+//! // ...and the same sweep split across two shards, then merged. Each
+//! // shard evaluates only the design points its `ShardSpec` owns, and
+//! // could run in a different process (`mamps dse --shard i/n`), with
+//! // the JSON-lines files carrying the results in between.
+//! let shards: Vec<_> = (0..2)
+//!     .map(|i| {
+//!         let mut o = opts.clone();
+//!         o.shard = Some(shard::ShardSpec::new(i, 2).unwrap());
+//!         let s = shard::explore_shard(&app, &[1, 2], false, &o);
+//!         shard::DseShard::from_jsonl(&s.to_jsonl()).unwrap() // round-trip
+//!     })
+//!     .collect();
+//! match shard::merge_reports(&shards).unwrap() {
+//!     shard::MergedReport::Dse(merged) => assert_eq!(merged, full),
+//!     other => panic!("binder sweeps merge into a DSE report, got {other:?}"),
+//! }
+//! ```
+
+pub mod shard;
 
 use mamps_mapping::StrategyHandle;
 use mamps_platform::area::platform_area;
 use mamps_platform::interconnect::Interconnect;
 use mamps_sdf::model::ApplicationModel;
+use serde::{Deserialize, Serialize};
 
 use crate::flow::{run_flow, FlowOptions};
-use crate::parallel::parallel_map;
 
 /// One evaluated design point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DsePoint {
     /// Tile count.
     pub tiles: usize,
@@ -38,10 +90,13 @@ pub struct DsePoint {
     pub slices: u64,
     /// Allocated NoC wire-links (SDM wires × route hops; 0 on FSL).
     pub wire_units: u64,
+    /// Work units (WCET × repetitions per iteration) placed on each tile
+    /// by the binding — the load-balance picture of the design point.
+    pub per_tile_load: Vec<u64>,
 }
 
 /// A design point the flow could not map, with the reason it failed.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SkippedPoint {
     /// Tile count.
     pub tiles: usize,
@@ -56,7 +111,7 @@ pub struct SkippedPoint {
 /// Outcome of a design-space sweep: the feasible points plus every skipped
 /// configuration with its reason. Each entry — kept or skipped — is
 /// attributed to the binding strategy that produced it.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct DseReport {
     /// Feasible points, sorted by descending guaranteed throughput
     /// (ties: fewer slices, then fewer wire-links first).
@@ -65,25 +120,30 @@ pub struct DseReport {
     pub skipped: Vec<SkippedPoint>,
 }
 
-/// Sweeps tile counts × interconnects × binding strategies, recording both
-/// feasible and skipped design points. The strategies come from
-/// [`FlowOptions::binders`]; when that is empty the single configured
-/// `opts.map.bind.strategy` is swept. `opts.jobs > 1` evaluates
-/// independent design points concurrently with identical results.
-pub fn explore_report(
-    app: &ApplicationModel,
-    tile_counts: &[usize],
-    include_noc: bool,
-    opts: &FlowOptions,
-) -> DseReport {
-    let strategies: Vec<StrategyHandle> = if opts.binders.is_empty() {
+/// One platform configuration of a sweep: tile count, interconnect kind
+/// and its instantiation, and the binding strategy.
+pub(crate) type SweepConfig = (usize, &'static str, Interconnect, StrategyHandle);
+
+/// The strategies a sweep evaluates: [`FlowOptions::binders`], falling
+/// back to the single configured `map.bind.strategy` when empty.
+pub(crate) fn sweep_strategies(opts: &FlowOptions) -> Vec<StrategyHandle> {
+    if opts.binders.is_empty() {
         vec![opts.map.bind.strategy.clone()]
     } else {
         opts.binders.clone()
-    };
+    }
+}
 
-    let mut configs: Vec<(usize, &'static str, Interconnect, StrategyHandle)> = Vec::new();
-    for strategy in &strategies {
+/// Enumerates the design-point space in its canonical order (strategy
+/// outermost, then tile count, FSL before NoC). Sharding partitions this
+/// sequence; its order is part of the shard-file contract.
+pub(crate) fn sweep_configs(
+    strategies: &[StrategyHandle],
+    tile_counts: &[usize],
+    include_noc: bool,
+) -> Vec<SweepConfig> {
+    let mut configs = Vec::new();
+    for strategy in strategies {
         for &tiles in tile_counts {
             configs.push((tiles, "fsl", Interconnect::fsl(), strategy.clone()));
             if include_noc {
@@ -96,54 +156,78 @@ pub fn explore_report(
             }
         }
     }
+    configs
+}
 
-    let evaluated = parallel_map(opts.jobs, &configs, |_, (tiles, name, ic, strategy)| {
-        let mut point_opts = opts.clone();
-        point_opts.map.bind.strategy = strategy.clone();
-        match run_flow(app, *tiles, *ic, &point_opts) {
-            Ok(flow) => {
-                let cross_links = app
-                    .graph()
-                    .channels()
-                    .filter(|(_, c)| {
-                        !c.is_self_edge()
-                            && flow.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
-                    })
-                    .count();
-                let area = platform_area(&flow.arch, cross_links);
-                Ok(DsePoint {
-                    tiles: *tiles,
-                    interconnect: name,
-                    strategy: flow.strategy(),
-                    guaranteed: flow.guaranteed_throughput(),
-                    slices: area.total.slices,
-                    wire_units: flow.mapped.mapping.noc_wire_units(app.graph(), &flow.arch),
+/// Runs the full flow for one sweep configuration.
+pub(crate) fn evaluate_dse_config(
+    app: &ApplicationModel,
+    (tiles, name, ic, strategy): &SweepConfig,
+    opts: &FlowOptions,
+) -> Result<DsePoint, SkippedPoint> {
+    let mut point_opts = opts.clone();
+    point_opts.map.bind.strategy = strategy.clone();
+    match run_flow(app, *tiles, *ic, &point_opts) {
+        Ok(flow) => {
+            let cross_links = app
+                .graph()
+                .channels()
+                .filter(|(_, c)| {
+                    !c.is_self_edge() && flow.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
                 })
+                .count();
+            let area = platform_area(&flow.arch, cross_links);
+            let binding = &flow.mapped.mapping.binding;
+            let mut per_tile_load = vec![0u64; flow.arch.tile_count()];
+            if let Ok(q) = mamps_sdf::repetition::repetition_vector(app.graph()) {
+                for (aid, _) in app.graph().actors() {
+                    per_tile_load[binding.tile_of[aid.0].0] += binding.wcet_of[aid.0] * q.of(aid);
+                }
             }
-            Err(e) => Err(SkippedPoint {
+            Ok(DsePoint {
                 tiles: *tiles,
                 interconnect: name,
-                strategy: strategy.name(),
-                reason: e.to_string(),
-            }),
+                strategy: flow.strategy(),
+                guaranteed: flow.guaranteed_throughput(),
+                slices: area.total.slices,
+                wire_units: flow.mapped.mapping.noc_wire_units(app.graph(), &flow.arch),
+                per_tile_load,
+            })
         }
-    });
-
-    let mut report = DseReport::default();
-    for r in evaluated {
-        match r {
-            Ok(p) => report.points.push(p),
-            Err(s) => report.skipped.push(s),
-        }
+        Err(e) => Err(SkippedPoint {
+            tiles: *tiles,
+            interconnect: name,
+            strategy: strategy.name(),
+            reason: e.to_string(),
+        }),
     }
-    report.points.sort_by(|a, b| {
+}
+
+/// The final ordering of a DSE report's feasible points.
+pub(crate) fn sort_dse_points(points: &mut [DsePoint]) {
+    points.sort_by(|a, b| {
         b.guaranteed
             .partial_cmp(&a.guaranteed)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.slices.cmp(&b.slices))
             .then(a.wire_units.cmp(&b.wire_units))
     });
-    report
+}
+
+/// Sweeps tile counts × interconnects × binding strategies, recording both
+/// feasible and skipped design points. The strategies come from
+/// [`FlowOptions::binders`]; when that is empty the single configured
+/// `opts.map.bind.strategy` is swept. `opts.jobs > 1` evaluates
+/// independent design points concurrently with identical results, and
+/// [`FlowOptions::shard`] restricts the sweep to the design points that
+/// shard owns (merge the shards back with [`shard::merge_reports`]).
+pub fn explore_report(
+    app: &ApplicationModel,
+    tile_counts: &[usize],
+    include_noc: bool,
+    opts: &FlowOptions,
+) -> DseReport {
+    shard::explore_shard(app, tile_counts, include_noc, opts).into_dse_report()
 }
 
 // ---------------------------------------------------------------------------
@@ -152,7 +236,7 @@ pub fn explore_report(
 
 /// One evaluated use-case design point: which applications of the
 /// use-case fit on this platform configuration, and with what guarantees.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UseCasePoint {
     /// Tile count.
     pub tiles: usize,
@@ -174,132 +258,107 @@ pub struct UseCasePoint {
 
 /// Outcome of a use-case sweep over tile counts × interconnects ×
 /// binding strategies.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct UseCaseDseReport {
     /// Points sorted by admitted count (descending), then lowest shared
     /// guarantee (descending), then slices (ascending).
     pub points: Vec<UseCasePoint>,
 }
 
-/// Sweeps platform configurations for a whole use-case: for every tile
-/// count × interconnect × binding strategy, the admission loop
-/// ([`mamps_mapping::multi::map_use_case`]) decides which subset of
-/// `apps` fits with every per-application guarantee intact. Strategies
-/// come from [`FlowOptions::binders`] (falling back to the configured
-/// `map.bind.strategy`), and `opts.jobs > 1` evaluates configurations
-/// concurrently with identical results.
-pub fn explore_use_cases(
+/// A use-case prepared for per-configuration evaluation: either the
+/// validated [`UseCase`](mamps_mapping::multi::UseCase), or — when the
+/// application list itself is invalid (empty, duplicate names) — the
+/// rejection every configuration reports.
+pub(crate) enum UseCaseContext {
+    Ready(mamps_mapping::multi::UseCase),
+    Invalid(Vec<(String, String)>),
+}
+
+/// Builds (and validates) the use-case once, outside the per-point
+/// fan-out; the use-case is configuration-independent.
+pub(crate) fn use_case_context(apps: &[ApplicationModel]) -> UseCaseContext {
+    match mamps_mapping::multi::UseCase::new(apps.to_vec()) {
+        Ok(uc) => UseCaseContext::Ready(uc),
+        Err(e) => UseCaseContext::Invalid(
+            apps.iter()
+                .map(|a| (a.graph().name().to_string(), e.to_string()))
+                .collect(),
+        ),
+    }
+}
+
+/// Runs the admission loop for one sweep configuration.
+pub(crate) fn evaluate_use_case_config(
     apps: &[ApplicationModel],
-    tile_counts: &[usize],
-    include_noc: bool,
+    ctx: &UseCaseContext,
+    (tiles, name, ic, strategy): &SweepConfig,
     opts: &FlowOptions,
-) -> UseCaseDseReport {
-    use mamps_mapping::multi::{map_use_case, UseCase};
+) -> UseCasePoint {
+    use mamps_mapping::multi::map_use_case;
     use mamps_platform::arch::Architecture;
 
-    let strategies: Vec<StrategyHandle> = if opts.binders.is_empty() {
-        vec![opts.map.bind.strategy.clone()]
-    } else {
-        opts.binders.clone()
+    let mut point = UseCasePoint {
+        tiles: *tiles,
+        interconnect: name,
+        strategy: strategy.name(),
+        admitted: Vec::new(),
+        rejected: Vec::new(),
+        min_guarantee: 0.0,
+        slices: 0,
     };
-
-    let mut configs: Vec<(usize, &'static str, Interconnect, StrategyHandle)> = Vec::new();
-    for strategy in &strategies {
-        for &tiles in tile_counts {
-            configs.push((tiles, "fsl", Interconnect::fsl(), strategy.clone()));
-            if include_noc {
-                configs.push((
-                    tiles,
-                    "noc",
-                    Interconnect::noc_for_tiles(tiles),
-                    strategy.clone(),
-                ));
-            }
+    let uc = match ctx {
+        UseCaseContext::Ready(uc) => uc,
+        UseCaseContext::Invalid(reject_all) => {
+            point.rejected = reject_all.clone();
+            return point;
         }
-    }
-
-    // The use-case is configuration-independent: build (and validate) it
-    // once, outside the per-point fan-out.
-    let uc = match UseCase::new(apps.to_vec()) {
-        Ok(uc) => uc,
+    };
+    let arch = match Architecture::homogeneous("auto", *tiles, *ic) {
+        Ok(a) => a,
         Err(e) => {
-            let reject_all: Vec<(String, String)> = apps
+            point.rejected = apps
                 .iter()
-                .map(|a| (a.graph().name().to_string(), e.to_string()))
+                .map(|a| (a.graph().name().to_string(), format!("architecture: {e}")))
                 .collect();
-            return UseCaseDseReport {
-                points: configs
-                    .iter()
-                    .map(|(tiles, name, _, strategy)| UseCasePoint {
-                        tiles: *tiles,
-                        interconnect: name,
-                        strategy: strategy.name(),
-                        admitted: Vec::new(),
-                        rejected: reject_all.clone(),
-                        min_guarantee: 0.0,
-                        slices: 0,
-                    })
-                    .collect(),
-            };
+            return point;
         }
     };
+    let mut map_opts = opts.map.clone();
+    map_opts.bind.strategy = strategy.clone();
+    let outcome = map_use_case(uc, &arch, &map_opts);
+    point.admitted = outcome.admitted.iter().map(|a| a.name.clone()).collect();
+    point.rejected = outcome
+        .rejected
+        .iter()
+        .map(|r| (r.name.clone(), r.reason.to_string()))
+        .collect();
+    point.min_guarantee = outcome
+        .admitted
+        .iter()
+        .map(|a| a.shared_guarantee.to_f64())
+        .fold(f64::INFINITY, f64::min);
+    if !point.min_guarantee.is_finite() {
+        point.min_guarantee = 0.0;
+    }
+    let cross_links: usize = outcome
+        .admitted
+        .iter()
+        .map(|a| {
+            let g = uc.apps()[a.index].graph();
+            g.channels()
+                .filter(|(_, c)| {
+                    !c.is_self_edge() && a.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
+                })
+                .count()
+        })
+        .sum();
+    point.slices = platform_area(&arch, cross_links).total.slices;
+    point
+}
 
-    let points = parallel_map(opts.jobs, &configs, |_, (tiles, name, ic, strategy)| {
-        let mut point = UseCasePoint {
-            tiles: *tiles,
-            interconnect: name,
-            strategy: strategy.name(),
-            admitted: Vec::new(),
-            rejected: Vec::new(),
-            min_guarantee: 0.0,
-            slices: 0,
-        };
-        let arch = match Architecture::homogeneous("auto", *tiles, *ic) {
-            Ok(a) => a,
-            Err(e) => {
-                point.rejected = apps
-                    .iter()
-                    .map(|a| (a.graph().name().to_string(), format!("architecture: {e}")))
-                    .collect();
-                return point;
-            }
-        };
-        let mut map_opts = opts.map.clone();
-        map_opts.bind.strategy = strategy.clone();
-        let outcome = map_use_case(&uc, &arch, &map_opts);
-        point.admitted = outcome.admitted.iter().map(|a| a.name.clone()).collect();
-        point.rejected = outcome
-            .rejected
-            .iter()
-            .map(|r| (r.name.clone(), r.reason.to_string()))
-            .collect();
-        point.min_guarantee = outcome
-            .admitted
-            .iter()
-            .map(|a| a.shared_guarantee.to_f64())
-            .fold(f64::INFINITY, f64::min);
-        if !point.min_guarantee.is_finite() {
-            point.min_guarantee = 0.0;
-        }
-        let cross_links: usize = outcome
-            .admitted
-            .iter()
-            .map(|a| {
-                let g = uc.apps()[a.index].graph();
-                g.channels()
-                    .filter(|(_, c)| {
-                        !c.is_self_edge()
-                            && a.mapped.mapping.binding.crosses_tiles(c.src(), c.dst())
-                    })
-                    .count()
-            })
-            .sum();
-        point.slices = platform_area(&arch, cross_links).total.slices;
-        point
-    });
-
-    let mut report = UseCaseDseReport { points };
-    report.points.sort_by(|a, b| {
+/// The final ordering of a use-case report's points.
+pub(crate) fn sort_use_case_points(points: &mut [UseCasePoint]) {
+    points.sort_by(|a, b| {
         b.admitted
             .len()
             .cmp(&a.admitted.len())
@@ -311,7 +370,23 @@ pub fn explore_use_cases(
             .then(a.slices.cmp(&b.slices))
             .then(a.tiles.cmp(&b.tiles))
     });
-    report
+}
+
+/// Sweeps platform configurations for a whole use-case: for every tile
+/// count × interconnect × binding strategy, the admission loop
+/// ([`mamps_mapping::multi::map_use_case`]) decides which subset of
+/// `apps` fits with every per-application guarantee intact. Strategies
+/// come from [`FlowOptions::binders`] (falling back to the configured
+/// `map.bind.strategy`), `opts.jobs > 1` evaluates configurations
+/// concurrently with identical results, and [`FlowOptions::shard`]
+/// restricts the sweep to the configurations that shard owns.
+pub fn explore_use_cases(
+    apps: &[ApplicationModel],
+    tile_counts: &[usize],
+    include_noc: bool,
+    opts: &FlowOptions,
+) -> UseCaseDseReport {
+    shard::explore_use_case_shard(apps, tile_counts, include_noc, opts).into_use_case_report()
 }
 
 /// The Pareto front of `points` over (throughput up, slices down).
@@ -374,7 +449,7 @@ mod tests {
     use mamps_sdf::graph::SdfGraphBuilder;
     use mamps_sdf::model::HomogeneousModelBuilder;
 
-    fn app() -> ApplicationModel {
+    pub(crate) fn app() -> ApplicationModel {
         let mut b = SdfGraphBuilder::new("a");
         let ids: Vec<_> = (0..3).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
         for i in 0..2 {
@@ -396,6 +471,7 @@ mod tests {
             guaranteed,
             slices,
             wire_units: 0,
+            per_tile_load: Vec::new(),
         }
     }
 
@@ -424,7 +500,17 @@ mod tests {
         assert!(points.iter().all(|p| p.strategy == "greedy"));
     }
 
-    fn named_app(name: &str, wcets: &[u64]) -> ApplicationModel {
+    #[test]
+    fn points_record_per_tile_load() {
+        let points = explore_report(&app(), &[2], false, &FlowOptions::default()).points;
+        let p = &points[0];
+        assert_eq!(p.per_tile_load.len(), 2);
+        // Three unit-rate actors of 100 cycles each, split over two tiles.
+        assert_eq!(p.per_tile_load.iter().sum::<u64>(), 300);
+        assert!(p.per_tile_load.iter().all(|&l| l > 0));
+    }
+
+    pub(crate) fn named_app(name: &str, wcets: &[u64]) -> ApplicationModel {
         let mut b = SdfGraphBuilder::new(name);
         let ids: Vec<_> = (0..wcets.len())
             .map(|i| b.add_actor(format!("{name}{i}"), 1))

@@ -1,0 +1,855 @@
+//! Sharded design-space exploration: split a sweep across processes,
+//! serialize the partial results as JSON lines, and merge them back into
+//! the exact report an unsharded run would have produced.
+//!
+//! The ROADMAP's "Scale: sharding the DSE" item in three pieces:
+//!
+//! 1. **Partitioning.** [`ShardSpec`] `index/count` (the CLI's
+//!    `--shard i/n`) deterministically assigns every design point of the
+//!    canonical sweep order — see `sweep_configs` in [`crate::dse`] — to
+//!    exactly one shard, round-robin by sequence number. Round-robin
+//!    balances load across shards even though small-tile-count points are
+//!    much cheaper than large ones.
+//! 2. **Serialization.** A shard run produces a [`DseShard`]: a header
+//!    identifying the sweep (its [`SweepSignature`]), the shard, and the
+//!    total design-point count, plus one seq-tagged record per evaluated
+//!    point. [`DseShard::to_jsonl`] / [`DseShard::from_jsonl`] move it
+//!    through files — one JSON object per line, first line the header.
+//! 3. **Merging.** [`merge_reports`] validates that the shard files come
+//!    from the same sweep and form a complete, non-overlapping partition,
+//!    restores the canonical evaluation order by sequence number, and
+//!    assembles the final report with the same sorting the unsharded
+//!    sweep uses — so the merged report is equal (and renders
+//!    byte-for-byte identically) to the unsharded one. Pareto fronts are
+//!    *not* merged per shard: the merged report carries all points, and
+//!    rendering recomputes the global front per strategy.
+
+use std::fmt;
+use std::str::FromStr;
+
+use mamps_sdf::model::ApplicationModel;
+use serde::{Deserialize, Serialize};
+
+use crate::dse::{
+    evaluate_dse_config, evaluate_use_case_config, sort_dse_points, sort_use_case_points,
+    sweep_configs, sweep_strategies, use_case_context, DsePoint, DseReport, SkippedPoint,
+    SweepConfig, UseCaseDseReport, UseCasePoint,
+};
+use crate::flow::FlowOptions;
+use crate::parallel::parallel_map;
+
+/// Which slice of a sweep this process evaluates: shard `index` of
+/// `count`. The full, unsharded sweep is shard 0 of 1
+/// ([`ShardSpec::full`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Zero-based shard index.
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// A validated shard spec.
+    ///
+    /// # Errors
+    ///
+    /// A message when `count` is zero or `index` is out of range.
+    pub fn new(index: u32, count: u32) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard{}",
+                if count == 1 { "" } else { "s" }
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// The whole sweep as a single shard (0 of 1).
+    pub fn full() -> ShardSpec {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// True when this shard evaluates design point `seq` of the canonical
+    /// sweep order (round-robin partition). An invalid spec (`count` 0 —
+    /// representable because the fields are public and deserializable)
+    /// owns nothing rather than dividing by zero.
+    pub fn owns(&self, seq: u64) -> bool {
+        self.count != 0 && seq % u64::from(self.count) == u64::from(self.index)
+    }
+
+    /// True when `index < count` and `count > 0` — what
+    /// [`ShardSpec::new`] guarantees, re-checked on specs that arrived
+    /// through deserialization or literal construction.
+    pub fn is_valid(&self) -> bool {
+        self.count > 0 && self.index < self.count
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// `"i/n"` (e.g. `"0/3"`), the CLI syntax of `--shard`.
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ShardSpec, String> {
+        let (index, count) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec `{s}` is not of the form i/n (e.g. 0/3)"))?;
+        let index: u32 = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index `{index}` is not a number"))?;
+        let count: u32 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count `{count}` is not a number"))?;
+        ShardSpec::new(index, count)
+    }
+}
+
+/// What kind of sweep a shard file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Single-application sweep (`mamps dse <app.xml>`): [`DsePoint`] /
+    /// [`SkippedPoint`] records.
+    Binders,
+    /// Use-case sweep (`mamps dse --apps`): [`UseCasePoint`] records.
+    UseCases,
+}
+
+impl fmt::Display for SweepMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepMode::Binders => write!(f, "binder sweep"),
+            SweepMode::UseCases => write!(f, "use-case sweep"),
+        }
+    }
+}
+
+/// Identity of a sweep: shards can only be merged when they were produced
+/// from the same application(s), tile counts, interconnect choice and
+/// binding strategies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSignature {
+    /// Application (graph) names, in use-case admission order.
+    pub apps: Vec<String>,
+    /// Tile counts swept.
+    pub tile_counts: Vec<usize>,
+    /// Whether NoC configurations were swept alongside FSL.
+    pub include_noc: bool,
+    /// Binding strategy names, in sweep order.
+    pub binders: Vec<String>,
+}
+
+impl fmt::Display for SweepSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "apps={}; tiles={}; noc={}; binders={}",
+            self.apps.join(","),
+            self.tile_counts
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.include_noc,
+            self.binders.join(",")
+        )
+    }
+}
+
+/// First line of a shard file: which sweep, which shard, how many design
+/// points the whole sweep has.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHeader {
+    /// The sweep kind.
+    pub mode: SweepMode,
+    /// This file's shard.
+    pub shard: ShardSpec,
+    /// Design points in the whole (unsharded) sweep.
+    pub total_configs: u64,
+    /// The sweep's identity.
+    pub signature: SweepSignature,
+}
+
+/// One evaluated design point of a shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardOutcome {
+    /// A feasible single-application design point.
+    Point(DsePoint),
+    /// An infeasible single-application design point.
+    Skipped(SkippedPoint),
+    /// A use-case design point.
+    UseCase(UseCasePoint),
+}
+
+/// A seq-tagged outcome: `seq` is the design point's position in the
+/// canonical sweep order, which the merge uses to restore the unsharded
+/// evaluation order exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// Position in the canonical sweep order.
+    pub seq: u64,
+    /// The evaluated outcome.
+    pub outcome: ShardOutcome,
+}
+
+/// One line of a shard file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ShardLine {
+    /// The header (always the first line).
+    Header(ShardHeader),
+    /// An evaluated design point.
+    Record(ShardRecord),
+}
+
+/// The partial result of one shard run: the header plus the records of
+/// every design point the shard owns, in canonical sweep order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseShard {
+    /// The shard's identity.
+    pub header: ShardHeader,
+    /// Evaluated design points, seq ascending.
+    pub records: Vec<ShardRecord>,
+}
+
+impl DseShard {
+    /// Renders the shard as JSON lines: one object per line, the header
+    /// first. The encoding is canonical — equal shards produce identical
+    /// bytes.
+    pub fn to_jsonl(&self) -> String {
+        use serde::{Serialize, Value};
+        // Build the externally-tagged lines by hand instead of cloning
+        // the header and every record into a ShardLine: identical bytes
+        // (pinned by the round-trip fixpoint test), no per-record clone.
+        let tagged =
+            |tag: &str, v: &dyn Serialize| Value::Map(vec![(tag.to_string(), v.to_value())]);
+        let mut out = String::new();
+        serde::json::emit(&tagged("Header", &self.header), &mut out);
+        out.push('\n');
+        for r in &self.records {
+            serde::json::emit(&tagged("Record", r), &mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a shard back from JSON lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardFileError`] on malformed JSON, a missing header, or records
+    /// that do not belong to the header's shard or mode.
+    pub fn from_jsonl(text: &str) -> Result<DseShard, ShardFileError> {
+        let mut header: Option<ShardHeader> = None;
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed: ShardLine =
+                serde::json::from_str(line).map_err(|e| ShardFileError::Parse {
+                    line: i + 1,
+                    message: e.to_string(),
+                })?;
+            match (parsed, &header) {
+                (ShardLine::Header(h), None) => header = Some(h),
+                (ShardLine::Header(_), Some(_)) => {
+                    return Err(ShardFileError::Parse {
+                        line: i + 1,
+                        message: "second header line in one shard file".into(),
+                    })
+                }
+                (ShardLine::Record(r), Some(_)) => records.push(r),
+                (ShardLine::Record(_), None) => {
+                    return Err(ShardFileError::MissingHeader);
+                }
+            }
+        }
+        let header = header.ok_or(ShardFileError::MissingHeader)?;
+        // The derive cannot enforce ShardSpec's invariant; a corrupt or
+        // hand-edited header must fail here, not divide by zero in
+        // `owns` or index out of bounds in `merge_reports`.
+        if !header.shard.is_valid() {
+            return Err(ShardFileError::InvalidShard {
+                shard: header.shard,
+            });
+        }
+        for r in &records {
+            if !header.shard.owns(r.seq) {
+                return Err(ShardFileError::ForeignRecord {
+                    seq: r.seq,
+                    shard: header.shard,
+                });
+            }
+            let mode_matches = matches!(
+                (&r.outcome, header.mode),
+                (
+                    ShardOutcome::Point(_) | ShardOutcome::Skipped(_),
+                    SweepMode::Binders
+                ) | (ShardOutcome::UseCase(_), SweepMode::UseCases)
+            );
+            if !mode_matches {
+                return Err(ShardFileError::ModeMismatch { seq: r.seq });
+            }
+        }
+        Ok(DseShard { header, records })
+    }
+
+    /// Assembles this shard's records into a [`DseReport`] (the full
+    /// report when this is the 0/1 full-sweep shard, a partial one
+    /// otherwise). Use-case records are ignored.
+    pub fn into_dse_report(self) -> DseReport {
+        let mut report = DseReport::default();
+        for r in self.records {
+            match r.outcome {
+                ShardOutcome::Point(p) => report.points.push(p),
+                ShardOutcome::Skipped(s) => report.skipped.push(s),
+                ShardOutcome::UseCase(_) => {}
+            }
+        }
+        sort_dse_points(&mut report.points);
+        report
+    }
+
+    /// Assembles this shard's records into a [`UseCaseDseReport`].
+    /// Single-application records are ignored.
+    pub fn into_use_case_report(self) -> UseCaseDseReport {
+        let mut report = UseCaseDseReport::default();
+        for r in self.records {
+            if let ShardOutcome::UseCase(p) = r.outcome {
+                report.points.push(p);
+            }
+        }
+        sort_use_case_points(&mut report.points);
+        report
+    }
+}
+
+/// Errors reading a single shard file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardFileError {
+    /// A line is not valid JSON or not a shard line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The file carries no header line.
+    MissingHeader,
+    /// The header's shard spec violates `index < count` (corrupt or
+    /// hand-edited file).
+    InvalidShard {
+        /// The offending spec.
+        shard: ShardSpec,
+    },
+    /// A record's seq is not owned by the header's shard.
+    ForeignRecord {
+        /// The offending sequence number.
+        seq: u64,
+        /// The shard that does not own it.
+        shard: ShardSpec,
+    },
+    /// A record's outcome kind contradicts the header's sweep mode.
+    ModeMismatch {
+        /// The offending sequence number.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for ShardFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardFileError::Parse { line, message } => {
+                write!(f, "shard file line {line}: {message}")
+            }
+            ShardFileError::MissingHeader => {
+                write!(f, "shard file has no header line")
+            }
+            ShardFileError::InvalidShard { shard } => write!(
+                f,
+                "shard file header carries invalid shard spec {shard} \
+                 (index must be below the count)"
+            ),
+            ShardFileError::ForeignRecord { seq, shard } => write!(
+                f,
+                "record seq {seq} does not belong to shard {shard} (wrongly \
+                 concatenated files?)"
+            ),
+            ShardFileError::ModeMismatch { seq } => {
+                write!(f, "record seq {seq} contradicts the header's sweep mode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardFileError {}
+
+/// Errors merging shard files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// No shards were given.
+    NoShards,
+    /// Two shards disagree about the sweep (mode, signature, shard count
+    /// or total design-point count).
+    SweepMismatch {
+        /// Rendered identity of the first shard.
+        expected: String,
+        /// Rendered identity of the disagreeing shard.
+        found: String,
+    },
+    /// The same shard index appears twice (overlapping shards).
+    DuplicateShard {
+        /// The duplicated index.
+        index: u32,
+    },
+    /// Not every shard of the sweep is present.
+    MissingShards {
+        /// The absent shard indices.
+        missing: Vec<u32>,
+        /// The sweep's shard count.
+        count: u32,
+    },
+    /// The records do not cover every design point exactly once (e.g. a
+    /// truncated shard file).
+    IncompleteSweep {
+        /// Design points covered.
+        covered: u64,
+        /// Design points the sweep has.
+        total: u64,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shard files to merge"),
+            MergeError::SweepMismatch { expected, found } => write!(
+                f,
+                "shards come from different sweeps:\n  first: {expected}\n  other: {found}"
+            ),
+            MergeError::DuplicateShard { index } => {
+                write!(
+                    f,
+                    "overlapping shards: index {index} appears more than once"
+                )
+            }
+            MergeError::MissingShards { missing, count } => write!(
+                f,
+                "missing shard{} {}{} of {count}",
+                if missing.len() == 1 { "" } else { "s" },
+                missing
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                // The list is capped at the first few absentees.
+                if missing.len() >= 8 { ", …" } else { "" }
+            ),
+            MergeError::IncompleteSweep { covered, total } => write!(
+                f,
+                "records cover {covered} of {total} design points (truncated shard file?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A merged sweep: the same report the matching unsharded run returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergedReport {
+    /// A single-application sweep.
+    Dse(DseReport),
+    /// A use-case sweep.
+    UseCases(UseCaseDseReport),
+}
+
+impl MergedReport {
+    /// Renders the merged report exactly like `mamps dse` renders the
+    /// unsharded sweep (including the recomputed global Pareto front for
+    /// single-application sweeps).
+    pub fn render(&self) -> String {
+        match self {
+            MergedReport::Dse(r) => crate::report::render_dse_report(r),
+            MergedReport::UseCases(r) => crate::report::render_use_case_report(r),
+        }
+    }
+}
+
+/// Rendered identity of a header, for mismatch reporting.
+fn header_identity(h: &ShardHeader) -> String {
+    format!(
+        "{} over {} ({} design points, {} shards)",
+        h.mode, h.signature, h.total_configs, h.shard.count
+    )
+}
+
+/// Merges shard results into the full report, recomputing every global
+/// figure (ordering, and at render time the per-strategy Pareto front)
+/// across shards. The merged report is equal to the unsharded sweep's —
+/// byte-for-byte once rendered.
+///
+/// # Errors
+///
+/// [`MergeError`] when the shards disagree about the sweep, overlap, are
+/// incomplete, or do not cover every design point exactly once.
+pub fn merge_reports(shards: &[DseShard]) -> Result<MergedReport, MergeError> {
+    let first = shards.first().ok_or(MergeError::NoShards)?;
+    let reference = &first.header;
+    for s in &shards[1..] {
+        let h = &s.header;
+        if h.mode != reference.mode
+            || h.signature != reference.signature
+            || h.total_configs != reference.total_configs
+            || h.shard.count != reference.shard.count
+        {
+            return Err(MergeError::SweepMismatch {
+                expected: header_identity(reference),
+                found: header_identity(h),
+            });
+        }
+    }
+
+    let count = reference.shard.count;
+    // A set, not a `vec![false; count]` bitmap: `count` comes from an
+    // untrusted header, and a corrupt count near u32::MAX must produce a
+    // structured error below, not a multi-gigabyte allocation here.
+    let mut seen = std::collections::BTreeSet::new();
+    for s in shards {
+        // from_jsonl validates this, but DseShard values can also be
+        // constructed directly — never trust `index < count`.
+        if !s.header.shard.is_valid() {
+            return Err(MergeError::SweepMismatch {
+                expected: header_identity(reference),
+                found: format!("invalid shard spec {}", s.header.shard),
+            });
+        }
+        let idx = s.header.shard.index;
+        if !seen.insert(idx) {
+            return Err(MergeError::DuplicateShard { index: idx });
+        }
+    }
+    if seen.len() as u64 != u64::from(count) {
+        // Indices are distinct and below `count`, so fewer than `count`
+        // of them means some are absent. Name the first few (scanning
+        // from 0 finds them after at most |seen| + 8 steps) rather than
+        // materializing a possibly huge list.
+        let missing: Vec<u32> = (0..count).filter(|i| !seen.contains(i)).take(8).collect();
+        return Err(MergeError::MissingShards { missing, count });
+    }
+
+    // Restore the canonical evaluation order and check exact coverage.
+    let mut records: Vec<&ShardRecord> = shards.iter().flat_map(|s| &s.records).collect();
+    records.sort_by_key(|r| r.seq);
+    let total = reference.total_configs;
+    let exact =
+        records.len() as u64 == total && records.iter().enumerate().all(|(i, r)| r.seq == i as u64);
+    if !exact {
+        return Err(MergeError::IncompleteSweep {
+            covered: records.len() as u64,
+            total,
+        });
+    }
+
+    let merged = DseShard {
+        header: ShardHeader {
+            shard: ShardSpec::full(),
+            ..reference.clone()
+        },
+        records: records.into_iter().cloned().collect(),
+    };
+    Ok(match reference.mode {
+        SweepMode::Binders => MergedReport::Dse(merged.into_dse_report()),
+        SweepMode::UseCases => MergedReport::UseCases(merged.into_use_case_report()),
+    })
+}
+
+/// The design points of the canonical sweep order that `spec` owns, with
+/// their sequence numbers.
+fn owned_configs(configs: Vec<SweepConfig>, spec: ShardSpec) -> Vec<(u64, SweepConfig)> {
+    configs
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (i as u64, c))
+        .filter(|(seq, _)| spec.owns(*seq))
+        .collect()
+}
+
+/// Evaluates the single-application design points owned by
+/// [`FlowOptions::shard`] (the whole sweep when unset). Points are
+/// evaluated concurrently when `opts.jobs > 1`, with identical results.
+pub fn explore_shard(
+    app: &ApplicationModel,
+    tile_counts: &[usize],
+    include_noc: bool,
+    opts: &FlowOptions,
+) -> DseShard {
+    let strategies = sweep_strategies(opts);
+    let configs = sweep_configs(&strategies, tile_counts, include_noc);
+    let spec = opts.shard.unwrap_or_else(ShardSpec::full);
+    let total_configs = configs.len() as u64;
+    let owned = owned_configs(configs, spec);
+    let records = parallel_map(opts.jobs, &owned, |_, (seq, config)| ShardRecord {
+        seq: *seq,
+        outcome: match evaluate_dse_config(app, config, opts) {
+            Ok(p) => ShardOutcome::Point(p),
+            Err(s) => ShardOutcome::Skipped(s),
+        },
+    });
+    DseShard {
+        header: ShardHeader {
+            mode: SweepMode::Binders,
+            shard: spec,
+            total_configs,
+            signature: SweepSignature {
+                apps: vec![app.graph().name().to_string()],
+                tile_counts: tile_counts.to_vec(),
+                include_noc,
+                binders: strategies.iter().map(|s| s.name().to_string()).collect(),
+            },
+        },
+        records,
+    }
+}
+
+/// Evaluates the use-case design points owned by [`FlowOptions::shard`]
+/// (the whole sweep when unset).
+pub fn explore_use_case_shard(
+    apps: &[ApplicationModel],
+    tile_counts: &[usize],
+    include_noc: bool,
+    opts: &FlowOptions,
+) -> DseShard {
+    let strategies = sweep_strategies(opts);
+    let configs = sweep_configs(&strategies, tile_counts, include_noc);
+    let spec = opts.shard.unwrap_or_else(ShardSpec::full);
+    let total_configs = configs.len() as u64;
+    let owned = owned_configs(configs, spec);
+    let ctx = use_case_context(apps);
+    let records = parallel_map(opts.jobs, &owned, |_, (seq, config)| ShardRecord {
+        seq: *seq,
+        outcome: ShardOutcome::UseCase(evaluate_use_case_config(apps, &ctx, config, opts)),
+    });
+    DseShard {
+        header: ShardHeader {
+            mode: SweepMode::UseCases,
+            shard: spec,
+            total_configs,
+            signature: SweepSignature {
+                apps: apps.iter().map(|a| a.graph().name().to_string()).collect(),
+                tile_counts: tile_counts.to_vec(),
+                include_noc,
+                binders: strategies.iter().map(|s| s.name().to_string()).collect(),
+            },
+        },
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dse::tests::{app, named_app};
+    use crate::dse::{explore_report, explore_use_cases};
+
+    fn sharded(app: &ApplicationModel, n: u32, opts: &FlowOptions) -> Vec<DseShard> {
+        (0..n)
+            .map(|i| {
+                let mut o = opts.clone();
+                o.shard = Some(ShardSpec::new(i, n).unwrap());
+                explore_shard(app, &[0, 1, 2, 3], true, &o)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_spec_parses_and_validates() {
+        assert_eq!(
+            "0/3".parse::<ShardSpec>().unwrap(),
+            ShardSpec { index: 0, count: 3 }
+        );
+        assert_eq!("2/3".parse::<ShardSpec>().unwrap().to_string(), "2/3");
+        assert!("3/3".parse::<ShardSpec>().is_err());
+        assert!("1".parse::<ShardSpec>().is_err());
+        assert!("a/b".parse::<ShardSpec>().is_err());
+        assert!("0/0".parse::<ShardSpec>().is_err());
+        assert!(ShardSpec::new(5, 2).is_err());
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_exhaustive() {
+        for count in 1..8u32 {
+            let mut owners = vec![0u32; 23];
+            for i in 0..count {
+                let spec = ShardSpec::new(i, count).unwrap();
+                for (seq, n) in owners.iter_mut().enumerate() {
+                    if spec.owns(seq as u64) {
+                        *n += 1;
+                    }
+                }
+            }
+            assert!(owners.iter().all(|&n| n == 1), "count={count}: {owners:?}");
+        }
+    }
+
+    #[test]
+    fn merged_shards_equal_unsharded_report() {
+        let a = app();
+        let opts = FlowOptions {
+            binders: vec![
+                mamps_mapping::strategy::by_name("greedy").unwrap(),
+                mamps_mapping::strategy::by_name("spiral").unwrap(),
+            ],
+            ..FlowOptions::default()
+        };
+        let full = explore_report(&a, &[0, 1, 2, 3], true, &opts);
+        for n in [1u32, 2, 3, 5] {
+            let shards = sharded(&a, n, &opts);
+            match merge_reports(&shards).unwrap() {
+                MergedReport::Dse(merged) => assert_eq!(merged, full, "n={n}"),
+                other => panic!("expected a DSE report, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merged_use_case_shards_equal_unsharded_report() {
+        let apps = vec![named_app("sa", &[70, 70]), named_app("sb", &[35, 35])];
+        let opts = FlowOptions::default();
+        let full = explore_use_cases(&apps, &[1, 2, 3], true, &opts);
+        let shards: Vec<DseShard> = (0..3)
+            .map(|i| {
+                let mut o = opts.clone();
+                o.shard = Some(ShardSpec::new(i, 3).unwrap());
+                explore_use_case_shard(&apps, &[1, 2, 3], true, &o)
+            })
+            .collect();
+        match merge_reports(&shards).unwrap() {
+            MergedReport::UseCases(merged) => assert_eq!(merged, full),
+            other => panic!("expected a use-case report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_shards_exactly() {
+        let a = app();
+        for shard in sharded(&a, 2, &FlowOptions::default()) {
+            let text = shard.to_jsonl();
+            let back = DseShard::from_jsonl(&text).unwrap();
+            assert_eq!(back, shard);
+            // Canonical bytes: re-serializing is a fixpoint.
+            assert_eq!(back.to_jsonl(), text);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_missing_and_duplicate_shards() {
+        let a = app();
+        let shards = sharded(&a, 3, &FlowOptions::default());
+        assert!(matches!(
+            merge_reports(&shards[..2]),
+            Err(MergeError::MissingShards { ref missing, count: 3 }) if missing == &vec![2]
+        ));
+        let dup = vec![shards[0].clone(), shards[1].clone(), shards[1].clone()];
+        assert!(matches!(
+            merge_reports(&dup),
+            Err(MergeError::DuplicateShard { index: 1 })
+        ));
+        assert_eq!(merge_reports(&[]), Err(MergeError::NoShards));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_sweeps() {
+        let a = app();
+        let o0 = FlowOptions {
+            shard: Some(ShardSpec::new(0, 2).unwrap()),
+            ..FlowOptions::default()
+        };
+        let o1 = FlowOptions {
+            shard: Some(ShardSpec::new(1, 2).unwrap()),
+            ..o0.clone()
+        };
+        let s0 = explore_shard(&a, &[1, 2], true, &o0);
+        let s1 = explore_shard(&a, &[1, 2, 3], true, &o1); // different tiles
+        assert!(matches!(
+            merge_reports(&[s0, s1]),
+            Err(MergeError::SweepMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_truncated_shards() {
+        let a = app();
+        let mut shards = sharded(&a, 2, &FlowOptions::default());
+        shards[1].records.pop();
+        assert!(matches!(
+            merge_reports(&shards),
+            Err(MergeError::IncompleteSweep { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_shard_specs_are_errors_not_panics() {
+        // count 0 would divide by zero in `owns`; index >= count would
+        // index out of bounds in `merge_reports`. Both must surface as
+        // structured errors from from_jsonl.
+        let a = app();
+        let good = {
+            let o = FlowOptions {
+                shard: Some(ShardSpec::new(0, 2).unwrap()),
+                ..FlowOptions::default()
+            };
+            explore_shard(&a, &[1], false, &o)
+        };
+        let zero = good
+            .to_jsonl()
+            .replace("\"index\":0,\"count\":2", "\"index\":0,\"count\":0");
+        assert!(matches!(
+            DseShard::from_jsonl(&zero),
+            Err(ShardFileError::InvalidShard { .. })
+        ));
+        let oob = good
+            .to_jsonl()
+            .replace("\"index\":0,\"count\":2", "\"index\":9,\"count\":2");
+        assert!(matches!(
+            DseShard::from_jsonl(&oob),
+            Err(ShardFileError::InvalidShard { .. })
+        ));
+        // Directly-constructed invalid specs are caught by the merge too.
+        let mut bad = good.clone();
+        bad.header.shard = ShardSpec { index: 9, count: 2 };
+        assert!(matches!(
+            merge_reports(&[good, bad]),
+            Err(MergeError::SweepMismatch { .. })
+        ));
+        assert!(!ShardSpec { index: 0, count: 0 }.owns(0));
+    }
+
+    #[test]
+    fn foreign_records_are_rejected_at_parse_time() {
+        let a = app();
+        let shards = sharded(&a, 2, &FlowOptions::default());
+        // Concatenating two different shards' files corrupts ownership.
+        let concatenated = format!("{}{}", shards[0].to_jsonl(), shards[1].to_jsonl());
+        assert!(DseShard::from_jsonl(&concatenated).is_err());
+        assert!(matches!(
+            DseShard::from_jsonl(""),
+            Err(ShardFileError::MissingHeader)
+        ));
+        assert!(matches!(
+            DseShard::from_jsonl("{\"nonsense\":1}\n"),
+            Err(ShardFileError::Parse { line: 1, .. })
+        ));
+    }
+}

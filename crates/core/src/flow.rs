@@ -95,6 +95,11 @@ pub struct FlowOptions {
     /// Empty means "just the strategy configured in `map.bind.strategy`".
     /// A single flow run always uses `map.bind.strategy`.
     pub binders: Vec<mamps_mapping::StrategyHandle>,
+    /// Which shard of the DSE design-point space this process evaluates
+    /// (`mamps dse --shard i/n`); `None` sweeps the whole space. Single
+    /// flow runs ignore it. See [`crate::dse::shard`] for the partition
+    /// contract and the merge.
+    pub shard: Option<crate::dse::shard::ShardSpec>,
 }
 
 impl Default for FlowOptions {
@@ -105,6 +110,7 @@ impl Default for FlowOptions {
             boot_iterations: 3,
             jobs: 1,
             binders: Vec::new(),
+            shard: None,
         }
     }
 }
@@ -258,6 +264,67 @@ impl MultiFlowResult {
             .iter()
             .filter(|s| s.admitted)
             .all(|s| s.guarantee.as_ref().is_some_and(|g| g.holds()))
+    }
+
+    /// Re-runs interference group `group`'s validation simulation with
+    /// tracing, returning the measurement and the recorded events — the
+    /// input of [`mamps_sim::render_gantt_labeled`] together with
+    /// [`group_attribution`](Self::group_attribution). Uses the same
+    /// system construction as the validation runs of [`run_multi_flow`],
+    /// so the trace shows exactly the deployed combined system.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] if the traced run fails to complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn trace_group(
+        &self,
+        group: usize,
+        iterations: u64,
+        max_events: usize,
+    ) -> Result<(mamps_sim::Measurement, Vec<mamps_sim::TraceEvent>), SimError> {
+        let g = &self.outcome.groups[group];
+        let times = WcetTimes::new(g.mapping.binding.wcet_of.clone());
+        let system = System::new_with_repetitions(
+            &g.graph,
+            &g.mapping,
+            &self.arch,
+            &times,
+            g.combined_repetitions(),
+        )?;
+        system.run_traced(iterations, u64::MAX / 4, max_events)
+    }
+
+    /// Actor/channel → application attribution of interference group
+    /// `group`, built from the member spans of its combined union graph.
+    /// Feed it to [`mamps_sim::render_gantt_labeled`] to split a shared
+    /// tile's Gantt row per application (`mamps map-multi --gantt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn group_attribution(&self, group: usize) -> mamps_sim::AppAttribution {
+        let g = &self.outcome.groups[group];
+        let mut attribution = mamps_sim::AppAttribution {
+            names: Vec::with_capacity(g.members.len()),
+            app_of_actor: vec![0; g.graph.actor_count()],
+            app_of_channel: vec![0; g.graph.channel_count()],
+        };
+        for (mi, m) in g.members.iter().enumerate() {
+            attribution
+                .names
+                .push(self.outcome.admitted[m.admitted].name.clone());
+            for a in m.actors.clone() {
+                attribution.app_of_actor[a] = mi;
+            }
+            for c in m.channels.clone() {
+                attribution.app_of_channel[c] = mi;
+            }
+        }
+        attribution
     }
 }
 

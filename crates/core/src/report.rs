@@ -336,6 +336,7 @@ mod tests {
             guaranteed: 1e-5,
             slices: 1234,
             wire_units: 0,
+            per_tile_load: vec![60, 40],
         }]);
         assert!(s.contains("fsl"));
         assert!(s.contains("1234"));
@@ -353,6 +354,7 @@ mod tests {
                 guaranteed: 1e-5,
                 slices: 1234,
                 wire_units: 3,
+                per_tile_load: vec![50, 50],
             }],
             skipped: vec![crate::dse::SkippedPoint {
                 tiles: 9,

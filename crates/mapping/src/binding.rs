@@ -34,9 +34,13 @@ use crate::strategy::StrategyHandle;
 /// exactly.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Occupancy {
-    /// Memory bytes already committed per tile (indexed by tile id; short
-    /// vectors read as zero).
+    /// Implementation memory bytes (code + data footprints) already
+    /// committed per tile (indexed by tile id; short vectors read as
+    /// zero).
     pub tile_mem: Vec<u64>,
+    /// Channel-buffer bytes already committed against each tile's data
+    /// memory ([`crate::mapping::Mapping::buffer_bytes_per_tile`]).
+    pub tile_buf: Vec<u64>,
     /// Work units (WCET × repetitions per iteration) already placed per
     /// tile.
     pub tile_work: Vec<u64>,
@@ -50,14 +54,22 @@ impl Occupancy {
     pub fn empty(tiles: usize) -> Occupancy {
         Occupancy {
             tile_mem: vec![0; tiles],
+            tile_buf: vec![0; tiles],
             tile_work: vec![0; tiles],
             connections: Vec::new(),
         }
     }
 
-    /// Memory bytes already committed on `tile`.
+    /// Memory bytes already committed on `tile` — implementation
+    /// footprints plus channel-buffer bytes, since both live in the
+    /// tile's memories. Binders place against what is genuinely left.
     pub fn mem_on(&self, tile: TileId) -> u64 {
-        self.tile_mem.get(tile.0).copied().unwrap_or(0)
+        self.tile_mem.get(tile.0).copied().unwrap_or(0) + self.buf_on(tile)
+    }
+
+    /// Channel-buffer bytes already committed against `tile`'s dmem.
+    pub fn buf_on(&self, tile: TileId) -> u64 {
+        self.tile_buf.get(tile.0).copied().unwrap_or(0)
     }
 
     /// Work units already placed on `tile`.
@@ -71,8 +83,9 @@ impl Occupancy {
     }
 
     /// Records the resources of a mapped application: per-tile memory of
-    /// the chosen implementations, per-tile work, and the NoC connections
-    /// of its cross-tile channels.
+    /// the chosen implementations, channel-buffer bytes against each
+    /// tile's dmem, per-tile work, and the NoC connections of its
+    /// cross-tile channels.
     ///
     /// # Errors
     ///
@@ -85,6 +98,7 @@ impl Occupancy {
         let max_tile = binding.tile_of.iter().map(|t| t.0 + 1).max().unwrap_or(0);
         if self.tile_mem.len() < max_tile {
             self.tile_mem.resize(max_tile, 0);
+            self.tile_buf.resize(max_tile, 0);
             self.tile_work.resize(max_tile, 0);
         }
         for (aid, _) in graph.actors() {
@@ -93,6 +107,13 @@ impl Occupancy {
                 self.tile_mem[t.0] += im.instruction_memory + im.data_memory;
             }
             self.tile_work[t.0] += binding.wcet_of[aid.0] * q.of(aid);
+        }
+        for (t, bytes) in mapping
+            .buffer_bytes_per_tile(graph, self.tile_buf.len())
+            .into_iter()
+            .enumerate()
+        {
+            self.tile_buf[t] += bytes;
         }
         for (cid, ch) in graph.channels() {
             if ch.is_self_edge() || !binding.crosses_tiles(ch.src(), ch.dst()) {

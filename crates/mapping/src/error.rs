@@ -5,9 +5,10 @@ use std::fmt;
 
 use mamps_platform::noc::WireAllocationError;
 use mamps_sdf::SdfError;
+use serde::{Deserialize, Serialize};
 
 /// Errors produced by binding, scheduling and buffer allocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MapError {
     /// An underlying SDF analysis failed.
     Sdf(SdfError),

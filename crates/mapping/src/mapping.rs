@@ -150,6 +150,33 @@ impl Mapping {
             .sum()
     }
 
+    /// Channel-buffer memory charged to each tile's data memory, in
+    /// bytes: for a cross-tile channel, `alpha_src` tokens live in the
+    /// source tile's dmem and `alpha_dst` tokens in the destination's;
+    /// a same-tile channel keeps `local_capacity` tokens on its tile.
+    /// Self-edges model actor state (Fig. 4) and are not buffered in
+    /// dmem. The multi-application admission loop charges these bytes
+    /// against tile dmem ([`crate::binding::Occupancy`]), so admission
+    /// can fail on buffer memory, not just code and data footprints.
+    pub fn buffer_bytes_per_tile(&self, graph: &SdfGraph, tiles: usize) -> Vec<u64> {
+        let mut bytes = vec![0u64; tiles];
+        for (cid, ch) in graph.channels() {
+            if ch.is_self_edge() {
+                continue;
+            }
+            let alloc = &self.channels[cid.0];
+            let src = self.binding.tile_of[ch.src().0];
+            let dst = self.binding.tile_of[ch.dst().0];
+            if src == dst {
+                bytes[src.0] += alloc.local_capacity * ch.token_size();
+            } else {
+                bytes[src.0] += alloc.alpha_src * ch.token_size();
+                bytes[dst.0] += alloc.alpha_dst * ch.token_size();
+            }
+        }
+        bytes
+    }
+
     /// Structural validation of the mapping against the application and
     /// architecture it claims to map: every strategy's output must pass.
     ///

@@ -9,7 +9,8 @@
 //! et al.'s run-time mapping on partially occupied NoCs):
 //!
 //! 1. Applications of a [`UseCase`] are admitted **one at a time**, in
-//!    order. Each is bound by the configured [`BindingStrategy`] against
+//!    order. Each is bound by the configured
+//!    [`BindingStrategy`](crate::strategy::BindingStrategy) against
 //!    the *residual* resources ([`Occupancy`]) left by the applications
 //!    admitted before it — remaining tile memory, remaining SDM NoC wires —
 //!    and carried through the unchanged wire-allocation / scheduling /
@@ -116,7 +117,7 @@ impl UseCase {
 }
 
 /// Why an application was not admitted.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum RejectReason {
     /// The application could not be mapped on the residual resources
     /// (binding, wires, scheduling, buffer sizing, or its own constraint
@@ -331,6 +332,39 @@ pub fn map_use_case(uc: &UseCase, arch: &Architecture, opts: &MapOptions) -> Use
                 continue;
             }
         };
+
+        // Buffer-memory admission check: channel buffers live in tile data
+        // memory, so the candidate's allocation plus the already-admitted
+        // buffers must fit each PE tile's dmem (CA/IP tiles buffer in
+        // dedicated NI/CA RAM and are exempt). The binder cannot see the
+        // buffers — they are sized after binding — hence the post-hoc
+        // check here.
+        let cand_buf = mapped
+            .mapping
+            .buffer_bytes_per_tile(app.graph(), arch.tile_count());
+        let overflow = (0..arch.tile_count()).find_map(|t| {
+            let tile = TileId(t);
+            if !matches!(
+                arch.tile(tile).kind(),
+                mamps_platform::tile::TileKind::Master | mamps_platform::tile::TileKind::Slave
+            ) {
+                return None;
+            }
+            let need = occupancy.buf_on(tile) + cand_buf[t];
+            let dmem = arch.tile(tile).dmem_bytes();
+            (need > dmem).then_some((t, need, dmem))
+        });
+        if let Some((t, need, dmem)) = overflow {
+            rejected.push(RejectedApp {
+                index,
+                name,
+                reason: RejectReason::Map(MapError::Infeasible(format!(
+                    "channel buffers need {need} bytes of tile {t} data memory \
+                     ({dmem} bytes of dmem)"
+                ))),
+            });
+            continue;
+        }
 
         // Trial admission: regroup and re-verify everybody under sharing.
         let mut members: Vec<(&ApplicationModel, &MappedApplication)> = admitted
@@ -899,6 +933,94 @@ mod tests {
                     .any(|e| matches!(e, ScheduleEntry::Fire { actor, .. } if actor.0 == a)));
             }
         }
+    }
+
+    #[test]
+    fn admission_fails_on_buffer_memory() {
+        // Two actors sharing one tile over a fat-token channel: the actor
+        // footprints fit easily (a few KiB), but the channel buffer alone
+        // (≥ 1 token × 140 000 bytes) exceeds the tile's 128 KiB dmem.
+        // Before buffer accounting this use-case was admitted — the
+        // regression this test pins down.
+        let mut b = SdfGraphBuilder::new("fat");
+        let x = b.add_actor("fx", 1);
+        let y = b.add_actor("fy", 1);
+        b.add_channel_full("fe", x, 1, y, 1, 0, 140_000);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("fx", 50, 2048, 256).actor("fy", 50, 2048, 256);
+        let fat = mb.finish(g, None).unwrap();
+        let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+
+        let uc = UseCase::new(vec![fat.clone()]).unwrap();
+        let r = map_use_case(&uc, &arch, &MapOptions::default());
+        assert!(r.admitted.is_empty());
+        assert_eq!(r.rejected.len(), 1);
+        match &r.rejected[0].reason {
+            RejectReason::Map(MapError::Infeasible(m)) => {
+                assert!(m.contains("channel buffers"), "{m}");
+                assert!(m.contains("data memory"), "{m}");
+            }
+            other => panic!("expected a buffer-memory Infeasible reason, got {other:?}"),
+        }
+
+        // The same graph with small tokens is admitted, and its buffer
+        // bytes are charged against the tile.
+        let mut b = SdfGraphBuilder::new("thin");
+        let x = b.add_actor("tx", 1);
+        let y = b.add_actor("ty", 1);
+        b.add_channel_full("te", x, 1, y, 1, 0, 16);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor("tx", 50, 2048, 256).actor("ty", 50, 2048, 256);
+        let thin = mb.finish(g, None).unwrap();
+        let uc = UseCase::new(vec![thin]).unwrap();
+        let r = map_use_case(&uc, &arch, &MapOptions::default());
+        assert_eq!(r.admitted.len(), 1);
+        assert!(
+            r.occupancy.tile_buf.iter().sum::<u64>() > 0,
+            "admitted channel buffers must be charged: {:?}",
+            r.occupancy
+        );
+    }
+
+    #[test]
+    fn admitted_buffers_shrink_the_residual_for_later_apps() {
+        // App 1's 70 000-byte buffer eats half of tile 0's dmem; app 2's actors would
+        // fit by implementation footprint alone, but the combined buffer
+        // bytes cannot — so charging buffers against the residual must
+        // reject it on the single tile.
+        let fat_app = |name: &str, token: u64| {
+            let mut b = SdfGraphBuilder::new(name);
+            let x = b.add_actor(format!("{name}x"), 1);
+            let y = b.add_actor(format!("{name}y"), 1);
+            b.add_channel_full(format!("{name}e"), x, 1, y, 1, 0, token);
+            let g = b.build().unwrap();
+            let mut mb = HomogeneousModelBuilder::new("microblaze");
+            mb.actor(format!("{name}x"), 50, 1024, 128)
+                .actor(format!("{name}y"), 50, 1024, 128);
+            mb.finish(g, None).unwrap()
+        };
+        let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+        let uc = UseCase::new(vec![fat_app("first", 70_000), fat_app("second", 70_000)]).unwrap();
+        let r = map_use_case(&uc, &arch, &MapOptions::default());
+        assert_eq!(
+            r.admitted
+                .iter()
+                .map(|a| a.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["first"],
+            "rejections: {:?}",
+            r.rejected
+        );
+        assert_eq!(r.rejected.len(), 1);
+        assert_eq!(r.rejected[0].name, "second");
+        assert!(
+            r.rejected[0].reason.to_string().contains("buffer")
+                || r.rejected[0].reason.to_string().contains("infeasible"),
+            "unexpected reason: {}",
+            r.rejected[0].reason
+        );
     }
 
     #[test]

@@ -132,7 +132,7 @@ pub fn mesh_dimensions(tiles: usize) -> (u32, u32) {
 }
 
 /// Error produced when SDM wire allocation fails.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireAllocationError {
     /// The saturated link.
     pub link: Link,

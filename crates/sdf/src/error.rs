@@ -3,8 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Errors produced by graph construction and analysis.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SdfError {
     /// The graph violates a structural invariant (duplicate names, zero
     /// rates, dangling endpoints, ...). The message names the offender.

@@ -27,6 +27,39 @@ pub struct Ratio {
     den: i128,
 }
 
+// Manual impls instead of derives: deserialization must re-normalize
+// through `Ratio::new` so the `den > 0`, `gcd(num, den) == 1` invariant
+// holds for any input, not just values this code emitted.
+impl serde::Serialize for Ratio {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(vec![
+            serde::Value::Int(self.num),
+            serde::Value::Int(self.den),
+        ])
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Ratio {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| serde::Error::expected("[num, den] array", "Ratio"))?;
+        let [num, den] = seq else {
+            return Err(serde::Error::expected("a 2-element array", "Ratio"));
+        };
+        let num = num
+            .as_int()
+            .ok_or_else(|| serde::Error::expected("integer numerator", "Ratio"))?;
+        let den = den
+            .as_int()
+            .ok_or_else(|| serde::Error::expected("integer denominator", "Ratio"))?;
+        if den == 0 {
+            return Err(serde::Error::custom("Ratio denominator must be nonzero"));
+        }
+        Ok(Ratio::new(num, den))
+    }
+}
+
 /// Greatest common divisor of two non-negative integers.
 pub fn gcd(mut a: u64, mut b: u64) -> u64 {
     while b != 0 {

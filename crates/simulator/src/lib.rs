@@ -62,4 +62,6 @@ pub mod trace;
 pub use exec_time::{FiringTimes, TraceTimes, WcetTimes};
 pub use noc_sim::Connection;
 pub use system::System;
-pub use trace::{render_gantt, Measurement, SimError, TraceEvent};
+pub use trace::{
+    render_gantt, render_gantt_labeled, AppAttribution, Measurement, SimError, TraceEvent,
+};

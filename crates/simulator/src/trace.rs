@@ -19,43 +19,113 @@ pub struct TraceEvent {
     pub end: u64,
 }
 
+/// Maps the actors and channels of a (union) graph back to the
+/// applications they belong to, so multi-application Gantt charts can
+/// attribute every row. Built per interference group by
+/// `mamps_core::flow::MultiFlowResult::group_attribution` from the
+/// member spans of the combined graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AppAttribution {
+    /// Application names, indexed by application id.
+    pub names: Vec<String>,
+    /// Application id of each actor of the (union) graph.
+    pub app_of_actor: Vec<usize>,
+    /// Application id of each channel of the (union) graph.
+    pub app_of_channel: Vec<usize>,
+}
+
+impl AppAttribution {
+    /// The application an event belongs to, read off the operation (the
+    /// worker alone is not enough: a shared tile's PE fires actors of
+    /// several applications).
+    pub fn app_of(&self, event: &TraceEvent) -> Option<usize> {
+        match event.op {
+            Op::Fire { actor } => self.app_of_actor.get(actor.0).copied(),
+            Op::SendWord { channel } | Op::RecvWord { channel } => {
+                self.app_of_channel.get(channel.0).copied()
+            }
+        }
+    }
+
+    /// The application's name, or `"?"` for an out-of-range id.
+    pub fn name(&self, app: usize) -> &str {
+        self.names.get(app).map(String::as_str).unwrap_or("?")
+    }
+}
+
 /// Renders trace events up to `until_cycle` as a text Gantt chart with
 /// `width` columns; each row is one worker.
 pub fn render_gantt(events: &[TraceEvent], until_cycle: u64, width: usize) -> String {
-    let mut workers: Vec<WorkerKind> = Vec::new();
+    render_gantt_labeled(events, until_cycle, width, None)
+}
+
+/// Like [`render_gantt`], but with per-application row attribution: a
+/// worker executing operations of several applications (a PE of a shared
+/// tile in a multi-application use-case) gets one row *per application*,
+/// labelled `PE tile0 [app]` — which is what makes inter-application
+/// contention on a shared tile visible at a glance.
+pub fn render_gantt_labeled(
+    events: &[TraceEvent],
+    until_cycle: u64,
+    width: usize,
+    apps: Option<&AppAttribution>,
+) -> String {
+    // Row identity: worker plus (when attributing) the application of the
+    // event's operation, in first-appearance order.
+    let mut rows: Vec<(WorkerKind, Option<usize>)> = Vec::new();
     for e in events {
-        if !workers.contains(&e.worker) {
-            workers.push(e.worker);
+        let key = (e.worker, apps.and_then(|a| a.app_of(e)));
+        if !rows.contains(&key) {
+            rows.push(key);
         }
     }
     let until = until_cycle.max(1);
-    let label = |w: &WorkerKind| match *w {
-        WorkerKind::Pe { tile } => format!("PE tile{tile}"),
-        WorkerKind::EngineSend { channel } => format!("CA snd c{}", channel.0),
-        WorkerKind::EngineRecv { channel } => format!("CA rcv c{}", channel.0),
-        WorkerKind::Ip { actor } => format!("IP {actor}"),
+    let label = |&(w, app): &(WorkerKind, Option<usize>)| {
+        let base = match w {
+            WorkerKind::Pe { tile } => format!("PE tile{tile}"),
+            WorkerKind::EngineSend { channel } => format!("CA snd c{}", channel.0),
+            WorkerKind::EngineRecv { channel } => format!("CA rcv c{}", channel.0),
+            WorkerKind::Ip { actor } => format!("IP {actor}"),
+        };
+        match (app, apps) {
+            (Some(i), Some(a)) => format!("{base} [{}]", a.name(i)),
+            _ => base,
+        }
     };
     let glyph = |op: Op| match op {
         Op::Fire { .. } => '#',
         Op::SendWord { .. } => '>',
         Op::RecvWord { .. } => '<',
     };
+    let label_width = rows
+        .iter()
+        .map(|r| label(r).len())
+        .max()
+        .unwrap_or(0)
+        .max(12);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "gantt: cycles 0..{until} ({} cycles/column; # fire, > send, < recv)",
         until.div_ceil(width as u64)
     );
-    for w in &workers {
+    for key in &rows {
         let mut row = vec![' '; width];
-        for e in events.iter().filter(|e| e.worker == *w && e.start < until) {
+        for e in events.iter().filter(|e| {
+            e.worker == key.0 && e.start < until && apps.and_then(|a| a.app_of(e)) == key.1
+        }) {
             let c0 = (e.start * width as u64 / until) as usize;
             let c1 = ((e.end.min(until)) * width as u64 / until) as usize;
             for cell in row.iter_mut().take((c1 + 1).min(width)).skip(c0) {
                 *cell = glyph(e.op);
             }
         }
-        let _ = writeln!(out, "{:<12} |{}|", label(w), row.iter().collect::<String>());
+        let _ = writeln!(
+            out,
+            "{:<label_width$} |{}|",
+            label(key),
+            row.iter().collect::<String>()
+        );
     }
     out
 }
@@ -284,5 +354,69 @@ mod gantt_tests {
     fn gantt_empty_events() {
         let g = render_gantt(&[], 10, 20);
         assert!(g.starts_with("gantt:"));
+    }
+
+    #[test]
+    fn gantt_splits_shared_tile_rows_per_application() {
+        // One PE firing actors of two applications in alternation: with
+        // attribution the tile gets one labelled row per application.
+        let fire = |actor: usize, start: u64| TraceEvent {
+            worker: WorkerKind::Pe { tile: 0 },
+            op: Op::Fire {
+                actor: ActorId(actor),
+            },
+            start,
+            end: start + 10,
+        };
+        let events = vec![fire(0, 0), fire(1, 10), fire(0, 20), fire(1, 30)];
+        let apps = AppAttribution {
+            names: vec!["alpha".into(), "beta".into()],
+            app_of_actor: vec![0, 1],
+            app_of_channel: vec![],
+        };
+        let labeled = render_gantt_labeled(&events, 40, 40, Some(&apps));
+        assert!(labeled.contains("PE tile0 [alpha]"), "{labeled}");
+        assert!(labeled.contains("PE tile0 [beta]"), "{labeled}");
+        // The two rows partition the tile's events: each shows only its
+        // own firings, so alpha's row is half '#', half blank.
+        let alpha_row = labeled
+            .lines()
+            .find(|l| l.contains("[alpha]"))
+            .unwrap()
+            .rsplit('|')
+            .nth(1)
+            .unwrap();
+        assert!(alpha_row.contains('#'));
+        assert!(alpha_row.contains(' '));
+        // Without attribution the old single-row rendering is unchanged.
+        let plain = render_gantt(&events, 40, 40);
+        assert_eq!(plain.lines().count(), 2, "{plain}");
+        assert!(plain.contains("PE tile0"));
+        assert!(!plain.contains('['));
+    }
+
+    #[test]
+    fn attribution_resolves_ops_to_apps() {
+        let apps = AppAttribution {
+            names: vec!["a".into(), "b".into()],
+            app_of_actor: vec![0, 1],
+            app_of_channel: vec![1],
+        };
+        let ev = |op: Op| TraceEvent {
+            worker: WorkerKind::Pe { tile: 0 },
+            op,
+            start: 0,
+            end: 1,
+        };
+        assert_eq!(apps.app_of(&ev(Op::Fire { actor: ActorId(1) })), Some(1));
+        assert_eq!(
+            apps.app_of(&ev(Op::SendWord {
+                channel: mamps_sdf::graph::ChannelId(0)
+            })),
+            Some(1)
+        );
+        assert_eq!(apps.app_of(&ev(Op::Fire { actor: ActorId(9) })), None);
+        assert_eq!(apps.name(0), "a");
+        assert_eq!(apps.name(7), "?");
     }
 }

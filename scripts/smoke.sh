@@ -77,4 +77,13 @@ grep -q "2/2" <<<"$out" || fail "use-case sweep found no config admitting both a
 grep -q "pipeline" <<<"$out" || fail "use-case sweep lost the pipeline app"
 grep -q "spiral" <<<"$out" || fail "use-case sweep lost the spiral strategy"
 
+echo "== mamps map-multi --gantt (per-application rows)"
+out=$("$BIN" map-multi "$APP" "$APP2" "$ARCH" --iters 40 --gantt 72)
+grep -q "gantt of interference group" <<<"$out" || fail "map-multi printed no gantt"
+grep -qE '\[mjpeg\]' <<<"$out" || fail "gantt rows are not attributed to mjpeg"
+grep -qE '\[pipeline\]' <<<"$out" || fail "gantt rows are not attributed to pipeline"
+
+echo "== sharded dse (mamps dse --shard + dse-merge vs unsharded)"
+MAMPS_BIN="$BIN" scripts/shard_dse.sh || fail "sharded dse diverged from the unsharded report"
+
 echo "smoke: OK"

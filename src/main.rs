@@ -9,7 +9,10 @@
 //! mamps generate  <app.xml> <arch.xml> <dir>      # full project generation
 //! mamps simulate  <app.xml> <arch.xml> [iters]    # flow + WCET platform run
 //! mamps dse       <app.xml> <max_tiles> [--jobs N] [--binders a,b,c]
+//!                 [--shard i/n --out points.jsonl]
 //! mamps dse       <max_tiles> --apps a.xml,b.xml [--jobs N] [--binders ...]
+//!                 [--shard i/n --out points.jsonl]
+//! mamps dse-merge <points.jsonl>...
 //! ```
 //!
 //! `map-multi` admits several applications one at a time onto one shared
@@ -21,12 +24,21 @@
 //! admitted (nothing deployable). `dse --apps` sweeps which application
 //! subsets fit each platform configuration.
 //!
+//! `dse --shard i/n` evaluates only the design points shard `i` of `n`
+//! owns and writes them — serialized, one JSON object per line — to the
+//! `--out` file instead of rendering a report; the shards of one sweep
+//! can run on different machines. `dse-merge` reads the shard files back,
+//! verifies they form a complete, non-overlapping partition of one sweep
+//! (exit is nonzero otherwise), and renders exactly the report the
+//! unsharded `mamps dse` would have printed, Pareto front included.
+//!
 //! Binding strategies (`--binder` / `--binders`) are resolved through
 //! [`mamps::mapping::strategy::registry`]: `greedy` (default), `spiral`,
 //! `genetic`.
 
 use std::process::ExitCode;
 
+use mamps::flow::dse::shard;
 use mamps::flow::report::{
     render_dse_report, render_mapping_summary, render_multi_report, render_use_case_report,
 };
@@ -40,7 +52,7 @@ use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c]\nbinders: {}",
+        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
         strategy::names().join(", ")
     );
     ExitCode::from(2)
@@ -95,6 +107,19 @@ fn split_flags(args: &[String], known: &[&str]) -> Result<ParsedArgs, String> {
         }
     }
     Ok((positional, flags))
+}
+
+/// Writes a shard run's JSON lines and prints the one-line summary the
+/// report would otherwise occupy.
+fn write_shard(s: &shard::DseShard, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::write(path, s.to_jsonl())?;
+    println!(
+        "shard {}: {} of {} design points evaluated -> {path}",
+        s.header.shard,
+        s.records.len(),
+        s.header.total_configs
+    );
+    Ok(())
 }
 
 fn resolve_binder(name: &str) -> Result<StrategyHandle, String> {
@@ -157,7 +182,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         ("map-multi", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["binder", "iters"])?;
+            let (pos, flags) = split_flags(&args[1..], &["binder", "iters", "gantt"])?;
             if pos.len() < 2 {
                 return Ok(usage());
             }
@@ -169,15 +194,47 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             let arch = load_arch(&arch_path[0])?;
             let mut opts = FlowOptions::default();
             let mut iters: u64 = 100;
+            let mut gantt_cols: Option<usize> = None;
             for (name, value) in &flags {
                 match name.as_str() {
                     "binder" => opts.map.bind.strategy = resolve_binder(value)?,
                     "iters" => iters = value.parse()?,
+                    "gantt" => gantt_cols = Some(value.parse()?),
                     _ => unreachable!("split_flags rejects unknown flags"),
                 }
             }
             let result = run_multi_flow(apps, arch, &opts, iters)?;
             print!("{}", render_multi_report(&result));
+            if let Some(cols) = gantt_cols {
+                // Re-run each interference group with tracing and render
+                // the Gantt with one row per (worker, application), so
+                // contention on shared tiles is attributable.
+                for gi in 0..result.outcome.groups.len() {
+                    let (m, events) = result.trace_group(gi, iters, 100_000)?;
+                    let attribution = result.group_attribution(gi);
+                    // Show the first few iterations: enough to see the
+                    // interleaving, short enough to stay readable.
+                    let until = m
+                        .iteration_times
+                        .get(3)
+                        .or(m.iteration_times.last())
+                        .copied()
+                        .unwrap_or(m.total_cycles);
+                    println!(
+                        "gantt of interference group {gi} ({}):",
+                        attribution.names.join(" + ")
+                    );
+                    print!(
+                        "{}",
+                        mamps::sim::render_gantt_labeled(
+                            &events,
+                            until,
+                            cols.clamp(16, 512),
+                            Some(&attribution)
+                        )
+                    );
+                }
+            }
             Ok(
                 if result.admitted_count() >= 1 && result.all_guarantees_hold() {
                     ExitCode::SUCCESS
@@ -223,9 +280,11 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             })
         }
         ("dse", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["jobs", "binders", "apps"])?;
+            let (pos, flags) =
+                split_flags(&args[1..], &["jobs", "binders", "apps", "shard", "out"])?;
             let mut opts = FlowOptions::default();
             let mut multi_apps: Option<Vec<mamps::sdf::model::ApplicationModel>> = None;
+            let mut out_path: Option<String> = None;
             for (name, value) in &flags {
                 match name.as_str() {
                     "jobs" => {
@@ -252,8 +311,15 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                                 .collect::<Result<Vec<_>, _>>()?,
                         );
                     }
+                    "shard" => opts.shard = Some(value.parse::<shard::ShardSpec>()?),
+                    "out" => out_path = Some(value.clone()),
                     _ => unreachable!("split_flags rejects unknown flags"),
                 }
+            }
+            if opts.shard.is_some() && out_path.is_none() {
+                return Err("flag `--shard` requires `--out <file.jsonl>` \
+                            (sharded runs emit JSON lines, not a report)"
+                    .into());
             }
             match multi_apps {
                 // Use-case sweep: which subsets of the applications fit on
@@ -264,8 +330,17 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     }
                     let max: usize = pos[0].parse()?;
                     let tiles: Vec<usize> = (1..=max.max(1)).collect();
-                    let report = mamps::flow::dse::explore_use_cases(&apps, &tiles, true, &opts);
-                    print!("{}", render_use_case_report(&report));
+                    match out_path {
+                        Some(path) => {
+                            let s = shard::explore_use_case_shard(&apps, &tiles, true, &opts);
+                            write_shard(&s, &path)?;
+                        }
+                        None => {
+                            let report =
+                                mamps::flow::dse::explore_use_cases(&apps, &tiles, true, &opts);
+                            print!("{}", render_use_case_report(&report));
+                        }
+                    }
                     Ok(ExitCode::SUCCESS)
                 }
                 None => {
@@ -275,11 +350,32 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     let app = load_app(&pos[0])?;
                     let max: usize = pos[1].parse()?;
                     let tiles: Vec<usize> = (1..=max.max(1)).collect();
-                    let report = mamps::flow::dse::explore_report(&app, &tiles, true, &opts);
-                    print!("{}", render_dse_report(&report));
+                    match out_path {
+                        Some(path) => {
+                            let s = shard::explore_shard(&app, &tiles, true, &opts);
+                            write_shard(&s, &path)?;
+                        }
+                        None => {
+                            let report =
+                                mamps::flow::dse::explore_report(&app, &tiles, true, &opts);
+                            print!("{}", render_dse_report(&report));
+                        }
+                    }
                     Ok(ExitCode::SUCCESS)
                 }
             }
+        }
+        ("dse-merge", n) if n >= 2 => {
+            let mut shards = Vec::with_capacity(n - 1);
+            for path in &args[1..] {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read shard file `{path}`: {e}"))?;
+                shards
+                    .push(shard::DseShard::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?);
+            }
+            let merged = shard::merge_reports(&shards)?;
+            print!("{}", merged.render());
+            Ok(ExitCode::SUCCESS)
         }
         _ => Ok(usage()),
     }

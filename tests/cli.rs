@@ -222,3 +222,87 @@ fn cli_subcommands_work_end_to_end() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn cli_sharded_dse_merges_to_the_unsharded_report() {
+    if !bin().exists() {
+        eprintln!("skipping: {} not built", bin().display());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mamps_cli_shard_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = StreamConfig {
+        frames: 1,
+        ..StreamConfig::small()
+    };
+    let app = dir.join("app.xml");
+    std::fs::write(
+        &app,
+        application_to_xml(&mjpeg_application(&cfg, None).unwrap()),
+    )
+    .unwrap();
+
+    // Unsharded reference report.
+    let full = Command::new(bin())
+        .arg("dse")
+        .arg(&app)
+        .args(["3", "--binders", "greedy,spiral"])
+        .output()
+        .unwrap();
+    assert!(full.status.success());
+
+    // Two shard runs writing JSONL, then a merge.
+    for i in 0..2 {
+        let out = Command::new(bin())
+            .arg("dse")
+            .arg(&app)
+            .args(["3", "--binders", "greedy,spiral"])
+            .args(["--shard", &format!("{i}/2")])
+            .arg("--out")
+            .arg(dir.join(format!("s{i}.jsonl")))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let merged = Command::new(bin())
+        .arg("dse-merge")
+        .arg(dir.join("s0.jsonl"))
+        .arg(dir.join("s1.jsonl"))
+        .output()
+        .unwrap();
+    assert!(
+        merged.status.success(),
+        "{}",
+        String::from_utf8_lossy(&merged.stderr)
+    );
+    assert_eq!(
+        merged.stdout, full.stdout,
+        "merged report must be byte-identical to the unsharded one"
+    );
+
+    // Missing shard: nonzero exit, named reason.
+    let incomplete = Command::new(bin())
+        .arg("dse-merge")
+        .arg(dir.join("s0.jsonl"))
+        .arg(dir.join("s0.jsonl"))
+        .output()
+        .unwrap();
+    assert!(!incomplete.status.success());
+    assert!(String::from_utf8_lossy(&incomplete.stderr).contains("overlapping"));
+
+    // --shard without --out is a usage error, not a silent full run.
+    let bad = Command::new(bin())
+        .arg("dse")
+        .arg(&app)
+        .args(["3", "--shard", "0/2"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--out"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,436 @@
+//! Deterministic JSON text for the [`Value`](crate::Value) data model.
+//!
+//! The emitter is canonical: a given `Value` always produces the same
+//! bytes (no whitespace, map entries in order, floats in Rust's shortest
+//! round-trip decimal form), which is what lets sharded DSE runs be
+//! compared and merged byte-for-byte. The parser accepts ordinary JSON
+//! (whitespace, escapes, exponent notation).
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Serializes `value` to canonical JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    emit(&value.to_value(), &mut out);
+    out
+}
+
+/// Parses JSON text and deserializes `T` from it.
+///
+/// # Errors
+///
+/// [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    T::from_value(&parse(text)?)
+}
+
+/// Renders `value` as canonical JSON into `out`.
+pub fn emit(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            // Rust's Display for floats is the shortest decimal string
+            // that round-trips; add ".0" when it looks like an integer so
+            // the token parses back as a float.
+            let s = format!("{f}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => emit_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_string(k, out);
+                out.push(':');
+                emit(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// [`Error`] on malformed input or trailing garbage.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {pos} of JSON input"
+        )));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::custom(format!(
+            "expected `{}` at byte {pos} of JSON input",
+            c as char
+        )))
+    }
+}
+
+/// Maximum container nesting the parser accepts. Recursion tracks
+/// nesting depth, so untrusted input must not be able to turn depth into
+/// an uncatchable stack overflow; 128 is far beyond any shard record.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error::custom(format!(
+            "JSON nesting deeper than {MAX_DEPTH} levels"
+        )));
+    }
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(Error::custom("unexpected end of JSON input"));
+    };
+    match b {
+        b'n' => parse_keyword(bytes, pos, "null", Value::Null),
+        b't' => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        b'f' => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error::custom("expected `,` or `]` in JSON array")),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error::custom("expected `,` or `}` in JSON object")),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(Error::custom(format!(
+            "unexpected character `{}` at byte {pos} of JSON input",
+            other as char
+        ))),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(Error::custom(format!(
+            "invalid JSON literal at byte {pos} (expected `{keyword}`)"
+        )))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::custom("non-UTF-8 number token"))?;
+    if float {
+        token
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid JSON number `{token}`")))
+    } else {
+        token
+            .parse::<i128>()
+            .map(Value::Int)
+            .map_err(|_| Error::custom(format!("invalid JSON number `{token}`")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::custom(format!(
+            "expected a JSON string at byte {pos}"
+        )));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(Error::custom("unterminated JSON string"));
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(Error::custom("unterminated escape in JSON string"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'u' => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: a second \uXXXX must follow.
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let lo = parse_hex4(bytes, pos)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::custom("unpaired surrogate in JSON string"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return Err(Error::custom("unpaired surrogate in JSON string"));
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "invalid escape `\\{}` in JSON string",
+                            other as char
+                        )))
+                    }
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar: validate only the next
+                // sequence (its length comes from the lead byte), not the
+                // whole remaining input — the latter would make string
+                // parsing quadratic in the document length.
+                let len = match b {
+                    0x00..=0x7F => 1,
+                    0xC2..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF4 => 4,
+                    _ => return Err(Error::custom("non-UTF-8 JSON string")),
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| Error::custom("truncated UTF-8 in JSON string"))?;
+                let s = std::str::from_utf8(chunk)
+                    .map_err(|_| Error::custom("non-UTF-8 JSON string"))?;
+                out.push_str(s);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    let end = *pos + 4;
+    if end > bytes.len() {
+        return Err(Error::custom("truncated \\u escape"));
+    }
+    let hex = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| Error::custom("non-UTF-8 \\u escape"))?;
+    *pos = end;
+    u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "42", "-7", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(to_string_value(&v), text);
+        }
+    }
+
+    fn to_string_value(v: &Value) -> String {
+        let mut s = String::new();
+        emit(v, &mut s);
+        s
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.5, 1.0, -2.25, 1e-5, 2.4414e-5, f64::MIN_POSITIVE] {
+            let text = to_string_value(&Value::Float(f));
+            let back = parse(&text).unwrap();
+            match back {
+                Value::Float(g) => assert_eq!(f.to_bits(), g.to_bits(), "{text}"),
+                Value::Int(i) => assert_eq!(f, i as f64),
+                other => panic!("expected a number, got {other:?}"),
+            }
+        }
+        assert_eq!(to_string_value(&Value::Float(1.0)), "1.0");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x\ny","d":-1.5e3}"#;
+        let v = parse(text).unwrap();
+        let emitted = to_string_value(&v);
+        assert_eq!(parse(&emitted).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""quote \" back \\ newline \n unicode é pair 😀""#).unwrap();
+        assert_eq!(
+            v,
+            Value::Str("quote \" back \\ newline \n unicode é pair 😀".into())
+        );
+        let emitted = to_string_value(&v);
+        assert_eq!(parse(&emitted).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("[1,").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn depth_limit_rejects_instead_of_overflowing() {
+        // 200 000 nested arrays must come back as an error, not a stack
+        // overflow abort (dse-merge feeds untrusted files through here).
+        let deep = "[".repeat(200_000) + &"]".repeat(200_000);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.to_string().contains("nesting"), "{e}");
+        // Reasonable nesting still parses.
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_surrogate_pairs_are_errors() {
+        // High surrogate followed by a non-low-surrogate escape must not
+        // underflow in the pair arithmetic.
+        assert!(parse(r#""\ud800\u0041""#).is_err());
+        assert!(parse(r#""\ud800""#).is_err());
+        assert!(parse(r#""\ud800x""#).is_err());
+        // A valid pair still decodes.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn typed_entry_points() {
+        let v: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v), "[1,2,3]");
+    }
+}

@@ -1,18 +1,488 @@
-//! Offline stand-in for `serde`.
+//! Offline stand-in for `serde` — a real, minimal, value-based
+//! serialization framework.
 //!
 //! The container this workspace builds in has no network access, so the
-//! real serde cannot be fetched. The workspace types only *derive*
-//! `Serialize`/`Deserialize` (nothing serializes at runtime), so marker
-//! traits with blanket implementations are sufficient: every type
-//! satisfies the bounds, and the no-op derives in [`serde_derive`] keep
-//! the attribute syntax compiling.
+//! real serde cannot be fetched. Earlier revisions of this stand-in were
+//! no-op marker traits; the sharded-DSE layer (`mamps_core::dse::shard`)
+//! now serializes design points to JSON lines and reads them back, so the
+//! traits have grown a real data model:
+//!
+//! * [`Serialize`] maps a type into a [`Value`] tree; [`Deserialize`]
+//!   rebuilds the type from one.
+//! * [`json`] renders a [`Value`] as deterministic JSON text and parses
+//!   JSON text back — [`json::to_string`] / [`json::from_str`] are the
+//!   entry points callers use.
+//! * `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//!   stand-in) generates the impls for plain structs and enums, honouring
+//!   `#[serde(skip)]`.
+//!
+//! Deliberate differences from real serde, acceptable offline:
+//!
+//! * The data model is a concrete [`Value`] tree instead of the
+//!   `Serializer`/`Deserializer` visitor pair — simpler, and fast enough
+//!   for report-sized payloads.
+//! * Map keys serialize in a deterministic order (`HashMap` keys are
+//!   sorted), so equal values always produce identical bytes.
+//! * Non-finite floats serialize as the strings `"NaN"`, `"inf"` and
+//!   `"-inf"` (JSON has no literal for them) and parse back.
+//! * `&'static str` deserializes through a process-wide intern table
+//!   (strategy and interconnect names are 'static in the DSE types).
+
+// Let the generated `::serde::...` paths resolve inside this crate's own
+// tests as well.
+extern crate self as serde;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::BuildHasher;
+use std::sync::Mutex;
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait mirroring `serde::Serialize`.
-pub trait Serialize {}
-impl<T: ?Sized> Serialize for T {}
+pub mod json;
 
-/// Marker trait mirroring `serde::Deserialize`.
-pub trait Deserialize<'de> {}
-impl<'de, T: ?Sized> Deserialize<'de> for T {}
+/// The serialized form of any value: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// Any integer (covers `u64`, `i64`, `usize`, `i128` losslessly).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; entries keep their insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+/// A `Value::Null` with a `'static` address, used as the fallback for
+/// absent object keys (so `Option` fields tolerate missing entries).
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The entries of a map value.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence value.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer of an integer value.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Looks up `key` in a map's entries, falling back to `null` when the key
+/// is absent (derived `Option` fields then read as `None`).
+pub fn map_get<'v>(entries: &'v [(String, Value)], key: &str) -> &'v Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a preformatted message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+
+    /// "expected X while deserializing Y" construction helper.
+    pub fn expected(what: &str, context: &str) -> Error {
+        Error(format!("expected {what} while deserializing {context}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// The value tree representing `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+///
+/// The lifetime parameter mirrors real serde's `Deserialize<'de>` so
+/// existing `use serde::{Deserialize, Serialize}` derive sites keep
+/// compiling; this stand-in never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when `value` does not have the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_int()
+                    .ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::custom(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+fn float_to_value(f: f64) -> Value {
+    if f.is_nan() {
+        Value::Str("NaN".into())
+    } else if f == f64::INFINITY {
+        Value::Str("inf".into())
+    } else if f == f64::NEG_INFINITY {
+        Value::Str("-inf".into())
+    } else {
+        Value::Float(f)
+    }
+}
+
+fn float_from_value(value: &Value) -> Result<f64, Error> {
+    match value {
+        Value::Float(f) => Ok(*f),
+        Value::Int(i) => Ok(*i as f64),
+        Value::Str(s) => match s.as_str() {
+            "NaN" => Ok(f64::NAN),
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            _ => Err(Error::expected("number", "f64")),
+        },
+        _ => Err(Error::expected("number", "f64")),
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        float_to_value(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        float_from_value(value)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        float_to_value(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        float_from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Process-wide intern table backing `&'static str` deserialization: the
+/// DSE types store strategy and interconnect names as `&'static str`, so
+/// reading them back requires a `'static` home for each distinct string.
+/// The table is bounded by the number of distinct strings ever read.
+static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Interns `s`, returning a `'static` copy (leaked once per distinct
+/// string).
+pub fn intern(s: &str) -> &'static str {
+    let mut table = INTERNED.lock().expect("intern table poisoned");
+    if let Some(hit) = table.iter().find(|x| **x == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(intern)
+            .ok_or_else(|| Error::expected("string", "&'static str"))
+    }
+}
+
+// --- container impls -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $i; 1 })+;
+                let s = value
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("array", "tuple"))?;
+                if s.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected a {LEN}-element array for a tuple, found {}",
+                        s.len()
+                    )));
+                }
+                Ok(($($t::from_value(&s[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize, S: BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sorted keys: equal maps must always serialize to identical bytes.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Map(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, V: Deserialize<'de>, S: BuildHasher + Default> Deserialize<'de>
+    for HashMap<String, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::expected("object", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert_eq!(
+            f64::from_value(&f64::NEG_INFINITY.to_value()),
+            Ok(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn integer_range_checked() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(u64::from_value(&Value::Int(u64::MAX as i128)), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(Vec::<(u64, String)>::from_value(&v.to_value()), Ok(v));
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(3u32).to_value()),
+            Ok(Some(3))
+        );
+        let mut m = HashMap::new();
+        m.insert("k".to_string(), 9u64);
+        assert_eq!(HashMap::<String, u64>::from_value(&m.to_value()), Ok(m));
+    }
+
+    #[test]
+    fn hashmap_keys_sorted() {
+        let mut m = HashMap::new();
+        m.insert("zz".to_string(), 1u64);
+        m.insert("aa".to_string(), 2u64);
+        let Value::Map(entries) = m.to_value() else {
+            panic!("map expected");
+        };
+        assert_eq!(entries[0].0, "aa");
+        assert_eq!(entries[1].0, "zz");
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern("greedy-test-name");
+        let b = intern("greedy-test-name");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(
+            <&'static str>::from_value(&Value::Str("x1".into())),
+            Ok("x1")
+        );
+    }
+
+    #[test]
+    fn missing_map_keys_read_as_null() {
+        let entries = vec![("present".to_string(), Value::Int(1))];
+        assert!(map_get(&entries, "absent").is_null());
+        assert_eq!(map_get(&entries, "present").as_int(), Some(1));
+    }
+}

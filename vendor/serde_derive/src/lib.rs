@@ -1,20 +1,481 @@
-//! No-op derive macros standing in for `serde_derive`.
+//! Real derive macros standing in for `serde_derive`, built on
+//! `proc_macro` alone (the offline container has no `syn`/`quote`).
 //!
-//! The workspace builds in an offline container, so the real crates.io
-//! dependency graph is unavailable. Nothing in this repository serializes
-//! through serde at runtime — the `#[derive(Serialize, Deserialize)]`
-//! attributes only declare intent for downstream users — so the derives
-//! expand to nothing. The `attributes(serde)` registration keeps field
-//! attributes like `#[serde(skip)]` compiling.
+//! The derives target the value-based data model of the sibling `serde`
+//! stand-in: `Serialize::to_value(&self) -> Value` and
+//! `Deserialize::from_value(&Value) -> Result<Self, Error>`. Supported
+//! shapes — which cover every derive site in this workspace:
+//!
+//! * structs with named fields → `Value::Map` in declaration order;
+//! * newtype structs (one unnamed field) → the inner value transparently;
+//! * tuple structs → `Value::Seq`;
+//! * unit structs → `Value::Null`;
+//! * enums: unit variants → `Value::Str(name)`; data variants →
+//!   single-entry `Value::Map` keyed by the variant name (newtype payloads
+//!   inline, tuple payloads as a `Seq`, struct payloads as a `Map`) — the
+//!   externally-tagged representation real serde uses;
+//! * `#[serde(skip)]` on named fields (omitted on write, `Default` on
+//!   read).
+//!
+//! Generic type/lifetime parameters are rejected with a compile error;
+//! nothing in this workspace derives on a generic type. Field *types*
+//! never need parsing: the generated code calls trait methods and lets
+//! inference resolve them against the struct definition.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A field of a named-field struct or struct enum variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Unnamed fields (tuple struct / tuple variant); the count.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
 
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("generated code must tokenize")
+}
+
+// --- input parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected a type name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive: generic type `{name}` is not supported by the offline stand-in"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                _ => {
+                    return Err(format!(
+                        "serde derive: unsupported struct body for `{name}`"
+                    ))
+                }
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("serde derive: expected an enum body for `{name}`")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("serde derive: unsupported item `{other}`")),
+    }
+}
+
+/// Advances past leading attributes (`#[...]`) and a visibility modifier
+/// (`pub`, `pub(...)`), returning whether any skipped attribute was
+/// `#[serde(skip)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    skip |= attr_is_serde_skip(g.stream());
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// True for the token stream of a `[serde(skip)]` attribute body.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skips one field type: everything up to a comma at angle-bracket depth
+/// zero (commas inside `HashMap<K, V>` are at the same token level, so
+/// `<`/`>` must be tracked; parenthesised types are opaque groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde derive: expected a field name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde derive: expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the comma (or past the end)
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        i += 1; // the comma
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde derive: expected a variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// --- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let mut b = String::from("let mut entries = ::std::vec::Vec::new();\n");
+                    for f in fields.iter().filter(|f| !f.skip) {
+                        b.push_str(&format!(
+                            "entries.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                            f.name, f.name
+                        ));
+                    }
+                    b.push_str("::serde::Value::Map(entries)");
+                    b
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut payload =
+                            String::from("{ let mut entries = ::std::vec::Vec::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            payload.push_str(&format!(
+                                "entries.push(({:?}.to_string(), ::serde::Serialize::to_value({})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        payload.push_str("::serde::Value::Map(entries) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), {payload})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `Foo { a: ..., b: ... }` construction from a map's entries.
+fn named_ctor(path: &str, fields: &[Field], entries_expr: &str, context: &str) -> String {
+    let mut b = format!("{path} {{\n");
+    for f in fields {
+        if f.skip {
+            b.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            b.push_str(&format!(
+                "{}: ::serde::Deserialize::from_value(::serde::map_get({entries_expr}, {:?}))\
+                 .map_err(|e| ::serde::Error::custom(format!(\"{context}.{}: {{e}}\")))?,\n",
+                f.name, f.name, f.name
+            ));
+        }
+    }
+    b.push('}');
+    b
+}
+
+/// `Foo(seq[0]..., seq[1]...)` construction from a checked sequence.
+fn tuple_ctor(path: &str, n: usize, seq_expr: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{seq_expr}[{i}])?"))
+        .collect();
+    format!("{path}({})", items.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => format!(
+                    "let entries = value.as_map().ok_or_else(|| \
+                         ::serde::Error::expected(\"object\", {name:?}))?;\n\
+                     ::std::result::Result::Ok({})",
+                    named_ctor(name, fields, "entries", name)
+                ),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                Shape::Tuple(n) => format!(
+                    "let seq = value.as_seq().ok_or_else(|| \
+                         ::serde::Error::expected(\"array\", {name:?}))?;\n\
+                     if seq.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"expected {n} elements for {name}, found {{}}\", seq.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({})",
+                    tuple_ctor(name, *n, "seq")
+                ),
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => data_arms.push_str(&format!(
+                        "{vn:?} => {{\n\
+                             let seq = payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", {vn:?}))?;\n\
+                             if seq.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"expected {n} elements for {name}::{vn}, found {{}}\", seq.len())));\n\
+                             }}\n\
+                             return ::std::result::Result::Ok({});\n\
+                         }}\n",
+                        tuple_ctor(&format!("{name}::{vn}"), *n, "seq")
+                    )),
+                    Shape::Named(fields) => data_arms.push_str(&format!(
+                        "{vn:?} => {{\n\
+                             let entries = payload.as_map().ok_or_else(|| \
+                                 ::serde::Error::expected(\"object\", {vn:?}))?;\n\
+                             return ::std::result::Result::Ok({});\n\
+                         }}\n",
+                        named_ctor(&format!("{name}::{vn}"), fields, "entries", vn)
+                    )),
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::std::option::Option::Some(tag) = value.as_str() {{\n\
+                             match tag {{\n{unit_arms}\
+                                 other => return ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }}\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(entries) = value.as_map() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                                 match tag.as_str() {{\n{data_arms}\
+                                     other => return ::std::result::Result::Err(::serde::Error::custom(\
+                                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::Error::expected(\
+                             \"a variant tag\", {name:?}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
 }
