@@ -1,60 +1,103 @@
-//! Ablation: platform scaling for the MJPEG decoder.
+//! Simulator-kernel scaling: discrete-event vs lockstep on large meshes.
 //!
-//! Sweeps the tile count for both interconnects, printing the guaranteed
-//! bound, the near-square mesh chosen for the NoC (paper §5.3.1), and the
-//! platform area; then times the full flow at two platform sizes.
+//! Runs the token-ring workload ([`mamps_bench::token_ring_system`]) on
+//! NoC meshes from 8×8 up to 64×64 tiles under both engines. The ring
+//! keeps all but a handful of components idle at any instant, so the
+//! lockstep engine's per-event full scan grows linearly with the mesh
+//! while the event kernel only touches woken components.
+//!
+//! Before timing, both engines run once per mesh and their
+//! [`Measurement`]s are asserted equal — the perf comparison is only
+//! meaningful if the kernels agree bit for bit. On the largest mesh the
+//! event kernel must come out strictly faster (best of three wall-clock
+//! runs); CI's quick snapshot enforces that trajectory on every push.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mamps_bench::{bench_stream_config, short_criterion};
-use mamps_core::flow::{run_flow, FlowOptions};
-use mamps_mjpeg::app_model::mjpeg_application;
-use mamps_platform::area::platform_area;
-use mamps_platform::interconnect::Interconnect;
-use mamps_platform::noc::mesh_dimensions;
+use mamps_bench::{quick_mode, short_criterion, token_ring_system};
+use mamps_sim::{Engine, Measurement, System, WcetTimes};
+
+const ITERATIONS: u64 = 4;
+const MAX_CYCLES: u64 = u64::MAX / 4;
+
+fn run_once(
+    graph: &mamps_sdf::graph::SdfGraph,
+    mapping: &mamps_mapping::mapping::Mapping,
+    arch: &mamps_platform::arch::Architecture,
+    engine: Engine,
+) -> Measurement {
+    let times = WcetTimes::new(mapping.binding.wcet_of.clone());
+    System::new(graph, mapping, arch, &times)
+        .unwrap()
+        .with_engine(engine)
+        .run(ITERATIONS, MAX_CYCLES)
+        .unwrap()
+}
 
 fn bench(c: &mut Criterion) {
-    let cfg = bench_stream_config();
-    let app = mjpeg_application(&cfg, None).unwrap();
+    let meshes: &[usize] = if quick_mode() {
+        &[64, 256]
+    } else {
+        &[256, 1024, 4096]
+    };
+    let largest = *meshes.last().unwrap();
 
-    println!("\nMJPEG bound vs platform size:");
+    println!("\ntoken ring, {ITERATIONS} iterations per run:");
     println!(
-        "{:<6} {:<7} {:<7} {:>14} {:>10}",
-        "tiles", "ic", "mesh", "cycles/MCU", "slices"
+        "{:<7} {:>12} {:>14} {:>14} {:>8}",
+        "tiles", "cycles", "event", "lockstep", "speedup"
     );
-    for tiles in [1usize, 2, 3, 4, 5] {
-        for (name, ic) in [
-            ("fsl", Interconnect::fsl()),
-            ("noc", Interconnect::noc_for_tiles(tiles)),
-        ] {
-            if let Ok(flow) = run_flow(&app, tiles, ic, &FlowOptions::default()) {
-                let (w, h) = mesh_dimensions(tiles);
-                let area = platform_area(&flow.arch, 4);
-                println!(
-                    "{:<6} {:<7} {:<7} {:>14.0} {:>10}",
-                    tiles,
-                    name,
-                    if name == "noc" {
-                        format!("{w}x{h}")
-                    } else {
-                        "-".into()
-                    },
-                    1.0 / flow.guaranteed_throughput(),
-                    area.total.slices
-                );
+    for &tiles in meshes {
+        let (graph, mapping, arch) = token_ring_system(tiles);
+        // Equivalence first: a speedup over a kernel that disagrees would
+        // be meaningless. Best-of-three wall clock per engine.
+        let mut elapsed = [f64::INFINITY; 2];
+        let mut measured = Vec::new();
+        for (slot, engine) in [Engine::Event, Engine::Lockstep].into_iter().enumerate() {
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let m = run_once(&graph, &mapping, &arch, engine);
+                elapsed[slot] = elapsed[slot].min(t0.elapsed().as_secs_f64());
+                measured.push(m);
             }
+        }
+        assert!(
+            measured.windows(2).all(|w| w[0] == w[1]),
+            "engines diverge on the {tiles}-tile ring"
+        );
+        println!(
+            "{:<7} {:>12} {:>12.2}ms {:>12.2}ms {:>7.1}x",
+            tiles,
+            measured[0].total_cycles,
+            elapsed[0] * 1e3,
+            elapsed[1] * 1e3,
+            elapsed[1] / elapsed[0]
+        );
+        if tiles == largest {
+            assert!(
+                elapsed[0] < elapsed[1],
+                "event kernel must beat lockstep on the largest mesh \
+                 ({tiles} tiles): event {:.2}ms vs lockstep {:.2}ms",
+                elapsed[0] * 1e3,
+                elapsed[1] * 1e3
+            );
         }
     }
 
-    let mut group = c.benchmark_group("flow");
-    for tiles in [2usize, 5] {
-        group.bench_with_input(BenchmarkId::new("fsl", tiles), &tiles, |b, &t| {
-            b.iter(|| {
-                std::hint::black_box(
-                    run_flow(&app, t, Interconnect::fsl(), &FlowOptions::default()).unwrap(),
-                )
-            })
-        });
+    let mut group = c.benchmark_group("sim");
+    for &tiles in meshes {
+        let (graph, mapping, arch) = token_ring_system(tiles);
+        for engine in [Engine::Event, Engine::Lockstep] {
+            let label = match engine {
+                Engine::Event => "event",
+                Engine::Lockstep => "lockstep",
+            };
+            group.bench_with_input(BenchmarkId::new(label, tiles), &tiles, |b, _| {
+                b.iter(|| std::hint::black_box(run_once(&graph, &mapping, &arch, engine)))
+            });
+        }
     }
     group.finish();
 }

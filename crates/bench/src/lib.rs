@@ -14,7 +14,7 @@
 //! | `noc_area` | §5.3.1: NoC flow-control slice overhead (~12 %) |
 //! | `analysis_ablation` | state-space vs HSDF+MCR throughput analysis |
 //! | `buffer_sweep` | guaranteed throughput vs buffer capacity |
-//! | `mesh_scaling` | MJPEG bound vs platform size, FSL and NoC |
+//! | `mesh_scaling` | event vs lockstep simulator kernel on token-ring meshes |
 //! | `state_space` | throughput-kernel fast path vs retained naive reference |
 //! | `binders` | binding strategies: greedy vs spiral vs genetic on MJPEG |
 //! | `use_cases` | multi-application admission: MJPEG + constrained pipeline |
@@ -113,3 +113,108 @@ pub fn bench_stream_config() -> mamps_mjpeg::encoder::StreamConfig {
 
 /// Simulated MCUs per measured point in the Fig. 6 benches.
 pub const SIM_ITERATIONS: u64 = 150;
+
+/// A token-ring workload on a `tiles`-tile NoC mesh for the `mesh_scaling`
+/// bench: one actor per tile, unit rates, a single initial token
+/// circulating the ring. At any instant almost every tile is idle waiting
+/// for the token, which is exactly the shape where the discrete-event
+/// kernel's sleeping components beat the lockstep engine's full scan.
+///
+/// The mapping is built by hand (the flow would never bind one actor per
+/// tile on thousands of tiles): the ring-closing tile schedules its
+/// `Send` first so the initial token — parked in that channel's
+/// source-side buffer — enters the network before the tile blocks on its
+/// own receive.
+pub fn token_ring_system(
+    tiles: usize,
+) -> (
+    mamps_sdf::graph::SdfGraph,
+    mamps_mapping::mapping::Mapping,
+    mamps_platform::arch::Architecture,
+) {
+    use mamps_mapping::mapping::{Binding, ChannelAlloc, Mapping, ScheduleEntry};
+    use mamps_platform::types::{ProcessorType, TileId};
+    use mamps_sdf::graph::{ChannelId, SdfGraphBuilder};
+
+    assert!(tiles >= 2, "a ring needs at least two tiles");
+    let wcet = 100u64;
+    let mut b = SdfGraphBuilder::new("ring");
+    let actors: Vec<_> = (0..tiles)
+        .map(|i| b.add_actor(format!("a{i}"), 1))
+        .collect();
+    for i in 0..tiles {
+        let next = (i + 1) % tiles;
+        // One word per token; the ring-closing channel carries the single
+        // initial token that keeps the ring live.
+        let initial = u64::from(i == tiles - 1);
+        b.add_channel_full(format!("c{i}"), actors[i], 1, actors[next], 1, initial, 4);
+    }
+    let graph = b.build().unwrap();
+
+    let schedules = (0..tiles)
+        .map(|i| {
+            let inbound = ChannelId(if i == 0 { tiles - 1 } else { i - 1 });
+            let outbound = ChannelId(i);
+            if i == tiles - 1 {
+                vec![
+                    ScheduleEntry::Send {
+                        channel: outbound,
+                        reps: 1,
+                    },
+                    ScheduleEntry::Receive {
+                        channel: inbound,
+                        reps: 1,
+                    },
+                    ScheduleEntry::Fire {
+                        actor: actors[i],
+                        reps: 1,
+                    },
+                ]
+            } else {
+                vec![
+                    ScheduleEntry::Receive {
+                        channel: inbound,
+                        reps: 1,
+                    },
+                    ScheduleEntry::Fire {
+                        actor: actors[i],
+                        reps: 1,
+                    },
+                    ScheduleEntry::Send {
+                        channel: outbound,
+                        reps: 1,
+                    },
+                ]
+            }
+        })
+        .collect();
+
+    let mapping = Mapping {
+        binding: Binding {
+            tile_of: (0..tiles).map(TileId).collect(),
+            processor_of: vec![ProcessorType::microblaze(); tiles],
+            wcet_of: vec![wcet; tiles],
+        },
+        schedules,
+        rounds_per_iteration: vec![1; tiles],
+        channels: vec![
+            ChannelAlloc {
+                wires: 1,
+                alpha_src: 2,
+                alpha_dst: 2,
+                local_capacity: 2
+            };
+            tiles
+        ],
+        guaranteed_iterations: 1,
+        guaranteed_cycles: (tiles as u64) * (wcet + 4),
+    };
+
+    let arch = mamps_platform::arch::Architecture::homogeneous(
+        "mesh",
+        tiles,
+        mamps_platform::interconnect::Interconnect::noc_for_tiles(tiles),
+    )
+    .unwrap();
+    (graph, mapping, arch)
+}

@@ -12,7 +12,7 @@ use mamps_mapping::MapError;
 use mamps_platform::arch::{ArchError, Architecture};
 use mamps_platform::interconnect::Interconnect;
 use mamps_sdf::model::ApplicationModel;
-use mamps_sim::{SimError, System, WcetTimes};
+use mamps_sim::{Engine, SimError, System, WcetTimes};
 
 use crate::validate::GuaranteeReport;
 
@@ -100,6 +100,12 @@ pub struct FlowOptions {
     /// flow runs ignore it. See [`crate::dse::shard`] for the partition
     /// contract and the merge.
     pub shard: Option<crate::dse::shard::ShardSpec>,
+    /// Simulator engine for every verification run of the flow (the
+    /// synthesis boot run, the multi-flow validation runs, traced group
+    /// re-runs). Both engines are bit-identical by contract; `lockstep`
+    /// exists for oracle cross-checks (`mamps ... --engine lockstep`,
+    /// `scripts/sim_equiv.sh`).
+    pub sim_engine: Engine,
 }
 
 impl Default for FlowOptions {
@@ -111,6 +117,7 @@ impl Default for FlowOptions {
             jobs: 1,
             binders: Vec::new(),
             shard: None,
+            sim_engine: Engine::default(),
         }
     }
 }
@@ -188,7 +195,8 @@ fn run_flow_on(
     // "Synthesis": elaborate the executable platform and verify it boots.
     let t3 = Instant::now();
     let wcet = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
-    let system = System::new(app.graph(), &mapped.mapping, &arch, &wcet)?;
+    let system =
+        System::new(app.graph(), &mapped.mapping, &arch, &wcet)?.with_engine(opts.sim_engine);
     let _boot = system.run(opts.boot_iterations, 1_000_000_000)?;
     let synthesis = t3.elapsed();
 
@@ -249,6 +257,10 @@ pub struct MultiFlowResult {
     /// Step timings (mapping = the whole admission loop, synthesis = the
     /// concurrent validation runs).
     pub timings: StepTimings,
+    /// The simulator engine the validation runs used;
+    /// [`trace_group`](Self::trace_group) re-runs with the same engine so
+    /// traces show exactly what was validated.
+    pub sim_engine: Engine,
 }
 
 impl MultiFlowResult {
@@ -294,7 +306,8 @@ impl MultiFlowResult {
             &self.arch,
             &times,
             g.combined_repetitions(),
-        )?;
+        )?
+        .with_engine(self.sim_engine);
         system.run_traced(iterations, u64::MAX / 4, max_events)
     }
 
@@ -366,7 +379,8 @@ pub fn run_multi_flow(
             &arch,
             &times,
             group.combined_repetitions(),
-        )?;
+        )?
+        .with_engine(opts.sim_engine);
         let m = system.run(sim_iterations, u64::MAX / 4)?;
         group_measured.push(m.steady_throughput());
     }
@@ -431,6 +445,7 @@ pub fn run_multi_flow(
             platform_generation: Duration::ZERO,
             synthesis,
         },
+        sim_engine: opts.sim_engine,
     })
 }
 
@@ -547,6 +562,30 @@ mod tests {
             .as_ref()
             .unwrap()
             .contains("mapping failed"));
+    }
+
+    #[test]
+    fn multi_flow_engines_agree_on_measured_throughput() {
+        let run = |engine| {
+            let arch = Architecture::homogeneous("m", 2, Interconnect::fsl()).unwrap();
+            let opts = FlowOptions {
+                sim_engine: engine,
+                ..FlowOptions::default()
+            };
+            run_multi_flow(
+                vec![named_app("one", &[80, 80]), named_app("two", &[30, 30])],
+                arch,
+                &opts,
+                60,
+            )
+            .unwrap()
+        };
+        let ev = run(Engine::Event);
+        let ls = run(Engine::Lockstep);
+        assert_eq!(ev.sections.len(), ls.sections.len());
+        for (a, b) in ev.sections.iter().zip(&ls.sections) {
+            assert_eq!(a.measured, b.measured, "engines diverge for {}", a.name);
+        }
     }
 
     #[test]

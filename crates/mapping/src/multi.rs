@@ -382,6 +382,44 @@ pub fn map_use_case(uc: &UseCase, arch: &Architecture, opts: &MapOptions) -> Use
                     });
                     continue;
                 }
+                // The interference groups deploy *grown* channel
+                // allocations — batch-scaled by `combine_group` when
+                // members' rounds are fused, and possibly grown further to
+                // liveness by the shared analysis — so the buffer bytes
+                // that actually land in tile memory are the groups'
+                // totals, not the sum of the members' isolation sizings
+                // checked above. Re-check the grown allocation against
+                // dmem and charge it below.
+                let mut grown = vec![0u64; arch.tile_count()];
+                for g in &trial_groups {
+                    let per_tile = g.mapping.buffer_bytes_per_tile(&g.graph, arch.tile_count());
+                    for (t, b) in per_tile.into_iter().enumerate() {
+                        grown[t] += b;
+                    }
+                }
+                let overflow = (0..arch.tile_count()).find_map(|t| {
+                    let tile = TileId(t);
+                    if !matches!(
+                        arch.tile(tile).kind(),
+                        mamps_platform::tile::TileKind::Master
+                            | mamps_platform::tile::TileKind::Slave
+                    ) {
+                        return None;
+                    }
+                    let dmem = arch.tile(tile).dmem_bytes();
+                    (grown[t] > dmem).then_some((t, grown[t], dmem))
+                });
+                if let Some((t, need, dmem)) = overflow {
+                    rejected.push(RejectedApp {
+                        index,
+                        name,
+                        reason: RejectReason::Map(MapError::Infeasible(format!(
+                            "shared channel buffers grow to {need} bytes of tile {t} \
+                             data memory ({dmem} bytes of dmem)"
+                        ))),
+                    });
+                    continue;
+                }
                 if let Err(e) = occupancy.occupy(app, &mapped.mapping) {
                     rejected.push(RejectedApp {
                         index,
@@ -390,6 +428,10 @@ pub fn map_use_case(uc: &UseCase, arch: &Architecture, opts: &MapOptions) -> Use
                     });
                     continue;
                 }
+                // The groups partition the admitted applications, so their
+                // grown totals replace the isolation-sized buffer charges
+                // `occupy` just recorded.
+                occupancy.tile_buf = grown;
                 let constraint = effective_constraint(app, opts);
                 admitted.push(AdmittedApp {
                     index,
@@ -1020,6 +1062,107 @@ mod tests {
                 || r.rejected[0].reason.to_string().contains("infeasible"),
             "unexpected reason: {}",
             r.rejected[0].reason
+        );
+    }
+
+    /// `f0 --(prod 2, cons 1)--> f1` gives q = [1, 2]; with f1 alone on
+    /// its tile, that tile runs 2 rounds per iteration in isolation.
+    fn multirate_app(name: &str, token: u64) -> ApplicationModel {
+        let mut b = SdfGraphBuilder::new(name);
+        let f0 = b.add_actor(format!("{name}0"), 1);
+        let f1 = b.add_actor(format!("{name}1"), 1);
+        b.add_channel_full(format!("{name}e"), f0, 2, f1, 1, 0, token);
+        let g = b.build().unwrap();
+        let mut mb = HomogeneousModelBuilder::new("microblaze");
+        mb.actor(format!("{name}0"), 100, 4096, 512)
+            .actor(format!("{name}1"), 10, 4096, 512);
+        mb.finish(g, None).unwrap()
+    }
+
+    #[test]
+    fn admission_charges_grown_group_buffers() {
+        // App G joins f1's tile, forcing the combined round count down to
+        // gcd(2, 1) = 1: f1's two rounds are fused into one, and
+        // `combine_group` batch-scales the f0→f1 buffer allocation to
+        // keep the fused round live. The *grown* allocation is what the
+        // simulator deploys, so admission must charge it — before this
+        // check the occupancy recorded only the isolation sizing and a
+        // later app could overflow the tile's data memory.
+        let uc =
+            UseCase::new(vec![multirate_app("f", 16), pipeline_app("g", &[60], None)]).unwrap();
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let r = map_use_case(&uc, &arch, &MapOptions::default());
+        assert!(r.fully_admitted(), "rejections: {:?}", r.rejected);
+
+        // The shared group must actually batch: some channel allocation
+        // grew past its isolation sizing.
+        let g = &r.groups[r.admitted[0].group];
+        assert!(g.members.len() == 2, "apps did not share a tile: {r:?}");
+        let iso = &r.admitted[0].mapped.mapping.channels;
+        let span = &g.members[0].channels;
+        assert!(
+            (span.clone()).any(|c| {
+                let grown = g.mapping.channels[c];
+                let i = iso[c - span.start];
+                grown.alpha_src > i.alpha_src
+                    || grown.alpha_dst > i.alpha_dst
+                    || grown.local_capacity > i.local_capacity
+            }),
+            "expected a batch-scaled channel allocation"
+        );
+
+        // Occupancy records the grown group totals, not the isolation sums.
+        let tiles = arch.tile_count();
+        let mut grown = vec![0u64; tiles];
+        for g in &r.groups {
+            for (t, b) in g
+                .mapping
+                .buffer_bytes_per_tile(&g.graph, tiles)
+                .into_iter()
+                .enumerate()
+            {
+                grown[t] += b;
+            }
+        }
+        assert_eq!(r.occupancy.tile_buf, grown);
+        let isolation: u64 = r
+            .admitted
+            .iter()
+            .map(|a| {
+                let app = &uc.apps()[a.index];
+                a.mapped
+                    .mapping
+                    .buffer_bytes_per_tile(app.graph(), tiles)
+                    .iter()
+                    .sum::<u64>()
+            })
+            .sum();
+        assert!(
+            grown.iter().sum::<u64>() > isolation,
+            "grown {grown:?} should exceed isolation total {isolation}"
+        );
+    }
+
+    #[test]
+    fn admission_rejects_when_grown_buffers_overflow_dmem() {
+        // With fat tokens the isolation sizing fits the 128 KiB dmem but
+        // the batch-scaled shared allocation does not: the candidate that
+        // triggers the growth must be rejected, not silently admitted
+        // with an over-committed tile.
+        let uc = UseCase::new(vec![
+            multirate_app("f", 30_000),
+            pipeline_app("g", &[60], None),
+        ])
+        .unwrap();
+        let arch = Architecture::homogeneous("x", 2, Interconnect::fsl()).unwrap();
+        let r = map_use_case(&uc, &arch, &MapOptions::default());
+        assert_eq!(r.admitted.len(), 1, "rejections: {:?}", r.rejected);
+        assert_eq!(r.admitted[0].name, "f");
+        assert_eq!(r.rejected.len(), 1);
+        let reason = r.rejected[0].reason.to_string();
+        assert!(
+            reason.contains("grow") && reason.contains("data memory"),
+            "unexpected reason: {reason}"
         );
     }
 

@@ -1,0 +1,518 @@
+//! `sim::event` — the discrete-event execution kernel.
+//!
+//! The lockstep reference engine ([`crate::reference`]) rescans every
+//! worker at every interesting instant, which is `O(workers)` per instant
+//! and makes large meshes (the `mesh_scaling` bench) interactively
+//! unusable. This kernel replaces the rescan with a sleeping/waking
+//! scheme:
+//!
+//! * Every active entity — each tile PE, CA/NI engine, hardware-IP actor
+//!   (the [`Worker`]s) and each NoC/FSL link (`LinkComponent`) — is a
+//!   [`Component`]: it knows when it next has something to do
+//!   ([`Component::next_tick`]) and what happens then
+//!   ([`Component::advance`]).
+//! * A binary-heap event queue keyed by `(next_tick, component_id)`
+//!   drives the system: links get ids `0..C` (one per channel) and
+//!   workers `C..C+W`, so at equal times word deliveries apply before
+//!   worker completions and completions apply in worker-index order —
+//!   the reference engine's exact order.
+//! * Idle components hold no queue entry at all: a blocked worker sleeps
+//!   until a *wake* — a state change on a channel it watches (token
+//!   arrival, freed space, returned credit) or its own completion (its
+//!   schedule position advanced). Each channel's watcher set is the at
+//!   most four workers whose admission can depend on it: the producer's
+//!   and consumer's firing workers and, for cross-tile channels, the
+//!   serializing and de-serializing workers. Wakes are conservative
+//!   (spurious wakes just fail admission again); completeness is what
+//!   guarantees equivalence with the reference's exhaustive rescan.
+//!
+//! Channel FIFOs themselves are passive state ([`crate::fifo`]): they
+//! change only as an effect of worker/link events, so they never appear
+//! in the queue — they are reached through the wake lists instead.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use mamps_mapping::mapping::ScheduleEntry;
+use mamps_sdf::graph::{ActorId, ChannelId};
+
+use crate::fifo::ChannelState;
+use crate::processor::{Op, Worker, WorkerKind};
+use crate::system::SimState;
+use crate::trace::{Measurement, SimError};
+
+/// A schedulable unit of the event kernel: something that knows when it
+/// next has an effect due and can apply it when the clock reaches that
+/// instant.
+pub trait Component {
+    /// The time of this component's next scheduled effect, if any. Idle
+    /// components return `None` and hold no event-queue entry.
+    fn next_tick(&self) -> Option<u64>;
+
+    /// Advances the component to `now`, returning the effect that is due
+    /// (or `None` when nothing is due at `now` — a spurious pop, which
+    /// the kernel treats as a no-op). The kernel commits the returned
+    /// effect against the shared `SimState`.
+    fn advance(&mut self, now: u64) -> Option<Effect>;
+}
+
+/// The effect a component applies when the kernel advances it. The
+/// affected channel or worker is identified by the component's queue id,
+/// so the effect itself only names the kind of state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// A word reached the receiving NI: its flow-control credit returns
+    /// to the sender and the word becomes available for de-serialization.
+    Deliver,
+    /// The component's current operation completes (firing effects,
+    /// serialization progress, schedule-position advance).
+    Complete,
+}
+
+/// One channel's interconnect link as a component: the delivery times of
+/// its in-flight words. [`crate::noc_sim::Connection::push_word`]
+/// guarantees per-connection delivery times are non-decreasing, so a
+/// plain FIFO queue suffices.
+struct LinkComponent {
+    pending: VecDeque<u64>,
+}
+
+impl Component for LinkComponent {
+    fn next_tick(&self) -> Option<u64> {
+        self.pending.front().copied()
+    }
+
+    fn advance(&mut self, now: u64) -> Option<Effect> {
+        if self.pending.front() == Some(&now) {
+            self.pending.pop_front();
+            Some(Effect::Deliver)
+        } else {
+            None
+        }
+    }
+}
+
+impl Component for Worker {
+    fn next_tick(&self) -> Option<u64> {
+        Worker::next_tick(self)
+    }
+
+    fn advance(&mut self, now: u64) -> Option<Effect> {
+        if !self.is_idle() && self.busy_until == now {
+            Some(Effect::Complete)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs `st` with the event-driven kernel.
+pub(crate) fn run(
+    st: &mut SimState<'_>,
+    iterations: u64,
+    max_cycles: u64,
+) -> Result<Measurement, SimError> {
+    EventKernel::new(st).run_inner(iterations, max_cycles)
+}
+
+struct EventKernel<'s, 'a> {
+    st: &'s mut SimState<'a>,
+    /// Link components, indexed by channel id (empty for non-cross
+    /// channels, which have no interconnect link).
+    links: Vec<LinkComponent>,
+    /// Event queue: `Reverse((next_tick, component_id))` with links at
+    /// ids `0..C` and workers at `C..C+W`. Exactly one entry per
+    /// outstanding worker operation and per in-flight word, so no entry
+    /// is ever stale.
+    queue: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    /// Per channel: the workers whose admission can depend on its state.
+    watchers: Vec<Vec<usize>>,
+    /// Wake flags and list (sorted before use) of workers to re-try.
+    woken: Vec<bool>,
+    wake_list: Vec<usize>,
+}
+
+impl<'s, 'a> EventKernel<'s, 'a> {
+    fn new(st: &'s mut SimState<'a>) -> EventKernel<'s, 'a> {
+        // Locate each actor's firing worker and each tile's PE so the
+        // watcher sets can be assembled per channel.
+        let mut pe_of_tile = vec![None; st.arch.tile_count()];
+        let mut ip_of_actor = vec![None; st.graph.actor_count()];
+        let mut engine_send = vec![None; st.channels.len()];
+        let mut engine_recv = vec![None; st.channels.len()];
+        for (w, worker) in st.workers.iter().enumerate() {
+            match worker.kind {
+                WorkerKind::Pe { tile } => pe_of_tile[tile] = Some(w),
+                WorkerKind::Ip { actor } => ip_of_actor[actor.0] = Some(w),
+                WorkerKind::EngineSend { channel } => engine_send[channel.0] = Some(w),
+                WorkerKind::EngineRecv { channel } => engine_recv[channel.0] = Some(w),
+            }
+        }
+        let fire_worker =
+            |a: ActorId| ip_of_actor[a.0].or(pe_of_tile[st.mapping.binding.tile_of[a.0].0]);
+        let mut watchers = Vec::with_capacity(st.channels.len());
+        for (cid, ch) in st.graph.channels() {
+            let mut ws = Vec::with_capacity(4);
+            ws.extend(fire_worker(ch.src()));
+            ws.extend(fire_worker(ch.dst()));
+            if let ChannelState::Cross(c) = &st.channels[cid.0] {
+                ws.extend(engine_send[cid.0].or(pe_of_tile[c.src_tile.0]));
+                ws.extend(engine_recv[cid.0].or(pe_of_tile[c.dst_tile.0]));
+            }
+            ws.sort_unstable();
+            ws.dedup();
+            watchers.push(ws);
+        }
+        let links = (0..st.channels.len())
+            .map(|_| LinkComponent {
+                pending: VecDeque::new(),
+            })
+            .collect();
+        // Every worker starts woken: cycle 0 admission is tried for all.
+        let n = st.workers.len();
+        EventKernel {
+            st,
+            links,
+            queue: BinaryHeap::new(),
+            watchers,
+            woken: vec![true; n],
+            wake_list: (0..n).collect(),
+        }
+    }
+
+    fn run_inner(&mut self, iterations: u64, max_cycles: u64) -> Result<Measurement, SimError> {
+        let n_channels = self.st.channels.len();
+        loop {
+            if (self.st.iteration_times.len() as u64) >= iterations {
+                break;
+            }
+            self.start_phase();
+            // Advance to the next event, or report the verdict.
+            let next = match self.queue.peek() {
+                Some(&std::cmp::Reverse((t, _))) => t,
+                None => {
+                    return Err(SimError::Deadlock(format!(
+                        "no progress at cycle {} after {} iterations",
+                        self.st.now,
+                        self.st.iteration_times.len()
+                    )));
+                }
+            };
+            if next > max_cycles {
+                return Err(SimError::CycleLimit(max_cycles));
+            }
+            self.st.now = next;
+            // Apply the whole batch at `next`: the heap pops deliveries
+            // (ids < C) before completions, completions in worker order.
+            while let Some(&std::cmp::Reverse((t, id))) = self.queue.peek() {
+                if t != next {
+                    break;
+                }
+                self.queue.pop();
+                if id < n_channels {
+                    let due = self.links[id].advance(t);
+                    debug_assert_eq!(due, Some(Effect::Deliver), "stale link event");
+                    if due.is_some() {
+                        if let ChannelState::Cross(c) = &mut self.st.channels[id] {
+                            c.deliver_word();
+                        }
+                        self.wake_watchers(id);
+                    }
+                } else {
+                    let w = id - n_channels;
+                    let due = self.st.workers[w].advance(t);
+                    debug_assert_eq!(due, Some(Effect::Complete), "stale worker event");
+                    if due.is_some() {
+                        self.complete(w);
+                    }
+                }
+            }
+        }
+        Ok(self.st.measurement())
+    }
+
+    /// Tries to start every woken worker, in ascending worker index — the
+    /// reference engine's scan order. One pass suffices: starting an
+    /// operation only *consumes* channel pools, so no start can enable
+    /// another start at the same instant (pools grow only in deliveries
+    /// and completions, which wake their watchers for the next pass).
+    fn start_phase(&mut self) {
+        self.wake_list.sort_unstable();
+        let mut i = 0;
+        while i < self.wake_list.len() {
+            let w = self.wake_list[i];
+            i += 1;
+            self.woken[w] = false;
+            if self.st.workers[w].is_idle() {
+                self.try_start(w);
+            }
+        }
+        self.wake_list.clear();
+    }
+
+    fn wake(&mut self, w: usize) {
+        if !self.woken[w] {
+            self.woken[w] = true;
+            self.wake_list.push(w);
+        }
+    }
+
+    fn wake_watchers(&mut self, cid: usize) {
+        for i in 0..self.watchers[cid].len() {
+            let w = self.watchers[cid][i];
+            self.wake(w);
+        }
+    }
+
+    /// Schedules worker `w`'s just-started operation in the queue.
+    fn schedule_completion(&mut self, w: usize) {
+        let t = self.st.workers[w]
+            .next_tick()
+            .expect("just-started workers are busy");
+        let n_channels = self.st.channels.len();
+        self.queue.push(std::cmp::Reverse((t, n_channels + w)));
+    }
+
+    /// Attempts to start the next operation of worker `w` at `now`.
+    fn try_start(&mut self, w: usize) -> bool {
+        match self.st.workers[w].kind {
+            WorkerKind::Pe { tile } => {
+                let round = &self.st.mapping.schedules[tile];
+                let pc = self.st.workers[w].pc;
+                let entry = round[pc];
+                match entry {
+                    ScheduleEntry::Fire { actor, .. } => self.try_fire(w, actor),
+                    ScheduleEntry::Send { channel, .. } => self.try_send_word(w, channel),
+                    ScheduleEntry::Receive { channel, .. } => self.try_recv_word(w, channel),
+                }
+            }
+            WorkerKind::EngineSend { channel } => self.try_send_word(w, channel),
+            WorkerKind::EngineRecv { channel } => self.try_recv_word(w, channel),
+            WorkerKind::Ip { actor } => self.try_fire(w, actor),
+        }
+    }
+
+    /// Firing admission: checks and consumes start-time resources.
+    fn try_fire(&mut self, w: usize, actor: ActorId) -> bool {
+        // Check every endpoint first (no partial consumption).
+        for &cid in self.st.graph.incoming(actor) {
+            let ok = match &self.st.channels[cid.0] {
+                ChannelState::SelfEdge(s) => s.tokens >= s.cons,
+                ChannelState::Local(l) => l.tokens >= l.cons,
+                ChannelState::Cross(c) => c.assembled >= c.cons,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for &cid in self.st.graph.outgoing(actor) {
+            let ok = match &self.st.channels[cid.0] {
+                ChannelState::SelfEdge(_) => true, // checked as incoming
+                ChannelState::Local(l) => l.space >= l.prod,
+                ChannelState::Cross(c) => c.src_space >= c.prod,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        // Consume.
+        for &cid in self.st.graph.incoming(actor) {
+            match &mut self.st.channels[cid.0] {
+                ChannelState::SelfEdge(s) => s.tokens -= s.cons,
+                ChannelState::Local(l) => l.tokens -= l.cons,
+                ChannelState::Cross(c) => c.assembled -= c.cons,
+            }
+        }
+        for &cid in self.st.graph.outgoing(actor) {
+            match &mut self.st.channels[cid.0] {
+                ChannelState::SelfEdge(_) => {}
+                ChannelState::Local(l) => l.space -= l.prod,
+                ChannelState::Cross(c) => c.src_space -= c.prod,
+            }
+        }
+        let duration =
+            self.st.times.cycles(actor, self.st.firings[actor.0]) + self.st.fire_overhead[actor.0];
+        let now = self.st.now;
+        let worker = &mut self.st.workers[w];
+        worker.op = Some(Op::Fire { actor });
+        worker.op_started = now;
+        worker.busy_until = now + duration;
+        worker.busy_cycles += duration;
+        self.schedule_completion(w);
+        true
+    }
+
+    fn try_send_word(&mut self, w: usize, channel: ChannelId) -> bool {
+        let c = match &mut self.st.channels[channel.0] {
+            ChannelState::Cross(c) => c,
+            _ => return false,
+        };
+        if c.send_words == 0 || c.conn.credits == 0 {
+            return false;
+        }
+        c.send_words -= 1;
+        c.conn.credits -= 1;
+        let dur = c.ser_word;
+        let now = self.st.now;
+        let worker = &mut self.st.workers[w];
+        worker.op = Some(Op::SendWord { channel });
+        worker.op_started = now;
+        worker.busy_until = now + dur;
+        worker.busy_cycles += dur;
+        self.schedule_completion(w);
+        true
+    }
+
+    fn try_recv_word(&mut self, w: usize, channel: ChannelId) -> bool {
+        let c = match &mut self.st.channels[channel.0] {
+            ChannelState::Cross(c) => c,
+            _ => return false,
+        };
+        if c.conn.delivered == 0 || c.dst_word_space == 0 {
+            return false;
+        }
+        c.conn.delivered -= 1;
+        c.dst_word_space -= 1;
+        let dur = c.des_word;
+        let now = self.st.now;
+        let worker = &mut self.st.workers[w];
+        worker.op = Some(Op::RecvWord { channel });
+        worker.op_started = now;
+        worker.busy_until = now + dur;
+        worker.busy_cycles += dur;
+        self.schedule_completion(w);
+        true
+    }
+
+    /// Applies completion effects of worker `w` at `now`, waking the
+    /// watchers of every channel whose pools grew (and `w` itself — its
+    /// schedule position advanced, so its next entry may be admissible).
+    fn complete(&mut self, w: usize) {
+        let op = self.st.workers[w].op.take().expect("busy workers have ops");
+        self.st.record_completion(w, op);
+        match op {
+            Op::Fire { actor } => {
+                for &cid in self.st.graph.outgoing(actor) {
+                    match &mut self.st.channels[cid.0] {
+                        ChannelState::SelfEdge(s) => s.tokens += s.prod,
+                        ChannelState::Local(l) => l.tokens += l.prod,
+                        ChannelState::Cross(c) => c.send_words += c.prod * c.n_words,
+                    }
+                }
+                for &cid in self.st.graph.incoming(actor) {
+                    match &mut self.st.channels[cid.0] {
+                        ChannelState::SelfEdge(_) => {}
+                        ChannelState::Local(l) => l.space += l.cons,
+                        ChannelState::Cross(c) => c.dst_word_space += c.cons * c.n_words,
+                    }
+                }
+                self.st.firings[actor.0] += 1;
+                // An iteration completes when the slowest actor (relative to
+                // its repetition count) crosses the next multiple.
+                let completed = self
+                    .st
+                    .firings
+                    .iter()
+                    .zip(&self.st.q)
+                    .map(|(&f, &q)| f / q)
+                    .min()
+                    .unwrap_or(0);
+                while (self.st.iteration_times.len() as u64) < completed {
+                    self.st.iteration_times.push(self.st.now);
+                }
+                let graph = self.st.graph;
+                for &cid in graph.outgoing(actor) {
+                    self.wake_watchers(cid.0);
+                }
+                for &cid in graph.incoming(actor) {
+                    self.wake_watchers(cid.0);
+                }
+            }
+            Op::SendWord { channel } => {
+                if let ChannelState::Cross(c) = &mut self.st.channels[channel.0] {
+                    let delivery = c.conn.push_word(self.st.now);
+                    // New in-flight word: the link component owns its
+                    // delivery. push_word keeps per-connection delivery
+                    // times non-decreasing, so back-of-queue is in order.
+                    self.links[channel.0].pending.push_back(delivery);
+                    self.queue.push(std::cmp::Reverse((delivery, channel.0)));
+                    c.srel_progress += 1;
+                    if c.srel_progress == c.n_words {
+                        c.srel_progress = 0;
+                        c.src_space += 1;
+                    }
+                }
+                self.wake_watchers(channel.0);
+            }
+            Op::RecvWord { channel } => {
+                if let ChannelState::Cross(c) = &mut self.st.channels[channel.0] {
+                    c.asm_progress += 1;
+                    if c.asm_progress == c.n_words {
+                        c.asm_progress = 0;
+                        c.assembled += 1;
+                    }
+                }
+                self.wake_watchers(channel.0);
+            }
+        }
+        self.wake(w);
+        // Advance PE schedule position.
+        if let WorkerKind::Pe { tile } = self.st.workers[w].kind {
+            let round = &self.st.mapping.schedules[tile];
+            let entry = round[self.st.workers[w].pc];
+            let total_units = match entry {
+                ScheduleEntry::Fire { reps, .. } => reps,
+                ScheduleEntry::Send { channel, reps } => {
+                    let n = match &self.st.channels[channel.0] {
+                        ChannelState::Cross(c) => c.n_words,
+                        _ => 1,
+                    };
+                    reps * n
+                }
+                ScheduleEntry::Receive { channel, reps } => {
+                    let n = match &self.st.channels[channel.0] {
+                        ChannelState::Cross(c) => c.n_words,
+                        _ => 1,
+                    };
+                    reps * n
+                }
+            };
+            let worker = &mut self.st.workers[w];
+            worker.done_in_entry += 1;
+            if worker.done_in_entry >= total_units {
+                worker.done_in_entry = 0;
+                worker.pc = (worker.pc + 1) % round.len();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_component_delivers_in_order() {
+        let mut link = LinkComponent {
+            pending: VecDeque::from([5, 5, 9]),
+        };
+        assert_eq!(link.next_tick(), Some(5));
+        assert_eq!(link.advance(5), Some(Effect::Deliver));
+        assert_eq!(link.advance(5), Some(Effect::Deliver));
+        // Nothing due at 5 anymore: spurious pops are no-ops.
+        assert_eq!(link.advance(5), None);
+        assert_eq!(link.next_tick(), Some(9));
+        assert_eq!(link.advance(9), Some(Effect::Deliver));
+        assert_eq!(link.next_tick(), None);
+    }
+
+    #[test]
+    fn worker_component_reports_completion() {
+        let mut w = Worker::new(WorkerKind::Pe { tile: 0 });
+        assert_eq!(Component::next_tick(&w), None);
+        w.op = Some(Op::Fire { actor: ActorId(0) });
+        w.busy_until = 42;
+        assert_eq!(Component::next_tick(&w), Some(42));
+        assert_eq!(w.advance(41), None);
+        assert_eq!(w.advance(42), Some(Effect::Complete));
+    }
+}

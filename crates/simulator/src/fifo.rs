@@ -79,6 +79,17 @@ pub struct CrossChannelState {
     pub offload_dst: bool,
 }
 
+impl CrossChannelState {
+    /// Applies the arrival of one word at the receiving NI: the flow-control
+    /// credit returns to the sender and the word becomes available to the
+    /// de-serializer. Shared by both engines so a delivery means exactly
+    /// the same state change under either.
+    pub(crate) fn deliver_word(&mut self) {
+        self.conn.credits += 1;
+        self.conn.delivered += 1;
+    }
+}
+
 /// Runtime representation of one application channel.
 #[derive(Debug, Clone)]
 pub enum ChannelState {

@@ -25,6 +25,20 @@
 //! platform's arbitration — so every per-application bound can be
 //! validated in one run.
 //!
+//! ## Engines
+//!
+//! Two interchangeable execution engines drive the simulation
+//! ([`Engine`], default [`Engine::Event`]):
+//!
+//! * [`event`] — a discrete-event kernel: components
+//!   ([`event::Component`]) sleep until a token arrival or timer wakes
+//!   them, driven by a binary-heap event queue. Interactive even on
+//!   64×64-tile meshes (see the `mesh_scaling` bench).
+//! * [`mod@reference`] — the original lockstep engine, kept intact as the
+//!   bit-exactness oracle: both engines must produce identical traces,
+//!   measurements, and error verdicts (enforced by tests, a proptest, and
+//!   CI's `scripts/sim_equiv.sh`).
+//!
 //! ## Example
 //!
 //! ```
@@ -52,16 +66,19 @@
 //! assert!(measurement.steady_throughput() >= mapped.analysis.as_f64() * (1.0 - 1e-9));
 //! ```
 
+pub mod event;
 pub mod exec_time;
 pub mod fifo;
 pub mod noc_sim;
 pub mod processor;
+pub mod reference;
 pub mod system;
 pub mod trace;
 
 pub use exec_time::{FiringTimes, TraceTimes, WcetTimes};
 pub use noc_sim::Connection;
-pub use system::System;
+pub use system::{Engine, System};
 pub use trace::{
-    render_gantt, render_gantt_labeled, AppAttribution, Measurement, SimError, TraceEvent,
+    render_gantt, render_gantt_labeled, render_trace, AppAttribution, Measurement, SimError,
+    TraceEvent,
 };

@@ -48,6 +48,11 @@ impl Connection {
     ///
     /// The caller must have acquired a credit beforehand (at serialization
     /// start).
+    ///
+    /// Delivery times of one connection are non-decreasing across calls
+    /// (the serial rate stage is FIFO), which is what lets the event
+    /// kernel's link component keep its in-flight words in a plain queue
+    /// instead of a priority queue.
     pub fn push_word(&mut self, now: u64) -> u64 {
         let w = self.params.w.max(1) as usize;
         // Latency stage: word k starts once word k-w has left the stage.
@@ -62,6 +67,10 @@ impl Connection {
         // Rate stage: serial, FIFO.
         let rate_start = lat_done.max(self.last_rate_done);
         let rate_done = rate_start + self.params.cycles_per_word;
+        debug_assert!(
+            rate_done >= self.last_rate_done,
+            "per-connection delivery times must be monotone"
+        );
         self.last_rate_done = rate_done;
         rate_done
     }

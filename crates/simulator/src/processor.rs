@@ -93,6 +93,13 @@ impl Worker {
     pub fn is_idle(&self) -> bool {
         self.op.is_none()
     }
+
+    /// The completion time of the current operation, if busy — the
+    /// worker's contribution to the event kernel's queue (see
+    /// [`crate::event::Component`]).
+    pub fn next_tick(&self) -> Option<u64> {
+        self.op.map(|_| self.busy_until)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,303 @@
+//! `sim::reference` — the original lockstep execution engine, kept intact
+//! as the bit-exactness oracle for the discrete-event kernel
+//! ([`crate::event`]), exactly as `state_space::reference` anchors the
+//! optimized throughput analysis.
+//!
+//! Each step advances the clock to the next interesting instant (earliest
+//! worker completion or word delivery), applies all deliveries, then
+//! *rescans every worker* — once to complete finished operations and in a
+//! fixpoint loop to start new ones. That rescan is `O(workers)` per
+//! instant, which is exactly the cost the event kernel removes; keeping
+//! this engine verbatim (its own start/complete logic, its own delivery
+//! queue — no code shared with the kernel beyond the passive
+//! `SimState`) is what makes the equivalence tests and CI's
+//! `scripts/sim_equiv.sh` a genuine cross-check rather than a tautology.
+
+use std::collections::BinaryHeap;
+
+use mamps_mapping::mapping::ScheduleEntry;
+use mamps_sdf::graph::{ActorId, ChannelId};
+
+use crate::fifo::ChannelState;
+use crate::processor::{Op, WorkerKind};
+use crate::system::SimState;
+use crate::trace::{Measurement, SimError};
+
+/// Runs `st` with the lockstep reference engine.
+pub(crate) fn run(
+    st: &mut SimState<'_>,
+    iterations: u64,
+    max_cycles: u64,
+) -> Result<Measurement, SimError> {
+    Lockstep {
+        st,
+        events: BinaryHeap::new(),
+    }
+    .run_inner(iterations, max_cycles)
+}
+
+/// The lockstep engine: the shared system state plus the in-flight word
+/// delivery queue `(time, channel idx)`.
+struct Lockstep<'s, 'a> {
+    st: &'s mut SimState<'a>,
+    events: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+impl Lockstep<'_, '_> {
+    fn run_inner(&mut self, iterations: u64, max_cycles: u64) -> Result<Measurement, SimError> {
+        while (self.st.iteration_times.len() as u64) < iterations {
+            // Fixpoint: start every worker that can start at `now`.
+            loop {
+                let mut progressed = false;
+                for w in 0..self.st.workers.len() {
+                    if self.st.workers[w].is_idle() && self.try_start(w) {
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            if (self.st.iteration_times.len() as u64) >= iterations {
+                break;
+            }
+            // Advance to the next event: worker completion or word delivery.
+            let next_worker = self
+                .st
+                .workers
+                .iter()
+                .filter(|w| !w.is_idle())
+                .map(|w| w.busy_until)
+                .min();
+            let next_delivery = self.events.peek().map(|&std::cmp::Reverse((t, _))| t);
+            let next = match (next_worker, next_delivery) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    return Err(SimError::Deadlock(format!(
+                        "no progress at cycle {} after {} iterations",
+                        self.st.now,
+                        self.st.iteration_times.len()
+                    )));
+                }
+            };
+            if next > max_cycles {
+                return Err(SimError::CycleLimit(max_cycles));
+            }
+            self.st.now = next;
+            // Deliveries first (they can unblock completions at equal time
+            // either way; effects at the same instant are order-insensitive
+            // because all pools only grow here).
+            while let Some(&std::cmp::Reverse((t, cid))) = self.events.peek() {
+                if t != self.st.now {
+                    break;
+                }
+                self.events.pop();
+                if let ChannelState::Cross(c) = &mut self.st.channels[cid] {
+                    c.deliver_word();
+                }
+            }
+            for w in 0..self.st.workers.len() {
+                if !self.st.workers[w].is_idle() && self.st.workers[w].busy_until == self.st.now {
+                    self.complete(w);
+                }
+            }
+        }
+        Ok(self.st.measurement())
+    }
+
+    /// Attempts to start the next operation of worker `w` at `now`.
+    fn try_start(&mut self, w: usize) -> bool {
+        match self.st.workers[w].kind {
+            WorkerKind::Pe { tile } => {
+                let round = &self.st.mapping.schedules[tile];
+                let pc = self.st.workers[w].pc;
+                let entry = round[pc];
+                match entry {
+                    ScheduleEntry::Fire { actor, .. } => self.try_fire(w, actor),
+                    ScheduleEntry::Send { channel, .. } => self.try_send_word(w, channel),
+                    ScheduleEntry::Receive { channel, .. } => self.try_recv_word(w, channel),
+                }
+            }
+            WorkerKind::EngineSend { channel } => self.try_send_word(w, channel),
+            WorkerKind::EngineRecv { channel } => self.try_recv_word(w, channel),
+            WorkerKind::Ip { actor } => self.try_fire(w, actor),
+        }
+    }
+
+    /// Firing admission: checks and consumes start-time resources.
+    fn try_fire(&mut self, w: usize, actor: ActorId) -> bool {
+        // Check every endpoint first (no partial consumption).
+        for &cid in self.st.graph.incoming(actor) {
+            let ok = match &self.st.channels[cid.0] {
+                ChannelState::SelfEdge(s) => s.tokens >= s.cons,
+                ChannelState::Local(l) => l.tokens >= l.cons,
+                ChannelState::Cross(c) => c.assembled >= c.cons,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for &cid in self.st.graph.outgoing(actor) {
+            let ok = match &self.st.channels[cid.0] {
+                ChannelState::SelfEdge(_) => true, // checked as incoming
+                ChannelState::Local(l) => l.space >= l.prod,
+                ChannelState::Cross(c) => c.src_space >= c.prod,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        // Consume.
+        for &cid in self.st.graph.incoming(actor) {
+            match &mut self.st.channels[cid.0] {
+                ChannelState::SelfEdge(s) => s.tokens -= s.cons,
+                ChannelState::Local(l) => l.tokens -= l.cons,
+                ChannelState::Cross(c) => c.assembled -= c.cons,
+            }
+        }
+        for &cid in self.st.graph.outgoing(actor) {
+            match &mut self.st.channels[cid.0] {
+                ChannelState::SelfEdge(_) => {}
+                ChannelState::Local(l) => l.space -= l.prod,
+                ChannelState::Cross(c) => c.src_space -= c.prod,
+            }
+        }
+        let duration =
+            self.st.times.cycles(actor, self.st.firings[actor.0]) + self.st.fire_overhead[actor.0];
+        let now = self.st.now;
+        let worker = &mut self.st.workers[w];
+        worker.op = Some(Op::Fire { actor });
+        worker.op_started = now;
+        worker.busy_until = now + duration;
+        worker.busy_cycles += duration;
+        true
+    }
+
+    fn try_send_word(&mut self, w: usize, channel: ChannelId) -> bool {
+        let c = match &mut self.st.channels[channel.0] {
+            ChannelState::Cross(c) => c,
+            _ => return false,
+        };
+        if c.send_words == 0 || c.conn.credits == 0 {
+            return false;
+        }
+        c.send_words -= 1;
+        c.conn.credits -= 1;
+        let dur = c.ser_word;
+        let now = self.st.now;
+        let worker = &mut self.st.workers[w];
+        worker.op = Some(Op::SendWord { channel });
+        worker.op_started = now;
+        worker.busy_until = now + dur;
+        worker.busy_cycles += dur;
+        true
+    }
+
+    fn try_recv_word(&mut self, w: usize, channel: ChannelId) -> bool {
+        let c = match &mut self.st.channels[channel.0] {
+            ChannelState::Cross(c) => c,
+            _ => return false,
+        };
+        if c.conn.delivered == 0 || c.dst_word_space == 0 {
+            return false;
+        }
+        c.conn.delivered -= 1;
+        c.dst_word_space -= 1;
+        let dur = c.des_word;
+        let now = self.st.now;
+        let worker = &mut self.st.workers[w];
+        worker.op = Some(Op::RecvWord { channel });
+        worker.op_started = now;
+        worker.busy_until = now + dur;
+        worker.busy_cycles += dur;
+        true
+    }
+
+    /// Applies completion effects of worker `w` at `now`.
+    fn complete(&mut self, w: usize) {
+        let op = self.st.workers[w].op.take().expect("busy workers have ops");
+        self.st.record_completion(w, op);
+        match op {
+            Op::Fire { actor } => {
+                for &cid in self.st.graph.outgoing(actor) {
+                    match &mut self.st.channels[cid.0] {
+                        ChannelState::SelfEdge(s) => s.tokens += s.prod,
+                        ChannelState::Local(l) => l.tokens += l.prod,
+                        ChannelState::Cross(c) => c.send_words += c.prod * c.n_words,
+                    }
+                }
+                for &cid in self.st.graph.incoming(actor) {
+                    match &mut self.st.channels[cid.0] {
+                        ChannelState::SelfEdge(_) => {}
+                        ChannelState::Local(l) => l.space += l.cons,
+                        ChannelState::Cross(c) => c.dst_word_space += c.cons * c.n_words,
+                    }
+                }
+                self.st.firings[actor.0] += 1;
+                // An iteration completes when the slowest actor (relative to
+                // its repetition count) crosses the next multiple.
+                let completed = self
+                    .st
+                    .firings
+                    .iter()
+                    .zip(&self.st.q)
+                    .map(|(&f, &q)| f / q)
+                    .min()
+                    .unwrap_or(0);
+                while (self.st.iteration_times.len() as u64) < completed {
+                    self.st.iteration_times.push(self.st.now);
+                }
+            }
+            Op::SendWord { channel } => {
+                if let ChannelState::Cross(c) = &mut self.st.channels[channel.0] {
+                    let delivery = c.conn.push_word(self.st.now);
+                    self.events.push(std::cmp::Reverse((delivery, channel.0)));
+                    c.srel_progress += 1;
+                    if c.srel_progress == c.n_words {
+                        c.srel_progress = 0;
+                        c.src_space += 1;
+                    }
+                }
+            }
+            Op::RecvWord { channel } => {
+                if let ChannelState::Cross(c) = &mut self.st.channels[channel.0] {
+                    c.asm_progress += 1;
+                    if c.asm_progress == c.n_words {
+                        c.asm_progress = 0;
+                        c.assembled += 1;
+                    }
+                }
+            }
+        }
+        // Advance PE schedule position.
+        if let WorkerKind::Pe { tile } = self.st.workers[w].kind {
+            let round = &self.st.mapping.schedules[tile];
+            let entry = round[self.st.workers[w].pc];
+            let total_units = match entry {
+                ScheduleEntry::Fire { reps, .. } => reps,
+                ScheduleEntry::Send { channel, reps } => {
+                    let n = match &self.st.channels[channel.0] {
+                        ChannelState::Cross(c) => c.n_words,
+                        _ => 1,
+                    };
+                    reps * n
+                }
+                ScheduleEntry::Receive { channel, reps } => {
+                    let n = match &self.st.channels[channel.0] {
+                        ChannelState::Cross(c) => c.n_words,
+                        _ => 1,
+                    };
+                    reps * n
+                }
+            };
+            let worker = &mut self.st.workers[w];
+            worker.done_in_entry += 1;
+            if worker.done_in_entry >= total_units {
+                worker.done_in_entry = 0;
+                worker.pc = (worker.pc + 1) % round.len();
+            }
+        }
+    }
+}

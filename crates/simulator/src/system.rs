@@ -1,21 +1,30 @@
 //! The simulated MPSoC: construction from (application, mapping,
-//! architecture) and the discrete-event execution engine.
+//! architecture) and the engine-independent system state.
 //!
 //! The simulator is an *independent* implementation of the platform
 //! semantics — it shares no code with the SDF analysis. Agreement between
 //! the two (measured >= guaranteed bound, with equality when actual firing
 //! times equal the WCETs) is therefore a genuine validation of the flow,
 //! mirroring the paper's FPGA measurements in Fig. 6.
-
-use std::collections::BinaryHeap;
+//!
+//! Two execution engines drive the shared `SimState`:
+//!
+//! * [`crate::event`] — the default discrete-event kernel: a binary-heap
+//!   event queue keyed by `(next_tick, component_id)`; idle components
+//!   sleep until a token arrival or timer wakes them.
+//! * [`crate::reference`] — the original lockstep engine, kept intact as
+//!   the bit-exactness oracle the event kernel is validated against.
+//!
+//! Both produce bit-identical traces, measurements, and error verdicts;
+//! [`Engine`] selects between them.
 
 use mamps_platform::arch::Architecture;
 use mamps_platform::interconnect::CommParams;
 use mamps_platform::tile::TileKind;
-use mamps_sdf::graph::{ActorId, ChannelId, SdfGraph};
+use mamps_sdf::graph::SdfGraph;
 use mamps_sdf::repetition::repetition_vector;
 
-use mamps_mapping::mapping::{Mapping, ScheduleEntry};
+use mamps_mapping::mapping::Mapping;
 
 use crate::exec_time::FiringTimes;
 use crate::fifo::{ChannelState, CrossChannelState, LocalChannelState, SelfEdgeState};
@@ -30,92 +39,81 @@ fn per_word_cycles(setup: u64, cycles_per_word: u64, n: u64) -> u64 {
     cycles_per_word + setup.div_ceil(n.max(1))
 }
 
-/// The simulated system.
-pub struct System<'a> {
-    graph: &'a SdfGraph,
-    mapping: &'a Mapping,
-    arch: &'a Architecture,
-    times: &'a dyn FiringTimes,
-    channels: Vec<ChannelState>,
-    workers: Vec<Worker>,
-    /// Extra cycles charged per firing (CA posting overhead), per actor.
-    fire_overhead: Vec<u64>,
-    /// Completed firings per actor.
-    firings: Vec<u64>,
-    /// Repetition count per actor (an iteration completes when every actor
-    /// `a` reached `q[a]` further firings).
-    q: Vec<u64>,
-    /// Iteration completion times.
-    iteration_times: Vec<u64>,
-    now: u64,
-    events: BinaryHeap<std::cmp::Reverse<(u64, usize)>>, // (time, channel idx)
-    /// Recorded operations (when tracing) and the event cap.
-    trace: Option<(Vec<TraceEvent>, usize)>,
+/// Execution engine selection for [`System`].
+///
+/// Both engines implement identical platform semantics and are required
+/// (by tests and by CI's `scripts/sim_equiv.sh`) to produce bit-identical
+/// traces, measurements, and error verdicts. `Event` is the fast default;
+/// `Lockstep` is the original cycle-scanning engine kept as the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Discrete-event kernel ([`crate::event`]): binary-heap event queue,
+    /// idle components sleep until woken. `O(log n)` per event.
+    #[default]
+    Event,
+    /// Lockstep reference engine ([`crate::reference`]): advances to the
+    /// next event time, then rescans every worker. `O(workers)` per
+    /// event instant.
+    Lockstep,
 }
 
-impl<'a> System<'a> {
-    /// Builds a system ready to run from cycle 0.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Build`] if the mapping and graph disagree (missing
-    /// schedules, channel allocation mismatches).
-    pub fn new(
-        graph: &'a SdfGraph,
-        mapping: &'a Mapping,
-        arch: &'a Architecture,
-        times: &'a dyn FiringTimes,
-    ) -> Result<System<'a>, SimError> {
-        let q = repetition_vector(graph).map_err(|e| SimError::Build(e.to_string()))?;
-        Self::build(graph, mapping, arch, times, q.entries().to_vec())
-    }
+impl std::str::FromStr for Engine {
+    type Err = String;
 
-    /// Like [`new`](Self::new) but with a caller-provided repetition
-    /// vector.
-    ///
-    /// This is the multi-application entry point: the union graph of
-    /// several applications sharing one platform is disconnected (the
-    /// applications exchange no tokens), so no single repetition vector
-    /// can be derived from the graph — the caller passes the members'
-    /// vectors concatenated (see `mamps_mapping::multi::SharedSystem::
-    /// combined_repetitions`). An "iteration" then completes when *every*
-    /// application has completed one of its own iterations, which is the
-    /// lockstep rate the shared static-order schedules guarantee.
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Build`] if `repetitions` does not cover every actor or
-    /// contains a zero, plus the mapping/graph mismatch errors of
-    /// [`new`](Self::new).
-    pub fn new_with_repetitions(
-        graph: &'a SdfGraph,
-        mapping: &'a Mapping,
-        arch: &'a Architecture,
-        times: &'a dyn FiringTimes,
-        repetitions: Vec<u64>,
-    ) -> Result<System<'a>, SimError> {
-        if repetitions.len() != graph.actor_count() {
-            return Err(SimError::Build(format!(
-                "repetition vector covers {} of {} actors",
-                repetitions.len(),
-                graph.actor_count()
-            )));
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "event" => Ok(Engine::Event),
+            "lockstep" | "reference" => Ok(Engine::Lockstep),
+            other => Err(format!(
+                "unknown simulator engine `{other}` (expected `event` or `lockstep`)"
+            )),
         }
-        if repetitions.contains(&0) {
-            return Err(SimError::Build(
-                "repetition vector contains a zero entry".into(),
-            ));
-        }
-        Self::build(graph, mapping, arch, times, repetitions)
     }
+}
 
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Event => "event",
+            Engine::Lockstep => "lockstep",
+        })
+    }
+}
+
+/// The engine-independent state of a simulated system: the (application,
+/// mapping, architecture) inputs plus every piece of mutable run state —
+/// channel FIFOs, workers, firing counters, the clock, and the optional
+/// trace buffer. Both engines operate on this exact structure, which is
+/// what makes their outputs comparable field by field.
+pub(crate) struct SimState<'a> {
+    pub(crate) graph: &'a SdfGraph,
+    pub(crate) mapping: &'a Mapping,
+    pub(crate) arch: &'a Architecture,
+    pub(crate) times: &'a dyn FiringTimes,
+    pub(crate) channels: Vec<ChannelState>,
+    pub(crate) workers: Vec<Worker>,
+    /// Extra cycles charged per firing (CA posting overhead), per actor.
+    pub(crate) fire_overhead: Vec<u64>,
+    /// Completed firings per actor.
+    pub(crate) firings: Vec<u64>,
+    /// Repetition count per actor (an iteration completes when every actor
+    /// `a` reached `q[a]` further firings).
+    pub(crate) q: Vec<u64>,
+    /// Iteration completion times.
+    pub(crate) iteration_times: Vec<u64>,
+    pub(crate) now: u64,
+    /// Recorded operations (when tracing) and the event cap.
+    pub(crate) trace: Option<(Vec<TraceEvent>, usize)>,
+}
+
+impl<'a> SimState<'a> {
     fn build(
         graph: &'a SdfGraph,
         mapping: &'a Mapping,
         arch: &'a Architecture,
         times: &'a dyn FiringTimes,
         repetitions: Vec<u64>,
-    ) -> Result<System<'a>, SimError> {
+    ) -> Result<SimState<'a>, SimError> {
         if mapping.channels.len() != graph.channel_count() {
             return Err(SimError::Build(format!(
                 "mapping has {} channel allocations for {} channels",
@@ -231,12 +229,12 @@ impl<'a> System<'a> {
             if let ChannelState::Cross(c) = st {
                 if c.offload_src {
                     workers.push(Worker::new(WorkerKind::EngineSend {
-                        channel: ChannelId(cid),
+                        channel: mamps_sdf::graph::ChannelId(cid),
                     }));
                 }
                 if c.offload_dst {
                     workers.push(Worker::new(WorkerKind::EngineRecv {
-                        channel: ChannelId(cid),
+                        channel: mamps_sdf::graph::ChannelId(cid),
                     }));
                 }
             }
@@ -262,7 +260,7 @@ impl<'a> System<'a> {
             }
         }
 
-        Ok(System {
+        Ok(SimState {
             graph,
             mapping,
             arch,
@@ -274,9 +272,123 @@ impl<'a> System<'a> {
             q: repetitions,
             iteration_times: Vec::new(),
             now: 0,
-            events: BinaryHeap::new(),
             trace: None,
         })
+    }
+
+    /// Records a completed operation of worker `w` into the trace buffer
+    /// (when tracing, honoring the event cap). Shared by both engines so
+    /// trace contents are identical by construction.
+    pub(crate) fn record_completion(&mut self, w: usize, op: Op) {
+        if let Some((events, cap)) = &mut self.trace {
+            if events.len() < *cap {
+                events.push(TraceEvent {
+                    worker: self.workers[w].kind,
+                    op,
+                    start: self.workers[w].op_started,
+                    end: self.now,
+                });
+            }
+        }
+    }
+
+    /// Assembles the final [`Measurement`] from the run state. Shared by
+    /// both engines so the field contents match exactly.
+    pub(crate) fn measurement(&mut self) -> Measurement {
+        Measurement::new(
+            std::mem::take(&mut self.iteration_times),
+            self.now,
+            self.firings.clone(),
+            self.workers
+                .iter()
+                .map(|w| (w.kind, w.busy_cycles))
+                .collect(),
+            self.arch.clock_mhz(),
+        )
+    }
+}
+
+/// The simulated system: engine-independent state plus the selected
+/// execution engine (see [`Engine`]; defaults to the event kernel).
+pub struct System<'a> {
+    st: SimState<'a>,
+    engine: Engine,
+}
+
+impl<'a> System<'a> {
+    /// Builds a system ready to run from cycle 0.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Build`] if the mapping and graph disagree (missing
+    /// schedules, channel allocation mismatches).
+    pub fn new(
+        graph: &'a SdfGraph,
+        mapping: &'a Mapping,
+        arch: &'a Architecture,
+        times: &'a dyn FiringTimes,
+    ) -> Result<System<'a>, SimError> {
+        let q = repetition_vector(graph).map_err(|e| SimError::Build(e.to_string()))?;
+        let st = SimState::build(graph, mapping, arch, times, q.entries().to_vec())?;
+        Ok(System {
+            st,
+            engine: Engine::default(),
+        })
+    }
+
+    /// Like [`new`](Self::new) but with a caller-provided repetition
+    /// vector.
+    ///
+    /// This is the multi-application entry point: the union graph of
+    /// several applications sharing one platform is disconnected (the
+    /// applications exchange no tokens), so no single repetition vector
+    /// can be derived from the graph — the caller passes the members'
+    /// vectors concatenated (see `mamps_mapping::multi::SharedSystem::
+    /// combined_repetitions`). An "iteration" then completes when *every*
+    /// application has completed one of its own iterations, which is the
+    /// lockstep rate the shared static-order schedules guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Build`] if `repetitions` does not cover every actor or
+    /// contains a zero, plus the mapping/graph mismatch errors of
+    /// [`new`](Self::new).
+    pub fn new_with_repetitions(
+        graph: &'a SdfGraph,
+        mapping: &'a Mapping,
+        arch: &'a Architecture,
+        times: &'a dyn FiringTimes,
+        repetitions: Vec<u64>,
+    ) -> Result<System<'a>, SimError> {
+        if repetitions.len() != graph.actor_count() {
+            return Err(SimError::Build(format!(
+                "repetition vector covers {} of {} actors",
+                repetitions.len(),
+                graph.actor_count()
+            )));
+        }
+        if repetitions.contains(&0) {
+            return Err(SimError::Build(
+                "repetition vector contains a zero entry".into(),
+            ));
+        }
+        let st = SimState::build(graph, mapping, arch, times, repetitions)?;
+        Ok(System {
+            st,
+            engine: Engine::default(),
+        })
+    }
+
+    /// Selects the execution engine (builder style).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> System<'a> {
+        self.engine = engine;
+        self
+    }
+
+    /// The selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Like [`run`](Self::run) but records up to `max_events` completed
@@ -291,15 +403,9 @@ impl<'a> System<'a> {
         max_cycles: u64,
         max_events: usize,
     ) -> Result<(Measurement, Vec<TraceEvent>), SimError> {
-        self.trace = Some((Vec::new(), max_events));
-        let mut events_out = Vec::new();
-        let result = {
-            let this = &mut self;
-            this.run_inner(iterations, max_cycles)
-        };
-        if let Some((ev, _)) = self.trace.take() {
-            events_out = ev;
-        }
+        self.st.trace = Some((Vec::new(), max_events));
+        let result = self.run_mut(iterations, max_cycles);
+        let events_out = self.st.trace.take().map(|(ev, _)| ev).unwrap_or_default();
         result.map(|m| (m, events_out))
     }
 
@@ -311,277 +417,13 @@ impl<'a> System<'a> {
     ///   pending before the target is reached.
     /// * [`SimError::CycleLimit`] if `max_cycles` elapses first.
     pub fn run(mut self, iterations: u64, max_cycles: u64) -> Result<Measurement, SimError> {
-        self.run_inner(iterations, max_cycles)
+        self.run_mut(iterations, max_cycles)
     }
 
-    fn run_inner(&mut self, iterations: u64, max_cycles: u64) -> Result<Measurement, SimError> {
-        while (self.iteration_times.len() as u64) < iterations {
-            // Fixpoint: start every worker that can start at `now`.
-            loop {
-                let mut progressed = false;
-                for w in 0..self.workers.len() {
-                    if self.workers[w].is_idle() && self.try_start(w) {
-                        progressed = true;
-                    }
-                }
-                if !progressed {
-                    break;
-                }
-            }
-            if (self.iteration_times.len() as u64) >= iterations {
-                break;
-            }
-            // Advance to the next event: worker completion or word delivery.
-            let next_worker = self
-                .workers
-                .iter()
-                .filter(|w| !w.is_idle())
-                .map(|w| w.busy_until)
-                .min();
-            let next_delivery = self.events.peek().map(|&std::cmp::Reverse((t, _))| t);
-            let next = match (next_worker, next_delivery) {
-                (Some(a), Some(b)) => a.min(b),
-                (Some(a), None) => a,
-                (None, Some(b)) => b,
-                (None, None) => {
-                    return Err(SimError::Deadlock(format!(
-                        "no progress at cycle {} after {} iterations",
-                        self.now,
-                        self.iteration_times.len()
-                    )));
-                }
-            };
-            if next > max_cycles {
-                return Err(SimError::CycleLimit(max_cycles));
-            }
-            self.now = next;
-            // Deliveries first (they can unblock completions at equal time
-            // either way; effects at the same instant are order-insensitive
-            // because all pools only grow here).
-            while let Some(&std::cmp::Reverse((t, cid))) = self.events.peek() {
-                if t != self.now {
-                    break;
-                }
-                self.events.pop();
-                if let ChannelState::Cross(c) = &mut self.channels[cid] {
-                    c.conn.credits += 1;
-                    c.conn.delivered += 1;
-                }
-            }
-            for w in 0..self.workers.len() {
-                if !self.workers[w].is_idle() && self.workers[w].busy_until == self.now {
-                    self.complete(w);
-                }
-            }
-        }
-        Ok(Measurement::new(
-            std::mem::take(&mut self.iteration_times),
-            self.now,
-            self.firings.clone(),
-            self.workers
-                .iter()
-                .map(|w| (w.kind, w.busy_cycles))
-                .collect(),
-            self.arch.clock_mhz(),
-        ))
-    }
-
-    /// Attempts to start the next operation of worker `w` at `self.now`.
-    fn try_start(&mut self, w: usize) -> bool {
-        match self.workers[w].kind {
-            WorkerKind::Pe { tile } => {
-                let round = &self.mapping.schedules[tile];
-                let pc = self.workers[w].pc;
-                let entry = round[pc];
-                match entry {
-                    ScheduleEntry::Fire { actor, .. } => self.try_fire(w, actor),
-                    ScheduleEntry::Send { channel, .. } => self.try_send_word(w, channel),
-                    ScheduleEntry::Receive { channel, .. } => self.try_recv_word(w, channel),
-                }
-            }
-            WorkerKind::EngineSend { channel } => self.try_send_word(w, channel),
-            WorkerKind::EngineRecv { channel } => self.try_recv_word(w, channel),
-            WorkerKind::Ip { actor } => self.try_fire(w, actor),
-        }
-    }
-
-    /// Firing admission: checks and consumes start-time resources.
-    fn try_fire(&mut self, w: usize, actor: ActorId) -> bool {
-        // Check every endpoint first (no partial consumption).
-        for &cid in self.graph.incoming(actor) {
-            let ok = match &self.channels[cid.0] {
-                ChannelState::SelfEdge(s) => s.tokens >= s.cons,
-                ChannelState::Local(l) => l.tokens >= l.cons,
-                ChannelState::Cross(c) => c.assembled >= c.cons,
-            };
-            if !ok {
-                return false;
-            }
-        }
-        for &cid in self.graph.outgoing(actor) {
-            let ok = match &self.channels[cid.0] {
-                ChannelState::SelfEdge(_) => true, // checked as incoming
-                ChannelState::Local(l) => l.space >= l.prod,
-                ChannelState::Cross(c) => c.src_space >= c.prod,
-            };
-            if !ok {
-                return false;
-            }
-        }
-        // Consume.
-        for &cid in self.graph.incoming(actor) {
-            match &mut self.channels[cid.0] {
-                ChannelState::SelfEdge(s) => s.tokens -= s.cons,
-                ChannelState::Local(l) => l.tokens -= l.cons,
-                ChannelState::Cross(c) => c.assembled -= c.cons,
-            }
-        }
-        for &cid in self.graph.outgoing(actor) {
-            match &mut self.channels[cid.0] {
-                ChannelState::SelfEdge(_) => {}
-                ChannelState::Local(l) => l.space -= l.prod,
-                ChannelState::Cross(c) => c.src_space -= c.prod,
-            }
-        }
-        let duration =
-            self.times.cycles(actor, self.firings[actor.0]) + self.fire_overhead[actor.0];
-        let worker = &mut self.workers[w];
-        worker.op = Some(Op::Fire { actor });
-        worker.op_started = self.now;
-        worker.busy_until = self.now + duration;
-        worker.busy_cycles += duration;
-        true
-    }
-
-    fn try_send_word(&mut self, w: usize, channel: ChannelId) -> bool {
-        let c = match &mut self.channels[channel.0] {
-            ChannelState::Cross(c) => c,
-            _ => return false,
-        };
-        if c.send_words == 0 || c.conn.credits == 0 {
-            return false;
-        }
-        c.send_words -= 1;
-        c.conn.credits -= 1;
-        let dur = c.ser_word;
-        let worker = &mut self.workers[w];
-        worker.op = Some(Op::SendWord { channel });
-        worker.op_started = self.now;
-        worker.busy_until = self.now + dur;
-        worker.busy_cycles += dur;
-        true
-    }
-
-    fn try_recv_word(&mut self, w: usize, channel: ChannelId) -> bool {
-        let c = match &mut self.channels[channel.0] {
-            ChannelState::Cross(c) => c,
-            _ => return false,
-        };
-        if c.conn.delivered == 0 || c.dst_word_space == 0 {
-            return false;
-        }
-        c.conn.delivered -= 1;
-        c.dst_word_space -= 1;
-        let dur = c.des_word;
-        let worker = &mut self.workers[w];
-        worker.op = Some(Op::RecvWord { channel });
-        worker.op_started = self.now;
-        worker.busy_until = self.now + dur;
-        worker.busy_cycles += dur;
-        true
-    }
-
-    /// Applies completion effects of worker `w` at `self.now`.
-    fn complete(&mut self, w: usize) {
-        let op = self.workers[w].op.take().expect("busy workers have ops");
-        if let Some((events, cap)) = &mut self.trace {
-            if events.len() < *cap {
-                events.push(TraceEvent {
-                    worker: self.workers[w].kind,
-                    op,
-                    start: self.workers[w].op_started,
-                    end: self.now,
-                });
-            }
-        }
-        match op {
-            Op::Fire { actor } => {
-                for &cid in self.graph.outgoing(actor) {
-                    match &mut self.channels[cid.0] {
-                        ChannelState::SelfEdge(s) => s.tokens += s.prod,
-                        ChannelState::Local(l) => l.tokens += l.prod,
-                        ChannelState::Cross(c) => c.send_words += c.prod * c.n_words,
-                    }
-                }
-                for &cid in self.graph.incoming(actor) {
-                    match &mut self.channels[cid.0] {
-                        ChannelState::SelfEdge(_) => {}
-                        ChannelState::Local(l) => l.space += l.cons,
-                        ChannelState::Cross(c) => c.dst_word_space += c.cons * c.n_words,
-                    }
-                }
-                self.firings[actor.0] += 1;
-                // An iteration completes when the slowest actor (relative to
-                // its repetition count) crosses the next multiple.
-                let completed = self
-                    .firings
-                    .iter()
-                    .zip(&self.q)
-                    .map(|(&f, &q)| f / q)
-                    .min()
-                    .unwrap_or(0);
-                while (self.iteration_times.len() as u64) < completed {
-                    self.iteration_times.push(self.now);
-                }
-            }
-            Op::SendWord { channel } => {
-                if let ChannelState::Cross(c) = &mut self.channels[channel.0] {
-                    let delivery = c.conn.push_word(self.now);
-                    self.events.push(std::cmp::Reverse((delivery, channel.0)));
-                    c.srel_progress += 1;
-                    if c.srel_progress == c.n_words {
-                        c.srel_progress = 0;
-                        c.src_space += 1;
-                    }
-                }
-            }
-            Op::RecvWord { channel } => {
-                if let ChannelState::Cross(c) = &mut self.channels[channel.0] {
-                    c.asm_progress += 1;
-                    if c.asm_progress == c.n_words {
-                        c.asm_progress = 0;
-                        c.assembled += 1;
-                    }
-                }
-            }
-        }
-        // Advance PE schedule position.
-        if let WorkerKind::Pe { tile } = self.workers[w].kind {
-            let round = &self.mapping.schedules[tile];
-            let entry = round[self.workers[w].pc];
-            let total_units = match entry {
-                ScheduleEntry::Fire { reps, .. } => reps,
-                ScheduleEntry::Send { channel, reps } => {
-                    let n = match &self.channels[channel.0] {
-                        ChannelState::Cross(c) => c.n_words,
-                        _ => 1,
-                    };
-                    reps * n
-                }
-                ScheduleEntry::Receive { channel, reps } => {
-                    let n = match &self.channels[channel.0] {
-                        ChannelState::Cross(c) => c.n_words,
-                        _ => 1,
-                    };
-                    reps * n
-                }
-            };
-            let worker = &mut self.workers[w];
-            worker.done_in_entry += 1;
-            if worker.done_in_entry >= total_units {
-                worker.done_in_entry = 0;
-                worker.pc = (worker.pc + 1) % round.len();
-            }
+    fn run_mut(&mut self, iterations: u64, max_cycles: u64) -> Result<Measurement, SimError> {
+        match self.engine {
+            Engine::Event => crate::event::run(&mut self.st, iterations, max_cycles),
+            Engine::Lockstep => crate::reference::run(&mut self.st, iterations, max_cycles),
         }
     }
 }
@@ -819,13 +661,79 @@ mod tests {
             Err(SimError::CycleLimit(5000))
         ));
     }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!("event".parse::<Engine>().unwrap(), Engine::Event);
+        assert_eq!("lockstep".parse::<Engine>().unwrap(), Engine::Lockstep);
+        assert_eq!("reference".parse::<Engine>().unwrap(), Engine::Lockstep);
+        assert!("cycle".parse::<Engine>().is_err());
+        assert_eq!(Engine::Event.to_string(), "event");
+        assert_eq!(Engine::Lockstep.to_string(), "lockstep");
+        assert_eq!(Engine::default(), Engine::Event);
+    }
+
+    /// Both engines must agree bit-for-bit: identical measurements (times,
+    /// firings, busy cycles), identical traces, and identical error
+    /// verdicts. This is the in-crate counterpart of the corpus-wide
+    /// `scripts/sim_equiv.sh` CI gate and the `engine_equiv` proptest.
+    #[test]
+    fn engines_agree_bit_for_bit() {
+        for (wcets, tok, tiles, noc) in [
+            (vec![30u64, 70], 4u64, 1usize, false),
+            (vec![100, 100], 64, 2, false),
+            (vec![60, 60, 60], 32, 3, true),
+            (vec![25, 90, 40], 200, 4, true),
+        ] {
+            let app = pipeline_app(&wcets, tok);
+            let ic = if noc {
+                Interconnect::noc_for_tiles(tiles)
+            } else {
+                Interconnect::fsl()
+            };
+            let arch = Architecture::homogeneous("x", tiles, ic).unwrap();
+            let mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+            let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+            let run = |engine| {
+                System::new(app.graph(), &mapped.mapping, &arch, &times)
+                    .unwrap()
+                    .with_engine(engine)
+                    .run_traced(60, 50_000_000, 10_000)
+                    .unwrap()
+            };
+            let (me, te) = run(Engine::Event);
+            let (ml, tl) = run(Engine::Lockstep);
+            assert_eq!(me, ml, "measurements diverge for {wcets:?}/{tok}/{tiles}");
+            assert_eq!(te, tl, "traces diverge for {wcets:?}/{tok}/{tiles}");
+        }
+    }
+
+    /// Error verdicts agree too: same variant, same message.
+    #[test]
+    fn engines_agree_on_errors() {
+        let app = pipeline_app(&[10, 10], 4);
+        let arch = Architecture::homogeneous("x", 1, Interconnect::fsl()).unwrap();
+        let mut mapped = map_application(&app, &arch, &MapOptions::default()).unwrap();
+        for c in &mut mapped.mapping.channels {
+            c.local_capacity = 0;
+        }
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let run = |engine| {
+            System::new(app.graph(), &mapped.mapping, &arch, &times)
+                .unwrap()
+                .with_engine(engine)
+                .run(10, 1_000_000)
+                .unwrap_err()
+        };
+        assert_eq!(run(Engine::Event), run(Engine::Lockstep));
+    }
 }
 
 #[cfg(test)]
 mod trace_tests {
     use super::*;
     use crate::exec_time::WcetTimes;
-    use crate::trace::render_gantt;
+    use crate::trace::{render_gantt, render_trace};
     use mamps_mapping::flow::{map_application, MapOptions};
     use mamps_platform::interconnect::Interconnect;
     use mamps_sdf::graph::SdfGraphBuilder;
@@ -859,5 +767,8 @@ mod trace_tests {
         assert!(events.iter().all(|e| e.end >= e.start));
         let gantt = render_gantt(&events, 1000, 64);
         assert!(gantt.contains("PE tile"));
+        let text = render_trace(&events);
+        assert_eq!(text.lines().count(), events.len());
+        assert!(text.contains("fire"));
     }
 }

@@ -130,6 +130,30 @@ pub fn render_gantt_labeled(
     out
 }
 
+/// Renders events as plain text, one line per completed operation in
+/// completion order: `start..end  worker  op`. Unlike the Gantt chart
+/// this loses no events to column resolution, which makes it the format
+/// of choice for byte-for-byte engine comparison (`scripts/sim_equiv.sh`
+/// diffs it across the event and lockstep engines).
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let worker = match e.worker {
+            WorkerKind::Pe { tile } => format!("PE tile{tile}"),
+            WorkerKind::EngineSend { channel } => format!("CA snd c{}", channel.0),
+            WorkerKind::EngineRecv { channel } => format!("CA rcv c{}", channel.0),
+            WorkerKind::Ip { actor } => format!("IP a{}", actor.0),
+        };
+        let op = match e.op {
+            Op::Fire { actor } => format!("fire a{}", actor.0),
+            Op::SendWord { channel } => format!("send c{}", channel.0),
+            Op::RecvWord { channel } => format!("recv c{}", channel.0),
+        };
+        let _ = writeln!(out, "{:>10}..{:<10} {worker:<12} {op}", e.start, e.end);
+    }
+    out
+}
+
 /// Errors of the simulated platform.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -154,7 +178,10 @@ impl fmt::Display for SimError {
 impl Error for SimError {}
 
 /// The outcome of a simulation run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq`/`Eq` so engine-equivalence tests can assert the
+/// event kernel and the lockstep reference agree on every field exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Measurement {
     /// Completion time (cycle) of each graph iteration.
     pub iteration_times: Vec<u64>,

@@ -1,0 +1,181 @@
+//! Engine equivalence as an executable property.
+//!
+//! The discrete-event kernel (`sim::event`) must be *bit-identical* to the
+//! lockstep reference engine (`sim::reference`) — not statistically close:
+//! same iteration completion times, same firing counts, same per-worker
+//! busy cycles, same trace events in the same order, same rendered Gantt
+//! and trace text, and the same error verdict when the mapping is broken.
+//!
+//! Random SDF graphs × random platforms (FSL and NoC, 1–5 tiles,
+//! multirate channels, varied token sizes) are mapped by the full flow and
+//! run under both engines; multi-application union graphs go through
+//! `map_use_case` and `new_with_repetitions` the same way.
+
+use proptest::prelude::*;
+
+use mamps_mapping::flow::{map_application, MapOptions};
+use mamps_mapping::multi::{map_use_case, UseCase};
+use mamps_platform::arch::Architecture;
+use mamps_platform::interconnect::Interconnect;
+use mamps_sdf::graph::SdfGraphBuilder;
+use mamps_sdf::model::{ApplicationModel, HomogeneousModelBuilder};
+use mamps_sim::{render_gantt, render_trace, Engine, System, WcetTimes};
+
+fn pipeline_app(name: &str, wcets: &[u64], token_size: u64, rates: &[u64]) -> ApplicationModel {
+    let n = wcets.len();
+    let mut b = SdfGraphBuilder::new(name);
+    let ids: Vec<_> = (0..n)
+        .map(|i| b.add_actor(format!("{name}{i}"), 1))
+        .collect();
+    for i in 0..n - 1 {
+        // Alternate multirate patterns derived from `rates`.
+        let p = rates[i % rates.len()];
+        b.add_channel_full(
+            format!("{name}e{i}"),
+            ids[i],
+            p,
+            ids[i + 1],
+            p,
+            0,
+            token_size,
+        );
+    }
+    let g = b.build().unwrap();
+    let mut mb = HomogeneousModelBuilder::new("microblaze");
+    for (i, &w) in wcets.iter().enumerate() {
+        mb.actor(format!("{name}{i}"), w.max(1), 4096, 512);
+    }
+    mb.finish(g, None).unwrap()
+}
+
+fn strategy() -> impl Strategy<Value = (Vec<u64>, u64, usize, bool, Vec<u64>)> {
+    (
+        proptest::collection::vec(5u64..300, 2..5),
+        prop_oneof![Just(4u64), Just(16), Just(64), Just(200)],
+        1usize..5,
+        any::<bool>(),
+        proptest::collection::vec(1u64..4, 2),
+    )
+}
+
+/// Runs both engines over the same system and asserts exact agreement on
+/// every observable: measurement fields, trace events, rendered output.
+fn assert_engines_agree(
+    app_graph: &mamps_sdf::graph::SdfGraph,
+    mapping: &mamps_mapping::mapping::Mapping,
+    arch: &Architecture,
+    repetitions: Option<Vec<u64>>,
+    iterations: u64,
+) -> Result<(), TestCaseError> {
+    let times = WcetTimes::new(mapping.binding.wcet_of.clone());
+    let build = |engine| {
+        let sys = match &repetitions {
+            Some(q) => {
+                System::new_with_repetitions(app_graph, mapping, arch, &times, q.clone()).unwrap()
+            }
+            None => System::new(app_graph, mapping, arch, &times).unwrap(),
+        };
+        sys.with_engine(engine)
+            .run_traced(iterations, 500_000_000, 20_000)
+    };
+    let event = build(Engine::Event);
+    let lockstep = build(Engine::Lockstep);
+    match (event, lockstep) {
+        (Ok((me, te)), Ok((ml, tl))) => {
+            prop_assert_eq!(&me, &ml, "measurements diverge");
+            prop_assert_eq!(&te, &tl, "traces diverge");
+            let until = me.iteration_times.last().copied().unwrap_or(1_000);
+            prop_assert_eq!(
+                render_gantt(&te, until, 72),
+                render_gantt(&tl, until, 72),
+                "gantt output diverges"
+            );
+            prop_assert_eq!(render_trace(&te), render_trace(&tl), "trace text diverges");
+        }
+        (e, l) => {
+            // Same verdict, same message — errors must agree too.
+            prop_assert_eq!(e.map(|(m, _)| m), l.map(|(m, _)| m));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_random_single_app(
+        (wcets, tok, tiles, noc, rates) in strategy()
+    ) {
+        let app = pipeline_app("p", &wcets, tok, &rates);
+        let ic = if noc {
+            Interconnect::noc_for_tiles(tiles)
+        } else {
+            Interconnect::fsl()
+        };
+        let arch = Architecture::homogeneous("x", tiles, ic).unwrap();
+        let mapped = match map_application(&app, &arch, &MapOptions::default()) {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // infeasible random configuration
+        };
+        assert_engines_agree(app.graph(), &mapped.mapping, &arch, None, 80)?;
+    }
+
+    #[test]
+    fn engines_agree_on_broken_mappings(
+        (wcets, tok, tiles, noc, rates) in strategy(),
+        starve_dst in any::<bool>(),
+    ) {
+        let app = pipeline_app("p", &wcets, tok, &rates);
+        let ic = if noc {
+            Interconnect::noc_for_tiles(tiles)
+        } else {
+            Interconnect::fsl()
+        };
+        let arch = Architecture::homogeneous("x", tiles, ic).unwrap();
+        let mut mapped = match map_application(&app, &arch, &MapOptions::default()) {
+            Ok(m) => m,
+            Err(_) => return Ok(()),
+        };
+        // Break the allocation: starved receivers or zero local capacity
+        // produce deadlock/cycle-limit verdicts that must match exactly.
+        for c in &mut mapped.mapping.channels {
+            if starve_dst {
+                c.alpha_dst = 0;
+            } else {
+                c.local_capacity = 0;
+            }
+        }
+        let times = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let run = |engine| {
+            System::new(app.graph(), &mapped.mapping, &arch, &times)
+                .unwrap()
+                .with_engine(engine)
+                .run(20, 200_000)
+        };
+        prop_assert_eq!(run(Engine::Event), run(Engine::Lockstep));
+    }
+
+    #[test]
+    fn engines_agree_on_multi_app_unions(
+        wa in proptest::collection::vec(20u64..200, 2..4),
+        wb in proptest::collection::vec(20u64..200, 2..4),
+        tok in prop_oneof![Just(8u64), Just(32), Just(128)],
+        tiles in 2usize..4,
+    ) {
+        let ua = pipeline_app("u", &wa, tok, &[1]);
+        let ub = pipeline_app("v", &wb, tok, &[1]);
+        let uc = UseCase::new(vec![ua, ub]).unwrap();
+        let arch = Architecture::homogeneous("x", tiles, Interconnect::fsl()).unwrap();
+        let r = map_use_case(&uc, &arch, &MapOptions::default());
+        for group in &r.groups {
+            assert_engines_agree(
+                &group.graph,
+                &group.mapping,
+                &arch,
+                Some(group.combined_repetitions()),
+                60,
+            )?;
+        }
+    }
+}

@@ -7,8 +7,9 @@
 #   scripts/bench_json.sh                    # state_space, full measurement
 #   scripts/bench_json.sh binders            # strategy comparison bench
 #   scripts/bench_json.sh --quick [bench]    # CI-scale measurement, written
-#                                            # to a temp file and printed
-#                                            # (not checked in)
+#                                            # to target/bench-json/ and
+#                                            # printed (uploaded as a CI
+#                                            # artifact, not checked in)
 #
 # The bench harness appends one JSON line per benchmark to the file named
 # by MAMPS_BENCH_JSON; this script wraps those lines into a JSON document.
@@ -34,7 +35,8 @@ trap 'rm -f "$lines"' EXIT
 
 if [ "$QUICK" = 1 ]; then
   export MAMPS_BENCH_QUICK=1
-  out=$(mktemp -t "BENCH_${BENCH}.XXXXXX.json")
+  mkdir -p target/bench-json
+  out="target/bench-json/BENCH_${BENCH}.quick.json"
 else
   out="BENCH_${BENCH}.json"
 fi

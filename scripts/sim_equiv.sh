@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Simulator-equivalence gate: the discrete-event kernel (--engine event)
+# and the lockstep reference oracle (--engine lockstep) must produce
+# byte-for-byte identical output — guarantee verdicts, trace text, and
+# Gantt charts — over every checked-in example pair, single-app and
+# multi-app. Run by CI's "Simulator equivalence" step and by smoke.sh:
+#
+#   cargo build --release && scripts/sim_equiv.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+APP=examples/data/mjpeg_small_app.xml
+APP2=examples/data/pipeline_small_app.xml
+APP3=examples/data/infeasible_app.xml
+ARCH=examples/data/fsl_3tile_arch.xml
+BIN=${MAMPS_BIN:-target/release/mamps}
+
+fail() { echo "sim_equiv: FAIL: $*" >&2; exit 1; }
+
+[ -x "$BIN" ] || fail "$BIN not built (run cargo build --release first)"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Runs the same command under both engines and byte-diffs the output
+# (stdout and stderr combined, so error verdicts are compared too).
+check() {
+  local label=$1; shift
+  echo "== $label"
+  "$BIN" "$@" --engine event >"$tmp/event.txt" 2>&1 || true
+  "$BIN" "$@" --engine lockstep >"$tmp/lockstep.txt" 2>&1 || true
+  diff -u "$tmp/event.txt" "$tmp/lockstep.txt" \
+    || fail "$label: engines diverge (diff above)"
+  [ -s "$tmp/event.txt" ] || fail "$label: produced no output"
+}
+
+check "simulate mjpeg (verdict + trace + gantt)" \
+  simulate "$APP" "$ARCH" 50 --trace 40 --gantt 72
+check "simulate pipeline (verdict + trace + gantt)" \
+  simulate "$APP2" "$ARCH" 50 --trace 40 --gantt 72
+check "map-multi 3-app union (verdicts + gantt)" \
+  map-multi "$APP" "$APP2" "$APP3" "$ARCH" --iters 60 --gantt 72
+
+echo "sim_equiv: OK"

@@ -86,4 +86,7 @@ grep -qE '\[pipeline\]' <<<"$out" || fail "gantt rows are not attributed to pipe
 echo "== sharded dse (mamps dse --shard + dse-merge vs unsharded)"
 MAMPS_BIN="$BIN" scripts/shard_dse.sh || fail "sharded dse diverged from the unsharded report"
 
+echo "== simulator equivalence (event vs lockstep, byte-for-byte)"
+MAMPS_BIN="$BIN" scripts/sim_equiv.sh || fail "simulator engines diverged"
+
 echo "smoke: OK"

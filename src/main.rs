@@ -6,14 +6,23 @@
 //! mamps analyze   <app.xml>                       # consistency + unbounded throughput
 //! mamps map       <app.xml> <arch.xml> [out.xml] [--binder <name>]
 //! mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N]
+//!                 [--engine event|lockstep]
 //! mamps generate  <app.xml> <arch.xml> <dir>      # full project generation
 //! mamps simulate  <app.xml> <arch.xml> [iters]    # flow + WCET platform run
+//!                 [--engine event|lockstep] [--gantt COLS] [--trace N]
 //! mamps dse       <app.xml> <max_tiles> [--jobs N] [--binders a,b,c]
 //!                 [--shard i/n --out points.jsonl]
 //! mamps dse       <max_tiles> --apps a.xml,b.xml [--jobs N] [--binders ...]
 //!                 [--shard i/n --out points.jsonl]
 //! mamps dse-merge <points.jsonl>...
 //! ```
+//!
+//! `--engine` selects the simulator kernel: `event` (default, discrete-
+//! event) or `lockstep` (the reference oracle). Both are bit-identical by
+//! contract — `scripts/sim_equiv.sh` diffs their output byte for byte over
+//! the whole example corpus; the flag exists for that cross-check and for
+//! perf comparison. `--trace N` prints the first `N` completed operations
+//! in a diff-friendly text format.
 //!
 //! `map-multi` admits several applications one at a time onto one shared
 //! platform (each keeping its own throughput guarantee), validates every
@@ -52,7 +61,7 @@ use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
+        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
         strategy::names().join(", ")
     );
     ExitCode::from(2)
@@ -182,7 +191,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         ("map-multi", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["binder", "iters", "gantt"])?;
+            let (pos, flags) = split_flags(&args[1..], &["binder", "iters", "gantt", "engine"])?;
             if pos.len() < 2 {
                 return Ok(usage());
             }
@@ -200,6 +209,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     "binder" => opts.map.bind.strategy = resolve_binder(value)?,
                     "iters" => iters = value.parse()?,
                     "gantt" => gantt_cols = Some(value.parse()?),
+                    "engine" => opts.sim_engine = value.parse::<mamps::sim::Engine>()?,
                     _ => unreachable!("split_flags rejects unknown flags"),
                 }
             }
@@ -257,14 +267,55 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             );
             Ok(ExitCode::SUCCESS)
         }
-        ("simulate", 3) | ("simulate", 4) => {
-            let app = load_app(&args[1])?;
-            let arch = load_arch(&args[2])?;
-            let iters: u64 = args.get(3).map(|s| s.parse()).transpose()?.unwrap_or(200);
-            let flow = run_flow_with_arch(&app, arch, &FlowOptions::default())?;
+        ("simulate", _) => {
+            let (pos, flags) = split_flags(&args[1..], &["engine", "gantt", "trace"])?;
+            if pos.len() < 2 || pos.len() > 3 {
+                return Ok(usage());
+            }
+            let app = load_app(&pos[0])?;
+            let arch = load_arch(&pos[1])?;
+            let iters: u64 = pos.get(2).map(|s| s.parse()).transpose()?.unwrap_or(200);
+            let mut opts = FlowOptions::default();
+            let mut gantt_cols: Option<usize> = None;
+            let mut trace_events: Option<usize> = None;
+            for (name, value) in &flags {
+                match name.as_str() {
+                    "engine" => opts.sim_engine = value.parse::<mamps::sim::Engine>()?,
+                    "gantt" => gantt_cols = Some(value.parse()?),
+                    "trace" => trace_events = Some(value.parse()?),
+                    _ => unreachable!("split_flags rejects unknown flags"),
+                }
+            }
+            let flow = run_flow_with_arch(&app, arch, &opts)?;
             let times = WcetTimes::new(flow.mapped.mapping.binding.wcet_of.clone());
-            let system = System::new(app.graph(), &flow.mapped.mapping, &flow.arch, &times)?;
-            let m = system.run(iters, u64::MAX / 4)?;
+            let system = System::new(app.graph(), &flow.mapped.mapping, &flow.arch, &times)?
+                .with_engine(opts.sim_engine);
+            let m = if gantt_cols.is_some() || trace_events.is_some() {
+                let cap = trace_events.unwrap_or(0).max(100_000);
+                let (m, events) = system.run_traced(iters, u64::MAX / 4, cap)?;
+                if let Some(n) = trace_events {
+                    print!(
+                        "{}",
+                        mamps::sim::render_trace(&events[..events.len().min(n)])
+                    );
+                }
+                if let Some(cols) = gantt_cols {
+                    // Show the first few iterations, like map-multi --gantt.
+                    let until = m
+                        .iteration_times
+                        .get(3)
+                        .or(m.iteration_times.last())
+                        .copied()
+                        .unwrap_or(m.total_cycles);
+                    print!(
+                        "{}",
+                        mamps::sim::render_gantt(&events, until, cols.clamp(16, 512))
+                    );
+                }
+                m
+            } else {
+                system.run(iters, u64::MAX / 4)?
+            };
             let rep = GuaranteeReport::new(flow.guaranteed_throughput(), m.steady_throughput());
             println!(
                 "bound {:.6e}, measured {:.6e} iterations/cycle (margin {:.3}x): guarantee {}",
