@@ -1,0 +1,232 @@
+//! On-disk layer of the global analysis cache: warm sweeps across
+//! processes and shards.
+//!
+//! A [`GlobalAnalysisCache`]
+//! memoizes throughput analyses within one process. This module persists
+//! it under a directory (`mamps dse --cache-dir DIR`) so the next run —
+//! the same process re-invoked, or the *other shards* of a split sweep —
+//! starts warm:
+//!
+//! * **Format.** One JSON object per line
+//!   ([`CacheEntry`], canonical bytes),
+//!   seq-free: lines are keyed by the entry's graph fingerprint and
+//!   options, so files can be concatenated, truncated or partially
+//!   written without any ordering contract. Entries are exported sorted
+//!   by key, so equal caches produce identical files.
+//! * **Naming.** Each run writes `analysis-cache-<index>-of-<count>.jsonl`
+//!   for its own [`ShardSpec`] — concurrent shard processes sharing one
+//!   `--cache-dir` never write the same file — and loads *every*
+//!   `*.jsonl` in the directory on startup, whichever shard produced it.
+//! * **Robustness.** The cache is advisory: a line that fails to parse
+//!   (torn tail of a killed run, foreign file) is skipped and counted,
+//!   never an error — the worst case is re-analysing a design point.
+//!   Files are written to a temporary name and renamed into place, so a
+//!   reader never observes a half-written cache file.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use mamps_sdf::cache::{CacheEntry, GlobalAnalysisCache};
+use serde::Serialize;
+
+use crate::dse::shard::ShardSpec;
+
+/// What loading a cache directory found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheDirLoad {
+    /// `*.jsonl` files read.
+    pub files: usize,
+    /// Entries imported into the in-memory cache (first occurrence of
+    /// each key wins; later duplicates are not counted).
+    pub imported: usize,
+    /// Lines skipped because they did not parse as a cache entry.
+    pub skipped_lines: usize,
+}
+
+impl std::fmt::Display for CacheDirLoad {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} entries from {} file{}",
+            self.imported,
+            self.files,
+            if self.files == 1 { "" } else { "s" }
+        )?;
+        if self.skipped_lines > 0 {
+            write!(f, " ({} unparseable lines skipped)", self.skipped_lines)?;
+        }
+        Ok(())
+    }
+}
+
+/// Loads every `*.jsonl` file of `dir` into `cache`. A missing directory
+/// is an empty cache, not an error (the run will create it on persist).
+/// Files are visited in name order, so which duplicate of a key wins is
+/// deterministic.
+///
+/// # Errors
+///
+/// Only real I/O errors (unreadable directory or file); parse failures
+/// are skipped and counted in [`CacheDirLoad::skipped_lines`].
+pub fn load_cache_dir(cache: &GlobalAnalysisCache, dir: &Path) -> io::Result<CacheDirLoad> {
+    let mut load = CacheDirLoad::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(load),
+        Err(e) => return Err(e),
+    };
+    let mut files: Vec<PathBuf> = entries
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let mut parsed: Vec<CacheEntry> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match serde::json::from_str::<CacheEntry>(line) {
+                Ok(e) => parsed.push(e),
+                Err(_) => load.skipped_lines += 1,
+            }
+        }
+        load.imported += cache.import(parsed);
+        load.files += 1;
+    }
+    Ok(load)
+}
+
+/// The cache file a run of shard `spec` owns inside `dir`.
+pub fn cache_file_name(spec: ShardSpec) -> String {
+    format!("analysis-cache-{}-of-{}.jsonl", spec.index, spec.count)
+}
+
+/// Persists `cache` to its shard-owned file in `dir` (creating the
+/// directory if needed) and returns the written path. The file is
+/// replaced atomically (write to a temporary name, then rename), so
+/// concurrent loaders see either the old or the new cache, never a torn
+/// one.
+///
+/// # Errors
+///
+/// I/O errors creating the directory or writing the file.
+pub fn persist_cache(
+    cache: &GlobalAnalysisCache,
+    dir: &Path,
+    spec: ShardSpec,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let name = cache_file_name(spec);
+    let mut out = String::new();
+    for entry in cache.export() {
+        serde::json::emit(&entry.to_value(), &mut out);
+        out.push('\n');
+    }
+    let tmp = dir.join(format!(".{name}.tmp"));
+    let path = dir.join(name);
+    fs::write(&tmp, out)?;
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamps_sdf::graph::SdfGraphBuilder;
+    use mamps_sdf::state_space::AnalysisOptions;
+
+    fn populated_cache() -> GlobalAnalysisCache {
+        let cache = GlobalAnalysisCache::new();
+        for n in 2..6u64 {
+            let mut b = SdfGraphBuilder::new("g");
+            let a = b.add_actor("a", n);
+            let c = b.add_actor("b", 1);
+            b.add_channel_with_tokens("e", a, 1, c, 1, 2);
+            b.add_channel_with_tokens("r", c, 1, a, 1, 2);
+            let g = b.build().unwrap();
+            cache
+                .throughput(&g, &AnalysisOptions::default())
+                .expect("bounded two-actor ring analyses");
+        }
+        cache
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mamps-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persist_then_load_round_trips() {
+        let dir = tempdir("roundtrip");
+        let cache = populated_cache();
+        let path = persist_cache(&cache, &dir, ShardSpec::full()).unwrap();
+        assert!(path.ends_with("analysis-cache-0-of-1.jsonl"));
+
+        let warm = GlobalAnalysisCache::new();
+        let load = load_cache_dir(&warm, &dir).unwrap();
+        assert_eq!(load.files, 1);
+        assert_eq!(load.imported, cache.len());
+        assert_eq!(load.skipped_lines, 0);
+        assert_eq!(warm.export(), cache.export());
+
+        // Persisting the re-loaded cache reproduces identical bytes.
+        let again = persist_cache(&warm, &dir, ShardSpec::full()).unwrap();
+        assert_eq!(
+            fs::read_to_string(&again).unwrap(),
+            fs::read_to_string(&path).unwrap()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_cache() {
+        let warm = GlobalAnalysisCache::new();
+        let load = load_cache_dir(&warm, Path::new("/nonexistent/mamps-cache")).unwrap();
+        assert_eq!(load, CacheDirLoad::default());
+        assert!(warm.is_empty());
+    }
+
+    #[test]
+    fn unparseable_lines_are_skipped_not_fatal() {
+        let dir = tempdir("torn");
+        let cache = populated_cache();
+        let path = persist_cache(&cache, &dir, ShardSpec::new(1, 4).unwrap()).unwrap();
+        assert!(path.ends_with("analysis-cache-1-of-4.jsonl"));
+        // Tear the last line mid-record and append garbage, as a killed
+        // writer (without the atomic rename) might have.
+        let text = fs::read_to_string(&path).unwrap();
+        let torn = format!("{}\nnot json\n", &text[..text.len() - 9]);
+        fs::write(&path, torn).unwrap();
+
+        let warm = GlobalAnalysisCache::new();
+        let load = load_cache_dir(&warm, &dir).unwrap();
+        assert_eq!(load.skipped_lines, 2);
+        assert_eq!(load.imported, cache.len() - 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_files_do_not_collide_and_all_load() {
+        let dir = tempdir("shards");
+        let cache = populated_cache();
+        let a = persist_cache(&cache, &dir, ShardSpec::new(0, 2).unwrap()).unwrap();
+        let b = persist_cache(&cache, &dir, ShardSpec::new(1, 2).unwrap()).unwrap();
+        assert_ne!(a, b);
+        let warm = GlobalAnalysisCache::new();
+        let load = load_cache_dir(&warm, &dir).unwrap();
+        assert_eq!(load.files, 2);
+        // Same entries twice: the duplicates import as no-ops.
+        assert_eq!(load.imported, cache.len());
+        assert_eq!(warm.len(), cache.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

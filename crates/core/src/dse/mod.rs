@@ -65,6 +65,7 @@
 //! }
 //! ```
 
+pub mod cache;
 pub mod shard;
 
 use mamps_mapping::StrategyHandle;

@@ -36,7 +36,7 @@ use crate::dse::{
     SweepConfig, UseCaseDseReport, UseCasePoint,
 };
 use crate::flow::FlowOptions;
-use crate::parallel::parallel_map;
+use crate::parallel::dynamic_map;
 
 /// Which slice of a sweep this process evaluates: shard `index` of
 /// `count`. The full, unsharded sweep is shard 0 of 1
@@ -240,6 +240,42 @@ impl DseShard {
             out.push('\n');
         }
         out
+    }
+
+    /// Parses a shard back from JSON lines, tolerating a torn final line.
+    ///
+    /// A sweep killed mid-write leaves its shard file with a truncated
+    /// last record; everything before it is intact and worth resuming
+    /// from. This loader drops a final line that fails to parse (returning
+    /// `true` alongside the shard) but still rejects corruption anywhere
+    /// earlier — a bad line *followed by* good ones is not a crash
+    /// artefact.
+    ///
+    /// # Errors
+    ///
+    /// As [`DseShard::from_jsonl`], except a parse error on the final
+    /// non-empty line.
+    pub fn from_jsonl_lossy(text: &str) -> Result<(DseShard, bool), ShardFileError> {
+        match DseShard::from_jsonl(text) {
+            Ok(s) => Ok((s, false)),
+            Err(ShardFileError::Parse { line, .. })
+                if Some(line)
+                    == text
+                        .lines()
+                        .enumerate()
+                        .filter(|(_, l)| !l.trim().is_empty())
+                        .map(|(i, _)| i + 1)
+                        .last() =>
+            {
+                let intact: String = text
+                    .lines()
+                    .take(line - 1)
+                    .flat_map(|l| [l, "\n"])
+                    .collect();
+                DseShard::from_jsonl(&intact).map(|s| (s, true))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Parses a shard back from JSON lines.
@@ -586,41 +622,141 @@ fn owned_configs(configs: Vec<SweepConfig>, spec: ShardSpec) -> Vec<(u64, SweepC
         .collect()
 }
 
+/// Errors seeding a sweep from partial shard files (`mamps dse --resume`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResumeError {
+    /// A resume file belongs to a different sweep than the one being run:
+    /// its mode, [`SweepSignature`] or design-point count disagrees.
+    SweepMismatch {
+        /// Rendered identity of the sweep being run.
+        expected: String,
+        /// Rendered identity of the disagreeing resume file.
+        found: String,
+    },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::SweepMismatch { expected, found } => write!(
+                f,
+                "resume file comes from a different sweep:\n  running: {expected}\n  \
+                 resume:  {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// Collects the already-evaluated outcomes a resumed sweep can reuse:
+/// every record of `resume` whose seq the current shard owns. The resume
+/// shards' own shard specs are deliberately *not* matched against the
+/// current one — resuming a `0/1` full sweep from the partials of a
+/// crashed 4-way sharded run (or vice versa) is valid, because records
+/// carry their canonical seq and outcomes are deterministic.
+fn seed_outcomes(
+    expected: &ShardHeader,
+    resume: &[DseShard],
+) -> Result<std::collections::BTreeMap<u64, ShardOutcome>, ResumeError> {
+    let mut seeded = std::collections::BTreeMap::new();
+    for s in resume {
+        let h = &s.header;
+        if h.mode != expected.mode
+            || h.signature != expected.signature
+            || h.total_configs != expected.total_configs
+        {
+            return Err(ResumeError::SweepMismatch {
+                expected: header_identity(expected),
+                found: header_identity(h),
+            });
+        }
+        for r in &s.records {
+            if expected.shard.owns(r.seq) {
+                seeded.insert(r.seq, r.outcome.clone());
+            }
+        }
+    }
+    Ok(seeded)
+}
+
+/// Merges seeded outcomes with freshly evaluated records back into
+/// canonical seq order.
+fn merge_seeded(
+    mut seeded: std::collections::BTreeMap<u64, ShardOutcome>,
+    fresh: Vec<ShardRecord>,
+) -> Vec<ShardRecord> {
+    let mut records = fresh;
+    records.extend(
+        std::mem::take(&mut seeded)
+            .into_iter()
+            .map(|(seq, outcome)| ShardRecord { seq, outcome }),
+    );
+    records.sort_by_key(|r| r.seq);
+    records
+}
+
 /// Evaluates the single-application design points owned by
 /// [`FlowOptions::shard`] (the whole sweep when unset). Points are
-/// evaluated concurrently when `opts.jobs > 1`, with identical results.
+/// evaluated concurrently when `opts.jobs > 1` — scheduled dynamically by
+/// [`dynamic_map`], since design-point cost is heavily skewed — with
+/// results identical to a sequential run.
 pub fn explore_shard(
     app: &ApplicationModel,
     tile_counts: &[usize],
     include_noc: bool,
     opts: &FlowOptions,
 ) -> DseShard {
+    explore_shard_with_resume(app, tile_counts, include_noc, opts, &[])
+        .expect("an empty resume set cannot mismatch")
+}
+
+/// [`explore_shard`], seeded with the records of partial shard files from
+/// a previous (crashed or killed) run of the *same* sweep: seeded design
+/// points are not re-evaluated, so a resumed sweep finishes the remaining
+/// work only. The outcomes are deterministic, so the resulting shard — and
+/// any report merged from it — is identical to a cold run's.
+///
+/// # Errors
+///
+/// [`ResumeError`] when a resume shard belongs to a different sweep.
+pub fn explore_shard_with_resume(
+    app: &ApplicationModel,
+    tile_counts: &[usize],
+    include_noc: bool,
+    opts: &FlowOptions,
+    resume: &[DseShard],
+) -> Result<DseShard, ResumeError> {
     let strategies = sweep_strategies(opts);
     let configs = sweep_configs(&strategies, tile_counts, include_noc);
     let spec = opts.shard.unwrap_or_else(ShardSpec::full);
-    let total_configs = configs.len() as u64;
-    let owned = owned_configs(configs, spec);
-    let records = parallel_map(opts.jobs, &owned, |_, (seq, config)| ShardRecord {
+    let header = ShardHeader {
+        mode: SweepMode::Binders,
+        shard: spec,
+        total_configs: configs.len() as u64,
+        signature: SweepSignature {
+            apps: vec![app.graph().name().to_string()],
+            tile_counts: tile_counts.to_vec(),
+            include_noc,
+            binders: strategies.iter().map(|s| s.name().to_string()).collect(),
+        },
+    };
+    let seeded = seed_outcomes(&header, resume)?;
+    let todo: Vec<(u64, SweepConfig)> = owned_configs(configs, spec)
+        .into_iter()
+        .filter(|(seq, _)| !seeded.contains_key(seq))
+        .collect();
+    let fresh = dynamic_map(opts.jobs, &todo, |_, (seq, config)| ShardRecord {
         seq: *seq,
         outcome: match evaluate_dse_config(app, config, opts) {
             Ok(p) => ShardOutcome::Point(p),
             Err(s) => ShardOutcome::Skipped(s),
         },
     });
-    DseShard {
-        header: ShardHeader {
-            mode: SweepMode::Binders,
-            shard: spec,
-            total_configs,
-            signature: SweepSignature {
-                apps: vec![app.graph().name().to_string()],
-                tile_counts: tile_counts.to_vec(),
-                include_noc,
-                binders: strategies.iter().map(|s| s.name().to_string()).collect(),
-            },
-        },
-        records,
-    }
+    Ok(DseShard {
+        header,
+        records: merge_seeded(seeded, fresh),
+    })
 }
 
 /// Evaluates the use-case design points owned by [`FlowOptions::shard`]
@@ -631,30 +767,50 @@ pub fn explore_use_case_shard(
     include_noc: bool,
     opts: &FlowOptions,
 ) -> DseShard {
+    explore_use_case_shard_with_resume(apps, tile_counts, include_noc, opts, &[])
+        .expect("an empty resume set cannot mismatch")
+}
+
+/// [`explore_use_case_shard`], seeded like [`explore_shard_with_resume`].
+///
+/// # Errors
+///
+/// [`ResumeError`] when a resume shard belongs to a different sweep.
+pub fn explore_use_case_shard_with_resume(
+    apps: &[ApplicationModel],
+    tile_counts: &[usize],
+    include_noc: bool,
+    opts: &FlowOptions,
+    resume: &[DseShard],
+) -> Result<DseShard, ResumeError> {
     let strategies = sweep_strategies(opts);
     let configs = sweep_configs(&strategies, tile_counts, include_noc);
     let spec = opts.shard.unwrap_or_else(ShardSpec::full);
-    let total_configs = configs.len() as u64;
-    let owned = owned_configs(configs, spec);
+    let header = ShardHeader {
+        mode: SweepMode::UseCases,
+        shard: spec,
+        total_configs: configs.len() as u64,
+        signature: SweepSignature {
+            apps: apps.iter().map(|a| a.graph().name().to_string()).collect(),
+            tile_counts: tile_counts.to_vec(),
+            include_noc,
+            binders: strategies.iter().map(|s| s.name().to_string()).collect(),
+        },
+    };
+    let seeded = seed_outcomes(&header, resume)?;
+    let todo: Vec<(u64, SweepConfig)> = owned_configs(configs, spec)
+        .into_iter()
+        .filter(|(seq, _)| !seeded.contains_key(seq))
+        .collect();
     let ctx = use_case_context(apps);
-    let records = parallel_map(opts.jobs, &owned, |_, (seq, config)| ShardRecord {
+    let fresh = dynamic_map(opts.jobs, &todo, |_, (seq, config)| ShardRecord {
         seq: *seq,
         outcome: ShardOutcome::UseCase(evaluate_use_case_config(apps, &ctx, config, opts)),
     });
-    DseShard {
-        header: ShardHeader {
-            mode: SweepMode::UseCases,
-            shard: spec,
-            total_configs,
-            signature: SweepSignature {
-                apps: apps.iter().map(|a| a.graph().name().to_string()).collect(),
-                tile_counts: tile_counts.to_vec(),
-                include_noc,
-                binders: strategies.iter().map(|s| s.name().to_string()).collect(),
-            },
-        },
-        records,
-    }
+    Ok(DseShard {
+        header,
+        records: merge_seeded(seeded, fresh),
+    })
 }
 
 #[cfg(test)]
@@ -834,6 +990,87 @@ mod tests {
             Err(MergeError::SweepMismatch { .. })
         ));
         assert!(!ShardSpec { index: 0, count: 0 }.owns(0));
+    }
+
+    #[test]
+    fn resumed_sweep_is_identical_to_a_cold_run() {
+        let a = app();
+        let opts = FlowOptions::default();
+        let cold = explore_shard(&a, &[0, 1, 2, 3], true, &opts);
+        // Simulate a crash after an arbitrary prefix of the records.
+        for keep in [0, 1, cold.records.len() / 2, cold.records.len()] {
+            let mut partial = cold.clone();
+            partial.records.truncate(keep);
+            let resumed =
+                explore_shard_with_resume(&a, &[0, 1, 2, 3], true, &opts, &[partial]).unwrap();
+            assert_eq!(resumed, cold, "keep={keep}");
+            assert_eq!(resumed.to_jsonl(), cold.to_jsonl(), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn resume_reuses_partials_from_a_differently_sharded_run() {
+        // A crashed 3-way sharded sweep's partials seed an unsharded
+        // resume: every record carries its canonical seq, so shard
+        // geometry does not matter.
+        let a = app();
+        let opts = FlowOptions::default();
+        let cold = explore_shard(&a, &[0, 1, 2, 3], true, &opts);
+        let partials = sharded(&a, 3, &opts);
+        let resumed = explore_shard_with_resume(&a, &[0, 1, 2, 3], true, &opts, &partials).unwrap();
+        assert_eq!(resumed, cold);
+    }
+
+    #[test]
+    fn resume_rejects_foreign_sweeps() {
+        let a = app();
+        let opts = FlowOptions::default();
+        let other = explore_shard(&a, &[1, 2], false, &opts); // different sweep
+        assert!(matches!(
+            explore_shard_with_resume(&a, &[0, 1, 2, 3], true, &opts, &[other]),
+            Err(ResumeError::SweepMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resumed_use_case_sweep_is_identical_to_a_cold_run() {
+        let apps = vec![named_app("ra", &[70, 70]), named_app("rb", &[35, 35])];
+        let opts = FlowOptions::default();
+        let cold = explore_use_case_shard(&apps, &[1, 2], true, &opts);
+        let mut partial = cold.clone();
+        partial.records.truncate(cold.records.len() / 2);
+        let resumed =
+            explore_use_case_shard_with_resume(&apps, &[1, 2], true, &opts, &[partial]).unwrap();
+        assert_eq!(resumed, cold);
+    }
+
+    #[test]
+    fn lossy_loader_drops_only_a_torn_trailing_line() {
+        let a = app();
+        let shard = explore_shard(&a, &[1, 2], false, &FlowOptions::default());
+        let text = shard.to_jsonl();
+
+        // Intact file: nothing dropped.
+        let (back, dropped) = DseShard::from_jsonl_lossy(&text).unwrap();
+        assert_eq!(back, shard);
+        assert!(!dropped);
+
+        // Torn mid-write: the final line is half a record.
+        let torn = &text[..text.len() - text.lines().last().unwrap().len() / 2 - 1];
+        let (back, dropped) = DseShard::from_jsonl_lossy(torn).unwrap();
+        assert!(dropped);
+        assert_eq!(back.records.len(), shard.records.len() - 1);
+        assert_eq!(&back.records[..], &shard.records[..shard.records.len() - 1]);
+
+        // Corruption before intact lines is NOT a crash artefact.
+        let mut lines: Vec<&str> = text.lines().collect();
+        let garbage = "{\"Record\":garbage}";
+        lines.insert(1, garbage);
+        let corrupt = lines.join("\n");
+        assert!(matches!(
+            DseShard::from_jsonl_lossy(&corrupt),
+            Err(ShardFileError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! load-balancing binder of SDF3 (paper §5.1 keeps "the algorithms used
 //! during mapping ... from \[14\]").
 
+use std::sync::Arc;
+
 use mamps_platform::arch::Architecture;
 use mamps_platform::interconnect::Interconnect;
 use mamps_platform::types::TileId;
+use mamps_sdf::cache::GlobalAnalysisCache;
 use mamps_sdf::graph::ActorId;
 use mamps_sdf::model::ApplicationModel;
 use mamps_sdf::repetition::repetition_vector;
@@ -183,6 +186,11 @@ pub struct BindOptions {
     /// Honoured by every strategy: binding happens against the residual
     /// tile memory and, on NoCs, the residual wires.
     pub occupancy: Occupancy,
+    /// Shared throughput-analysis cache, consulted by strategies whose
+    /// cost function runs the state-space analysis (currently the genetic
+    /// binder's fitness). [`crate::flow::map_application`] propagates its
+    /// own [`MapOptions::cache`](crate::flow::MapOptions) here when unset.
+    pub cache: Option<Arc<GlobalAnalysisCache>>,
 }
 
 impl BindOptions {

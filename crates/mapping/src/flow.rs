@@ -5,10 +5,16 @@
 //! binding, the verification pipeline is identical — so the worst-case
 //! guarantee holds for every strategy.
 
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use mamps_platform::arch::Architecture;
 use mamps_platform::interconnect::Interconnect;
 use mamps_platform::noc::WireAllocator;
 use mamps_sdf::buffer::capacity_lower_bound;
+use mamps_sdf::cache::GlobalAnalysisCache;
 use mamps_sdf::model::ApplicationModel;
 use mamps_sdf::ratio::Ratio;
 use mamps_sdf::state_space::{throughput, AnalysisOptions, ThroughputResult};
@@ -34,6 +40,15 @@ pub struct MapOptions {
     pub growth_budget: usize,
     /// State-space analysis limits.
     pub max_states: usize,
+    /// Shared throughput-analysis cache. When set, every expand + analyse
+    /// probe of the buffer-growth search consults the cache before falling
+    /// back to the state-space kernel, so structurally identical candidate
+    /// allocations — common across the points of a DSE sweep — are analysed
+    /// once per process (or once ever, with a persistent cache directory).
+    pub cache: Option<Arc<GlobalAnalysisCache>>,
+    /// Per-phase wall-time accounting. When set, bind, NoC wire allocation
+    /// and throughput analysis add their elapsed time to the shared stats.
+    pub stats: Option<Arc<PhaseStats>>,
 }
 
 impl Default for MapOptions {
@@ -44,6 +59,8 @@ impl Default for MapOptions {
             wires_per_connection: 2,
             growth_budget: 32,
             max_states: 2_000_000,
+            cache: None,
+            stats: None,
         }
     }
 }
@@ -55,6 +72,74 @@ impl MapOptions {
             bind: BindOptions::with_strategy(strategy),
             ..MapOptions::default()
         }
+    }
+}
+
+/// Wall-time accounting of the mapping flow's phases, accumulated across
+/// every [`map_application`] call that shares the same instance (for
+/// example, all points of a DSE sweep). Thread-safe: phases add their
+/// elapsed time with relaxed atomics, so one `Arc<PhaseStats>` can be
+/// shared across sweep workers.
+#[derive(Debug, Default)]
+pub struct PhaseStats {
+    bind_nanos: AtomicU64,
+    wire_alloc_nanos: AtomicU64,
+    analysis_nanos: AtomicU64,
+}
+
+impl PhaseStats {
+    /// A fresh, all-zero accounting.
+    pub fn new() -> PhaseStats {
+        PhaseStats::default()
+    }
+
+    fn add(slot: &AtomicU64, elapsed: Duration) {
+        slot.fetch_add(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records time spent binding actors to tiles.
+    pub fn add_bind(&self, elapsed: Duration) {
+        Self::add(&self.bind_nanos, elapsed);
+    }
+
+    /// Records time spent allocating NoC wires.
+    pub fn add_wire_alloc(&self, elapsed: Duration) {
+        Self::add(&self.wire_alloc_nanos, elapsed);
+    }
+
+    /// Records time spent in communication expansion + throughput analysis.
+    pub fn add_analysis(&self, elapsed: Duration) {
+        Self::add(&self.analysis_nanos, elapsed);
+    }
+
+    /// Total time spent binding.
+    pub fn bind(&self) -> Duration {
+        Duration::from_nanos(self.bind_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Total time spent allocating NoC wires.
+    pub fn wire_alloc(&self) -> Duration {
+        Duration::from_nanos(self.wire_alloc_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Total time spent in expansion + throughput analysis.
+    pub fn analysis(&self) -> Duration {
+        Duration::from_nanos(self.analysis_nanos.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Display for PhaseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bind {:.1?} / wire-alloc {:.1?} / analysis {:.1?}",
+            self.bind(),
+            self.wire_alloc(),
+            self.analysis()
+        )
     }
 }
 
@@ -114,7 +199,19 @@ pub fn map_application(
     arch: &Architecture,
     opts: &MapOptions,
 ) -> Result<MappedApplication, MapError> {
-    let binding = bind(app, arch, &opts.bind)?;
+    let phase_start = Instant::now();
+    // Analysing binders (the genetic fitness function) share the flow's
+    // cache unless the caller configured a dedicated one.
+    let binding = if opts.cache.is_some() && opts.bind.cache.is_none() {
+        let mut bind_opts = opts.bind.clone();
+        bind_opts.cache.clone_from(&opts.cache);
+        bind(app, arch, &bind_opts)?
+    } else {
+        bind(app, arch, &opts.bind)?
+    };
+    if let Some(s) = &opts.stats {
+        s.add_bind(phase_start.elapsed());
+    }
     let graph = app.graph();
 
     // WCET-annotated graph for analysis.
@@ -129,6 +226,7 @@ pub fn map_application(
     // NoC wire allocation, one connection per cross-tile channel. The
     // allocator starts from the occupancy's reservations so an admitted
     // use-case's connections are never double-allocated.
+    let phase_start = Instant::now();
     let mut wires = vec![0u32; graph.channel_count()];
     if let Interconnect::Noc(noc) = arch.interconnect() {
         let mut alloc = WireAllocator::new(*noc);
@@ -144,6 +242,9 @@ pub fn map_application(
             alloc.allocate(from, to, want)?;
             wires[cid.0] = want;
         }
+    }
+    if let Some(s) = &opts.stats {
+        s.add_wire_alloc(phase_start.elapsed());
     }
 
     let (schedules, rounds) = build_schedules(graph, &binding, arch)?;
@@ -176,9 +277,19 @@ pub fn map_application(
         guaranteed_cycles: 1,
     };
     let analyse = |m: &Mapping| -> Result<(ExpandedGraph, ThroughputResult), MapError> {
+        let started = Instant::now();
         let e = expand(&wcet_graph, m, arch)?;
-        let t = throughput(&e.graph, &analysis_options(opts.max_states)).map_err(MapError::Sdf)?;
-        Ok((e, t))
+        let aopts = analysis_options(opts.max_states);
+        // Buffer capacities are encoded structurally (reverse channels) in
+        // the expanded graph, so the cache key needs no capacity vector.
+        let r = match &opts.cache {
+            Some(cache) => cache.throughput(&e.graph, &aopts),
+            None => throughput(&e.graph, &aopts),
+        };
+        if let Some(s) = &opts.stats {
+            s.add_analysis(started.elapsed());
+        }
+        Ok((e, r.map_err(MapError::Sdf)?))
     };
 
     // Phase 1: reach liveness by doubling buffers on deadlock.
@@ -388,6 +499,36 @@ mod tests {
         let spiral = MapOptions::with_strategy(crate::strategy::by_name("spiral").unwrap());
         let mapped = map_application(&app, &arch, &spiral).unwrap();
         assert_eq!(mapped.strategy, "spiral");
+    }
+
+    #[test]
+    fn cached_mapping_matches_uncached_and_records_phases() {
+        let app = pipeline_app(&[50, 50, 50], 8);
+        let arch = Architecture::homogeneous("x", 3, Interconnect::noc_for_tiles(3)).unwrap();
+        let plain = map_application(&app, &arch, &MapOptions::default()).unwrap();
+
+        let cache = Arc::new(GlobalAnalysisCache::new());
+        let stats = Arc::new(PhaseStats::new());
+        let opts = MapOptions {
+            cache: Some(Arc::clone(&cache)),
+            stats: Some(Arc::clone(&stats)),
+            ..MapOptions::default()
+        };
+        let cold = map_application(&app, &arch, &opts).unwrap();
+        let warm = map_application(&app, &arch, &opts).unwrap();
+
+        // The cache only memoizes; it never changes results.
+        assert_eq!(plain.mapping, cold.mapping);
+        assert_eq!(plain.analysis, cold.analysis);
+        assert_eq!(cold.mapping, warm.mapping);
+        assert_eq!(cold.analysis, warm.analysis);
+
+        // The second run re-probes the same candidate allocations.
+        let s = cache.stats();
+        assert!(s.inserts > 0, "cold run must populate the cache: {s}");
+        assert!(s.hits > 0, "warm run must hit the cache: {s}");
+        assert!(stats.analysis() > Duration::ZERO);
+        assert!(stats.bind() > Duration::ZERO || stats.wire_alloc() >= Duration::ZERO);
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub mod xml;
 pub use binding::{bind, BindOptions, Occupancy};
 pub use comm_expand::{expand, ExpandedGraph};
 pub use error::MapError;
-pub use flow::{map_application, MapOptions, MappedApplication};
+pub use flow::{map_application, MapOptions, MappedApplication, PhaseStats};
 pub use mapping::{Binding, ChannelAlloc, Mapping, ScheduleEntry};
 pub use multi::{
     map_use_case, AdmittedApp, RejectReason, RejectedApp, SharedSystem, UseCase, UseCaseMapping,

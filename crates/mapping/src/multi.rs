@@ -372,7 +372,7 @@ pub fn map_use_case(uc: &UseCase, arch: &Architecture, opts: &MapOptions) -> Use
             .map(|a| (&uc.apps()[a.index], &a.mapped))
             .collect();
         members.push((app, &mapped));
-        match verify_shared(&members, &groups, arch, opts.max_states) {
+        match verify_shared(&members, &groups, arch, opts) {
             Ok(trial_groups) => {
                 if let Some(reason) = first_violation(&members, &trial_groups, opts) {
                     rejected.push(RejectedApp {
@@ -475,7 +475,7 @@ fn verify_shared(
     members: &[(&ApplicationModel, &MappedApplication)],
     prev: &[SharedSystem],
     arch: &Architecture,
-    max_states: usize,
+    opts: &MapOptions,
 ) -> Result<Vec<SharedSystem>, RejectReason> {
     // Union-find over members keyed by shared tiles.
     let tiles: Vec<BTreeSet<usize>> = members
@@ -543,9 +543,18 @@ fn verify_shared(
             // allocation, so the bound stays exact for the shared system.
             let mut attempt = 0;
             loop {
+                let started = std::time::Instant::now();
                 let result = expand(&graph, &mapping, arch).and_then(|e| {
-                    throughput(&e.graph, &analysis_options(max_states)).map_err(MapError::Sdf)
+                    let aopts = analysis_options(opts.max_states);
+                    match &opts.cache {
+                        Some(cache) => cache.throughput(&e.graph, &aopts),
+                        None => throughput(&e.graph, &aopts),
+                    }
+                    .map_err(MapError::Sdf)
                 });
+                if let Some(s) = &opts.stats {
+                    s.add_analysis(started.elapsed());
+                }
                 match result {
                     Ok(t) => break t,
                     Err(MapError::Sdf(mamps_sdf::SdfError::Deadlock(msg))) => {

@@ -49,6 +49,7 @@ use mamps_platform::arch::Architecture;
 use mamps_platform::interconnect::Interconnect;
 use mamps_platform::types::{words_per_token, TileId};
 use mamps_sdf::buffer::capacity_lower_bound;
+use mamps_sdf::cache::GlobalAnalysisCache;
 use mamps_sdf::graph::ActorId;
 use mamps_sdf::model::ApplicationModel;
 use mamps_sdf::repetition::repetition_vector;
@@ -664,6 +665,7 @@ impl GeneticBinder {
         app: &ApplicationModel,
         arch: &Architecture,
         occ: &crate::binding::Occupancy,
+        cache: Option<&GlobalAnalysisCache>,
         chrom: &[TileId],
     ) -> f64 {
         const MEM_PENALTY: f64 = -1e9;
@@ -754,7 +756,11 @@ impl GeneticBinder {
             max_states: self.max_states,
             ..AnalysisOptions::default()
         };
-        match throughput(&expanded.graph, &opts) {
+        let r = match cache {
+            Some(cache) => cache.throughput(&expanded.graph, &opts),
+            None => throughput(&expanded.graph, &opts),
+        };
+        match r {
             Ok(t) => t.as_f64(),
             Err(_) => DEADLOCK_PENALTY,
         }
@@ -837,7 +843,7 @@ impl BindingStrategy for GeneticBinder {
             if let Some(&f) = memo.get(chrom) {
                 return f;
             }
-            let f = self.fitness(app, arch, &opts.occupancy, chrom);
+            let f = self.fitness(app, arch, &opts.occupancy, opts.cache.as_deref(), chrom);
             memo.insert(chrom.clone(), f);
             f
         };
@@ -1019,8 +1025,8 @@ mod tests {
             .unwrap();
         let best = ga.bind(&app, &arch, &BindOptions::default()).unwrap();
         let occ = crate::binding::Occupancy::default();
-        let f_greedy = ga.fitness(&app, &arch, &occ, &greedy.tile_of);
-        let f_best = ga.fitness(&app, &arch, &occ, &best.tile_of);
+        let f_greedy = ga.fitness(&app, &arch, &occ, None, &greedy.tile_of);
+        let f_best = ga.fitness(&app, &arch, &occ, None, &best.tile_of);
         assert!(
             f_best >= f_greedy,
             "GA best {f_best} below greedy {f_greedy}"

@@ -26,8 +26,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use crate::cache::{GlobalAnalysisCache, GraphFingerprint};
 use crate::error::SdfError;
 use crate::graph::{ActorId, ChannelId, SdfGraph};
 use crate::ratio::{gcd, Ratio};
@@ -61,6 +62,13 @@ pub fn capacity_lower_bound(graph: &SdfGraph, id: ChannelId) -> u64 {
 /// Analysis options *are* tracked — a call with different options than the
 /// memoized entries invalidates the table, so stale results are never
 /// returned.
+///
+/// A per-graph cache can additionally be **backed by a
+/// [`GlobalAnalysisCache`]** ([`AnalysisCache::with_global`]): local
+/// misses then consult the global table (keyed by the graph's canonical
+/// fingerprint, so entries survive across runs, graphs, and — through the
+/// disk layer — processes) before running the kernel, and every computed
+/// result is published back to it.
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
     map: HashMap<Vec<u64>, Result<ThroughputResult, SdfError>>,
@@ -69,12 +77,26 @@ pub struct AnalysisCache {
     scratch: crate::state_space::Scratch,
     hits: u64,
     misses: u64,
+    /// Cross-run backing store plus this graph's fingerprint under it.
+    global: Option<(Arc<GlobalAnalysisCache>, GraphFingerprint)>,
 }
 
 impl AnalysisCache {
     /// Creates an empty cache.
     pub fn new() -> AnalysisCache {
         AnalysisCache::default()
+    }
+
+    /// Creates a cache for `graph` backed by the global cache: local
+    /// misses are looked up in (and computed results published to)
+    /// `global` under `graph`'s canonical fingerprint. The graph passed
+    /// to later [`analyse`](Self::analyse) calls must be the one
+    /// fingerprinted here — same contract as the plain per-graph cache.
+    pub fn with_global(graph: &SdfGraph, global: Arc<GlobalAnalysisCache>) -> AnalysisCache {
+        AnalysisCache {
+            global: Some((global, GraphFingerprint::of(graph))),
+            ..AnalysisCache::default()
+        }
     }
 
     /// Analyses `graph` bounded by `caps`, returning the memoized result
@@ -94,10 +116,38 @@ impl AnalysisCache {
             self.hits += 1;
             return r.clone();
         }
+        if let Some(r) = self.global_lookup(caps, opts) {
+            self.hits += 1;
+            self.map.insert(caps.to_vec(), r.clone());
+            return r;
+        }
         let r = throughput_bounded_with(graph, caps, opts, &mut self.scratch);
         self.misses += 1;
         self.map.insert(caps.to_vec(), r.clone());
+        self.global_publish(caps, opts, r.clone());
         r
+    }
+
+    /// A hit from the global backing store, if configured and present.
+    fn global_lookup(
+        &self,
+        caps: &[u64],
+        opts: &AnalysisOptions,
+    ) -> Option<Result<ThroughputResult, SdfError>> {
+        let (global, fp) = self.global.as_ref()?;
+        global.lookup(fp, caps, opts)
+    }
+
+    /// Publishes a computed result to the global backing store, if any.
+    fn global_publish(
+        &self,
+        caps: &[u64],
+        opts: &AnalysisOptions,
+        r: Result<ThroughputResult, SdfError>,
+    ) {
+        if let Some((global, fp)) = &self.global {
+            global.insert(fp, caps, opts, r);
+        }
     }
 
     /// Drops memoized entries computed under different analysis options, so
@@ -116,18 +166,34 @@ impl AnalysisCache {
         }
     }
 
-    /// Memoized result for `caps`, if present (no analysis is run). Counts
-    /// as a hit so the statistics agree between the sequential and the
-    /// parallel candidate-evaluation paths.
-    fn peek(&mut self, caps: &[u64]) -> Option<Result<ThroughputResult, SdfError>> {
-        let r = self.map.get(caps).cloned();
-        if r.is_some() {
+    /// Memoized result for `caps`, if present locally or in the global
+    /// backing store (no analysis is run). Counts as a hit so the
+    /// statistics agree between the sequential and the parallel
+    /// candidate-evaluation paths.
+    fn peek(
+        &mut self,
+        caps: &[u64],
+        opts: &AnalysisOptions,
+    ) -> Option<Result<ThroughputResult, SdfError>> {
+        let r = self
+            .map
+            .get(caps)
+            .cloned()
+            .or_else(|| self.global_lookup(caps, opts));
+        if let Some(r) = &r {
             self.hits += 1;
+            self.map.entry(caps.to_vec()).or_insert_with(|| r.clone());
         }
         r
     }
 
-    fn insert(&mut self, caps: Vec<u64>, r: Result<ThroughputResult, SdfError>) {
+    fn insert(
+        &mut self,
+        caps: Vec<u64>,
+        opts: &AnalysisOptions,
+        r: Result<ThroughputResult, SdfError>,
+    ) {
+        self.global_publish(&caps, opts, r.clone());
         self.map.insert(caps, r);
         self.misses += 1;
     }
@@ -353,7 +419,7 @@ fn analyse_candidates(
     let mut missing: Vec<(usize, Vec<u64>)> = Vec::new();
     for (ci, &(idx, step)) in candidates.iter().enumerate() {
         caps[idx] += step;
-        match cache.peek(caps) {
+        match cache.peek(caps, opts) {
             Some(r) => results.push(Some(r)),
             None => {
                 results.push(None);
@@ -365,7 +431,7 @@ fn analyse_candidates(
 
     let computed = analyse_distributions_parallel(graph, &missing, opts, jobs);
     for ((ci, dist), r) in missing.into_iter().zip(computed) {
-        cache.insert(dist, r.clone());
+        cache.insert(dist, opts, r.clone());
         results[ci] = Some(r);
     }
     results

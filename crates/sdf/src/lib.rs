@@ -36,6 +36,7 @@
 //! ```
 
 pub mod buffer;
+pub mod cache;
 pub mod dot;
 pub mod error;
 pub mod graph;
@@ -50,6 +51,7 @@ pub mod transform;
 pub mod xml;
 pub mod xmlutil;
 
+pub use cache::{CacheEntry, CacheStats, GlobalAnalysisCache, GraphFingerprint};
 pub use error::SdfError;
 pub use graph::{Actor, ActorId, Channel, ChannelId, SdfGraph, SdfGraphBuilder};
 pub use model::{ApplicationModel, ThroughputConstraint};

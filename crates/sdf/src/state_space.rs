@@ -87,7 +87,10 @@ impl Default for AnalysisOptions {
 }
 
 /// Outcome of a throughput analysis.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the global analysis cache ([`crate::cache`]) can persist
+/// memoized results across processes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ThroughputResult {
     /// Long-term average iterations per clock cycle, exact.
     pub iterations_per_cycle: Ratio,

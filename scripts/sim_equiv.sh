@@ -41,4 +41,11 @@ check "simulate pipeline (verdict + trace + gantt)" \
 check "map-multi 3-app union (verdicts + gantt)" \
   map-multi "$APP" "$APP2" "$APP3" "$ARCH" --iters 60 --gantt 72
 
+# Trace-only runs: a long event log with no Gantt rendering, so every
+# individual event's ordering is compared, not just the chart rollup.
+check "simulate mjpeg (trace only, long)" \
+  simulate "$APP" "$ARCH" 50 --trace 200
+check "simulate pipeline (trace only, long)" \
+  simulate "$APP2" "$ARCH" 50 --trace 200
+
 echo "sim_equiv: OK"

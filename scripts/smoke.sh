@@ -46,6 +46,28 @@ out=$("$BIN" dse "$APP" 4)
 echo "$out"
 grep -qE '[1-9]' <<<"$out" || fail "dse printed no nonzero figures"
 
+echo "== mamps dse --cache-dir (cold vs warm runs byte-identical)"
+"$BIN" dse "$APP" 4 --cache-dir "$tmp/cache" >"$tmp/dse-cold.txt"
+[ -s "$tmp/cache/analysis-cache-0-of-1.jsonl" ] || fail "--cache-dir left no cache file"
+"$BIN" dse "$APP" 4 --cache-dir "$tmp/cache" >"$tmp/dse-warm.txt"
+diff -u "$tmp/dse-cold.txt" "$tmp/dse-warm.txt" \
+  || fail "warm-cache dse report differs from the cold run"
+
+echo "== mamps dse --resume (torn partial, byte-identical to cold)"
+"$BIN" dse "$APP" 4 --shard 0/2 --out "$tmp/part.jsonl"
+head -n -1 "$tmp/part.jsonl" >"$tmp/part-torn.jsonl"
+printf '{"Record":{"seq":9' >>"$tmp/part-torn.jsonl" # simulate a crash mid-write
+"$BIN" dse "$APP" 4 --resume "$tmp/part-torn.jsonl" >"$tmp/dse-resumed.txt" 2>"$tmp/resume-err.txt"
+diff -u "$tmp/dse-cold.txt" "$tmp/dse-resumed.txt" \
+  || fail "resumed dse report differs from the cold run"
+grep -q "ends mid-record" "$tmp/resume-err.txt" \
+  || fail "torn resume file produced no mid-record warning"
+
+echo "== mamps dse --stats"
+"$BIN" dse "$APP" 4 --stats >/dev/null 2>"$tmp/stats.txt"
+grep -q "analysis cache:" "$tmp/stats.txt" || fail "--stats printed no cache counters"
+grep -q "phase wall time:" "$tmp/stats.txt" || fail "--stats printed no phase timings"
+
 echo "== mamps map --binder spiral"
 out=$("$BIN" map "$APP" "$ARCH" --binder spiral)
 echo "$out"

@@ -11,9 +11,11 @@
 //! mamps simulate  <app.xml> <arch.xml> [iters]    # flow + WCET platform run
 //!                 [--engine event|lockstep] [--gantt COLS] [--trace N]
 //! mamps dse       <app.xml> <max_tiles> [--jobs N] [--binders a,b,c]
-//!                 [--shard i/n --out points.jsonl]
+//!                 [--shard i/n --out points.jsonl] [--cache-dir DIR]
+//!                 [--resume points.jsonl]... [--stats]
 //! mamps dse       <max_tiles> --apps a.xml,b.xml [--jobs N] [--binders ...]
-//!                 [--shard i/n --out points.jsonl]
+//!                 [--shard i/n --out points.jsonl] [--cache-dir DIR]
+//!                 [--resume points.jsonl]... [--stats]
 //! mamps dse-merge <points.jsonl>...
 //! ```
 //!
@@ -41,12 +43,25 @@
 //! (exit is nonzero otherwise), and renders exactly the report the
 //! unsharded `mamps dse` would have printed, Pareto front included.
 //!
+//! Every `dse` run memoizes throughput analyses in a global in-process
+//! cache. `--cache-dir DIR` makes the cache persistent: the run loads all
+//! `*.jsonl` cache files in `DIR` at startup and writes its own
+//! (per-shard-named) file back, so repeated or sharded sweeps sharing the
+//! directory skip already-analysed design points. `--resume f.jsonl`
+//! (repeatable) seeds the sweep with the evaluated points of partial
+//! shard files from a crashed run of the same sweep — a torn trailing
+//! line is dropped, the rest is reused, and the output stays
+//! byte-identical to a cold run. `--stats` prints cache hit/miss/insert
+//! counters and per-phase wall time (bind / wire-alloc / analysis) to
+//! stderr.
+//!
 //! Binding strategies (`--binder` / `--binders`) are resolved through
 //! [`mamps::mapping::strategy::registry`]: `greedy` (default), `spiral`,
 //! `genetic`.
 
 use std::process::ExitCode;
 
+use mamps::flow::dse::cache as dse_cache;
 use mamps::flow::dse::shard;
 use mamps::flow::report::{
     render_dse_report, render_mapping_summary, render_multi_report, render_use_case_report,
@@ -61,7 +76,7 @@ use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
+        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
         strategy::names().join(", ")
     );
     ExitCode::from(2)
@@ -94,14 +109,21 @@ fn load_arch(
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
 /// Splits `args` into positional arguments and `--flag value` pairs.
-/// Unknown flags and flags without a value produce an error.
-fn split_flags(args: &[String], known: &[&str]) -> Result<ParsedArgs, String> {
+/// Flags listed in `boolean` take no value and come back with an empty
+/// one. Unknown flags and value flags without a value produce an error.
+/// A flag may repeat; every occurrence is returned in order.
+fn split_flags(args: &[String], known: &[&str], boolean: &[&str]) -> Result<ParsedArgs, String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
+            if boolean.contains(&name) {
+                flags.push((name.to_string(), String::new()));
+                i += 1;
+                continue;
+            }
             if !known.contains(&name) {
                 return Err(format!("unknown flag `--{name}`"));
             }
@@ -165,7 +187,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         ("map", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["binder"])?;
+            let (pos, flags) = split_flags(&args[1..], &["binder"], &[])?;
             if pos.len() < 2 || pos.len() > 3 {
                 return Ok(usage());
             }
@@ -191,7 +213,8 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         ("map-multi", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["binder", "iters", "gantt", "engine"])?;
+            let (pos, flags) =
+                split_flags(&args[1..], &["binder", "iters", "gantt", "engine"], &[])?;
             if pos.len() < 2 {
                 return Ok(usage());
             }
@@ -268,7 +291,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         ("simulate", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["engine", "gantt", "trace"])?;
+            let (pos, flags) = split_flags(&args[1..], &["engine", "gantt", "trace"], &[])?;
             if pos.len() < 2 || pos.len() > 3 {
                 return Ok(usage());
             }
@@ -331,11 +354,26 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             })
         }
         ("dse", _) => {
-            let (pos, flags) =
-                split_flags(&args[1..], &["jobs", "binders", "apps", "shard", "out"])?;
+            let (pos, flags) = split_flags(
+                &args[1..],
+                &[
+                    "jobs",
+                    "binders",
+                    "apps",
+                    "shard",
+                    "out",
+                    "cache-dir",
+                    "resume",
+                ],
+                &["stats"],
+            )?;
+            let run_started = std::time::Instant::now();
             let mut opts = FlowOptions::default();
             let mut multi_apps: Option<Vec<mamps::sdf::model::ApplicationModel>> = None;
             let mut out_path: Option<String> = None;
+            let mut cache_dir: Option<std::path::PathBuf> = None;
+            let mut resume_paths: Vec<String> = Vec::new();
+            let mut show_stats = false;
             for (name, value) in &flags {
                 match name.as_str() {
                     "jobs" => {
@@ -364,6 +402,9 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     }
                     "shard" => opts.shard = Some(value.parse::<shard::ShardSpec>()?),
                     "out" => out_path = Some(value.clone()),
+                    "cache-dir" => cache_dir = Some(value.into()),
+                    "resume" => resume_paths.push(value.clone()),
+                    "stats" => show_stats = true,
                     _ => unreachable!("split_flags rejects unknown flags"),
                 }
             }
@@ -372,7 +413,33 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                             (sharded runs emit JSON lines, not a report)"
                     .into());
             }
-            match multi_apps {
+
+            // The global analysis cache backs every dse run; --cache-dir
+            // additionally warms it from disk and persists it afterwards.
+            let analysis_cache = std::sync::Arc::new(mamps::sdf::GlobalAnalysisCache::new());
+            let warmed = match &cache_dir {
+                Some(dir) => Some(dse_cache::load_cache_dir(&analysis_cache, dir)?),
+                None => None,
+            };
+            opts.map.cache = Some(std::sync::Arc::clone(&analysis_cache));
+            let phase_stats = std::sync::Arc::new(mamps::mapping::PhaseStats::new());
+            opts.map.stats = Some(std::sync::Arc::clone(&phase_stats));
+
+            // Partial shard files of a crashed run of this same sweep:
+            // their design points are reused, not re-evaluated.
+            let mut resume_shards = Vec::with_capacity(resume_paths.len());
+            for path in &resume_paths {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read resume file `{path}`: {e}"))?;
+                let (s, dropped) =
+                    shard::DseShard::from_jsonl_lossy(&text).map_err(|e| format!("{path}: {e}"))?;
+                if dropped {
+                    eprintln!("note: `{path}` ends mid-record (crashed run?); dropped that line");
+                }
+                resume_shards.push(s);
+            }
+
+            let code = match multi_apps {
                 // Use-case sweep: which subsets of the applications fit on
                 // each platform configuration.
                 Some(apps) => {
@@ -381,18 +448,18 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     }
                     let max: usize = pos[0].parse()?;
                     let tiles: Vec<usize> = (1..=max.max(1)).collect();
+                    let s = shard::explore_use_case_shard_with_resume(
+                        &apps,
+                        &tiles,
+                        true,
+                        &opts,
+                        &resume_shards,
+                    )?;
                     match out_path {
-                        Some(path) => {
-                            let s = shard::explore_use_case_shard(&apps, &tiles, true, &opts);
-                            write_shard(&s, &path)?;
-                        }
-                        None => {
-                            let report =
-                                mamps::flow::dse::explore_use_cases(&apps, &tiles, true, &opts);
-                            print!("{}", render_use_case_report(&report));
-                        }
+                        Some(path) => write_shard(&s, &path)?,
+                        None => print!("{}", render_use_case_report(&s.into_use_case_report())),
                     }
-                    Ok(ExitCode::SUCCESS)
+                    ExitCode::SUCCESS
                 }
                 None => {
                     if pos.len() != 2 {
@@ -401,20 +468,46 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     let app = load_app(&pos[0])?;
                     let max: usize = pos[1].parse()?;
                     let tiles: Vec<usize> = (1..=max.max(1)).collect();
+                    let s = shard::explore_shard_with_resume(
+                        &app,
+                        &tiles,
+                        true,
+                        &opts,
+                        &resume_shards,
+                    )?;
                     match out_path {
-                        Some(path) => {
-                            let s = shard::explore_shard(&app, &tiles, true, &opts);
-                            write_shard(&s, &path)?;
-                        }
-                        None => {
-                            let report =
-                                mamps::flow::dse::explore_report(&app, &tiles, true, &opts);
-                            print!("{}", render_dse_report(&report));
-                        }
+                        Some(path) => write_shard(&s, &path)?,
+                        None => print!("{}", render_dse_report(&s.into_dse_report())),
                     }
-                    Ok(ExitCode::SUCCESS)
+                    ExitCode::SUCCESS
+                }
+            };
+
+            if let Some(dir) = &cache_dir {
+                let spec = opts.shard.unwrap_or_else(shard::ShardSpec::full);
+                let path = dse_cache::persist_cache(&analysis_cache, dir, spec)?;
+                if show_stats {
+                    eprintln!(
+                        "cache persisted: {} entries -> {}",
+                        analysis_cache.len(),
+                        path.display()
+                    );
                 }
             }
+            if show_stats {
+                // Stats go to stderr: wall times (and hit/miss counts under
+                // parallel evaluation) are nondeterministic, and stdout must
+                // stay byte-comparable across runs.
+                if let Some(w) = warmed {
+                    eprintln!("cache warmed from disk: {w}");
+                }
+                eprintln!("analysis cache: {}", analysis_cache.stats());
+                eprintln!(
+                    "phase wall time: {phase_stats} (run total {:.1?})",
+                    run_started.elapsed()
+                );
+            }
+            Ok(code)
         }
         ("dse-merge", n) if n >= 2 => {
             let mut shards = Vec::with_capacity(n - 1);

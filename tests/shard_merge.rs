@@ -3,13 +3,19 @@
 //! of every result type is golden-pinned and round-trips losslessly, and
 //! sharded runs merge back into the unsharded report.
 
+use std::sync::Arc;
+
+use mamps::flow::dse::cache::{load_cache_dir, persist_cache};
 use mamps::flow::dse::shard::{
-    explore_shard, merge_reports, DseShard, MergeError, MergedReport, ShardSpec,
+    explore_shard, explore_shard_with_resume, merge_reports, DseShard, MergeError, MergedReport,
+    ShardSpec,
 };
 use mamps::flow::dse::{DsePoint, SkippedPoint, UseCasePoint};
+use mamps::flow::report::render_dse_report;
 use mamps::flow::FlowOptions;
 use mamps::mapping::multi::RejectReason;
 use mamps::mapping::MapError;
+use mamps::sdf::cache::GlobalAnalysisCache;
 use mamps::sdf::graph::SdfGraphBuilder;
 use mamps::sdf::model::{ApplicationModel, HomogeneousModelBuilder};
 use mamps::sdf::ratio::Ratio;
@@ -140,6 +146,81 @@ fn tiny_app() -> ApplicationModel {
     let mut mb = HomogeneousModelBuilder::new("microblaze");
     mb.actor("x", 40, 2048, 256).actor("y", 70, 2048, 256);
     mb.finish(g, None).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The analysis cache and the resume machinery are invisible in
+    /// output: an uncached sweep, a cached one, one warmed from an
+    /// on-disk cache directory, and one resumed from arbitrary partial
+    /// shard files all produce byte-identical JSONL and rendered
+    /// reports.
+    #[test]
+    fn cached_warm_and_resumed_sweeps_are_byte_identical(
+        stride in 1usize..6,
+        eighths in 0usize..=8,
+    ) {
+        let app = tiny_app();
+        let tiles = [1usize, 2, 3];
+
+        let cold = explore_shard(&app, &tiles, true, &FlowOptions::default());
+        let jsonl = cold.to_jsonl();
+        let rendered = render_dse_report(&cold.clone().into_dse_report());
+
+        // Cached in-process: same bytes, and the cache actually filled.
+        let cache = Arc::new(GlobalAnalysisCache::new());
+        let mut opts = FlowOptions::default();
+        opts.map.cache = Some(Arc::clone(&cache));
+        let cached = explore_shard(&app, &tiles, true, &opts);
+        prop_assert_eq!(&cached.to_jsonl(), &jsonl);
+        prop_assert_eq!(&render_dse_report(&cached.into_dse_report()), &rendered);
+        prop_assert!(cache.stats().inserts > 0, "cached sweep inserted nothing");
+
+        // Warmed from disk: persist, reload into a fresh cache, re-sweep.
+        let dir = std::env::temp_dir().join(format!(
+            "mamps-sweep-equiv-{}-{stride}-{eighths}",
+            std::process::id()
+        ));
+        persist_cache(&cache, &dir, ShardSpec::full()).unwrap();
+        let warm = Arc::new(GlobalAnalysisCache::new());
+        let loaded = load_cache_dir(&warm, &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert!(loaded.imported > 0, "disk cache round-trip lost every entry");
+        let mut opts = FlowOptions::default();
+        opts.map.cache = Some(Arc::clone(&warm));
+        let warmed = explore_shard(&app, &tiles, true, &opts);
+        prop_assert_eq!(&warmed.to_jsonl(), &jsonl);
+        prop_assert_eq!(&render_dse_report(&warmed.into_dse_report()), &rendered);
+        prop_assert_eq!(warm.stats().misses, 0, "warm sweep missed the disk cache");
+
+        // Resumed from partials: an arbitrary prefix of the cold run plus
+        // an arbitrary strided subset (as a crashed differently-sharded
+        // run would leave behind) seed the sweep; output is unchanged.
+        let prefix = DseShard {
+            header: cold.header.clone(),
+            records: cold.records[..cold.records.len() * eighths / 8].to_vec(),
+        };
+        let strided = DseShard {
+            header: cold.header.clone(),
+            records: cold
+                .records
+                .iter()
+                .filter(|r| (r.seq as usize).is_multiple_of(stride))
+                .cloned()
+                .collect(),
+        };
+        let resumed = explore_shard_with_resume(
+            &app,
+            &tiles,
+            true,
+            &FlowOptions::default(),
+            &[prefix, strided],
+        )
+        .unwrap();
+        prop_assert_eq!(&resumed.to_jsonl(), &jsonl);
+        prop_assert_eq!(&render_dse_report(&resumed.into_dse_report()), &rendered);
+    }
 }
 
 /// End-to-end over the public API: shard files written and re-read as

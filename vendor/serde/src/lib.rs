@@ -103,6 +103,94 @@ impl Value {
     }
 }
 
+// --- stable hashing --------------------------------------------------------
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over raw bytes. Deliberately not `std::hash::Hasher`:
+/// the std trait gives no stability promise across releases, and this hash
+/// is persisted to disk (analysis-cache keys), so the algorithm is pinned
+/// here byte for byte.
+struct Fnv(u64);
+
+impl Fnv {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+fn hash_into(value: &Value, h: &mut Fnv) {
+    // Every variant contributes a distinct tag byte and every
+    // variable-length payload a length prefix, so structurally different
+    // trees never produce the same byte stream.
+    match value {
+        Value::Null => h.write(&[0]),
+        Value::Bool(b) => h.write(&[1, u8::from(*b)]),
+        Value::Int(i) => {
+            h.write(&[2]);
+            h.write(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            h.write(&[3]);
+            // Bit pattern, not text: the canonical JSON emitter prints the
+            // shortest string that round-trips to exactly these bits, so
+            // distinct bits <=> distinct canonical text.
+            h.write(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            h.write(&[4]);
+            h.write_u64(s.len() as u64);
+            h.write(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            h.write(&[5]);
+            h.write_u64(items.len() as u64);
+            for item in items {
+                hash_into(item, h);
+            }
+        }
+        Value::Map(entries) => {
+            h.write(&[6]);
+            h.write_u64(entries.len() as u64);
+            for (k, v) in entries {
+                h.write_u64(k.len() as u64);
+                h.write(k.as_bytes());
+                hash_into(v, h);
+            }
+        }
+    }
+}
+
+/// Stable 64-bit hash of a [`Value`] tree: FNV-1a over a type-tagged,
+/// length-prefixed walk, without materializing the JSON text.
+///
+/// "Stable" means the result depends only on the value — not on the
+/// process, platform, pointer layout, or std release — so it is safe to
+/// persist (the analysis cache keys its on-disk entries by this hash).
+/// Two values hash equal exactly when their canonical JSON bytes are
+/// equal; map entries hash in their stored order, which for serialized
+/// `HashMap`s is already sorted (see [`Serialize`] for `HashMap`).
+pub fn stable_hash(value: &Value) -> u64 {
+    let mut h = Fnv(FNV_OFFSET);
+    hash_into(value, &mut h);
+    h.0
+}
+
+/// [`stable_hash`] of `value.to_value()`.
+pub fn stable_hash_of<T: Serialize + ?Sized>(value: &T) -> u64 {
+    stable_hash(&value.to_value())
+}
+
 /// Looks up `key` in a map's entries, falling back to `null` when the key
 /// is absent (derived `Option` fields then read as `None`).
 pub fn map_get<'v>(entries: &'v [(String, Value)], key: &str) -> &'v Value {
@@ -356,6 +444,26 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
     }
 }
 
+// Externally tagged, like real serde: `{"Ok": v}` / `{"Err": e}`.
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(v) => Value::Map(vec![("Ok".to_string(), v.to_value())]),
+            Err(e) => Value::Map(vec![("Err".to_string(), e.to_value())]),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_map() {
+            Some([(tag, v)]) if tag == "Ok" => T::from_value(v).map(Ok),
+            Some([(tag, v)]) if tag == "Err" => E::from_value(v).map(Err),
+            _ => Err(Error::expected("{\"Ok\": …} or {\"Err\": …}", "Result")),
+        }
+    }
+}
+
 macro_rules! tuple_impls {
     ($(($($t:ident : $i:tt),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -476,6 +584,70 @@ mod tests {
         assert_eq!(
             <&'static str>::from_value(&Value::Str("x1".into())),
             Ok("x1")
+        );
+    }
+
+    #[test]
+    fn result_round_trips() {
+        let ok: Result<u64, String> = Ok(5);
+        let err: Result<u64, String> = Err("boom".into());
+        assert_eq!(Result::from_value(&ok.to_value()), Ok(ok));
+        assert_eq!(Result::from_value(&err.to_value()), Ok(err));
+        assert!(Result::<u64, String>::from_value(&Value::Int(1)).is_err());
+        assert!(Result::<u64, String>::from_value(&Value::Map(vec![(
+            "Huh".into(),
+            Value::Int(1)
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn stable_hash_is_pinned() {
+        // The hash is persisted to disk, so the algorithm must never
+        // drift: pin a few values to their current results.
+        assert_eq!(stable_hash(&Value::Null), 0xaf63_bd4c_8601_b7df);
+        assert_eq!(stable_hash_of(&0u64), stable_hash(&Value::Int(0)));
+        assert_eq!(
+            stable_hash_of(&vec![1u64, 2, 3]),
+            stable_hash(&Value::Seq(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3)
+            ]))
+        );
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_shapes() {
+        // Tag + length prefixes: values whose flattened payload bytes
+        // coincide must still hash apart.
+        let cases = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Float(0.0),
+            Value::Str(String::new()),
+            Value::Seq(vec![]),
+            Value::Map(vec![]),
+            Value::Str("ab".into()),
+            Value::Seq(vec![Value::Str("a".into()), Value::Str("b".into())]),
+            Value::Map(vec![("a".into(), Value::Str("b".into()))]),
+            Value::Seq(vec![Value::Seq(vec![Value::Int(1)])]),
+            Value::Seq(vec![Value::Seq(vec![]), Value::Int(1)]),
+        ];
+        for (i, a) in cases.iter().enumerate() {
+            for b in &cases[i + 1..] {
+                assert_ne!(stable_hash(a), stable_hash(b), "{a:?} vs {b:?}");
+            }
+        }
+        assert_eq!(
+            stable_hash(&Value::Float(1.0)),
+            stable_hash(&Value::Float(1.0))
+        );
+        assert_ne!(
+            stable_hash(&Value::Float(0.0)),
+            stable_hash(&Value::Float(-0.0)),
+            "distinct canonical text (0 vs -0) must hash apart"
         );
     }
 
