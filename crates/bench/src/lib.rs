@@ -18,6 +18,8 @@
 //! | `state_space` | throughput-kernel fast path vs retained naive reference |
 //! | `binders` | binding strategies: greedy vs spiral vs genetic on MJPEG |
 //! | `use_cases` | multi-application admission: MJPEG + constrained pipeline |
+//! | `dse_cache` | analysis cache: cold vs warm DSE sweep |
+//! | `incremental` | pass cache: cold vs one-WCET-edit incremental re-map |
 //!
 //! Run all with `cargo bench`, or a single artefact with e.g.
 //! `cargo bench -p mamps-bench --bench fig6_fsl`.

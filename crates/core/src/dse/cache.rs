@@ -28,6 +28,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use mamps_sdf::cache::{CacheEntry, GlobalAnalysisCache};
+use mamps_sdf::passes::{PassCache, PassEntry};
 use serde::Serialize;
 
 use crate::dse::shard::ShardSpec;
@@ -76,11 +77,14 @@ pub fn load_cache_dir(cache: &GlobalAnalysisCache, dir: &Path) -> io::Result<Cac
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(load),
         Err(e) => return Err(e),
     };
+    // Pass-cache files share the directory but carry a different record
+    // type; they are loaded by `load_pass_cache_dir`, not here.
     let mut files: Vec<PathBuf> = entries
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .filter(|p| !file_name_starts_with(p, PASS_CACHE_PREFIX))
         .collect();
     files.sort();
     for path in files {
@@ -92,6 +96,57 @@ pub fn load_cache_dir(cache: &GlobalAnalysisCache, dir: &Path) -> io::Result<Cac
                 continue;
             }
             match serde::json::from_str::<CacheEntry>(line) {
+                Ok(e) => parsed.push(e),
+                Err(_) => load.skipped_lines += 1,
+            }
+        }
+        load.imported += cache.import(parsed);
+        load.files += 1;
+    }
+    Ok(load)
+}
+
+/// File-name prefix of the pass-cache layer's files.
+const PASS_CACHE_PREFIX: &str = "pass-cache-";
+
+fn file_name_starts_with(path: &Path, prefix: &str) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with(prefix))
+}
+
+/// Loads every `pass-cache-*.jsonl` file of `dir` into `cache`, with the
+/// same contract as [`load_cache_dir`]: a missing directory is an empty
+/// cache, files are visited in name order, unparseable lines are skipped
+/// and counted.
+///
+/// # Errors
+///
+/// Only real I/O errors (unreadable directory or file).
+pub fn load_pass_cache_dir(cache: &PassCache, dir: &Path) -> io::Result<CacheDirLoad> {
+    let mut load = CacheDirLoad::default();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(load),
+        Err(e) => return Err(e),
+    };
+    let mut files: Vec<PathBuf> = entries
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .filter(|p| file_name_starts_with(p, PASS_CACHE_PREFIX))
+        .collect();
+    files.sort();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let mut parsed: Vec<PassEntry> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match serde::json::from_str::<PassEntry>(line) {
                 Ok(e) => parsed.push(e),
                 Err(_) => load.skipped_lines += 1,
             }
@@ -123,6 +178,32 @@ pub fn persist_cache(
 ) -> io::Result<PathBuf> {
     fs::create_dir_all(dir)?;
     let name = cache_file_name(spec);
+    let mut out = String::new();
+    for entry in cache.export() {
+        serde::json::emit(&entry.to_value(), &mut out);
+        out.push('\n');
+    }
+    let tmp = dir.join(format!(".{name}.tmp"));
+    let path = dir.join(name);
+    fs::write(&tmp, out)?;
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// The pass-cache file a run of shard `spec` owns inside `dir`.
+pub fn pass_cache_file_name(spec: ShardSpec) -> String {
+    format!("{PASS_CACHE_PREFIX}{}-of-{}.jsonl", spec.index, spec.count)
+}
+
+/// Persists `cache` to its shard-owned `pass-cache-*` file in `dir`, with
+/// the same atomicity and determinism contract as [`persist_cache`].
+///
+/// # Errors
+///
+/// I/O errors creating the directory or writing the file.
+pub fn persist_pass_cache(cache: &PassCache, dir: &Path, spec: ShardSpec) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let name = pass_cache_file_name(spec);
     let mut out = String::new();
     for entry in cache.export() {
         serde::json::emit(&entry.to_value(), &mut out);
@@ -212,6 +293,58 @@ mod tests {
         assert_eq!(load.skipped_lines, 2);
         assert_eq!(load.imported, cache.len() - 1);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pass_cache_round_trips_and_stays_out_of_analysis_load() {
+        use serde::Value;
+        let dir = tempdir("pass");
+        let passes = PassCache::new();
+        passes.insert(
+            "bind",
+            7,
+            Value::Seq(vec![Value::Int(1), Value::Str("x".into())]),
+        );
+        passes.insert(
+            "buffer-size",
+            9,
+            Value::Map(vec![("Ok".into(), Value::Int(3))]),
+        );
+        let path = persist_pass_cache(&passes, &dir, ShardSpec::full()).unwrap();
+        assert!(path.ends_with("pass-cache-0-of-1.jsonl"));
+
+        // Also persist an analysis cache into the same directory.
+        let analysis = populated_cache();
+        persist_cache(&analysis, &dir, ShardSpec::full()).unwrap();
+
+        // Each loader sees only its own layer, with no skipped lines.
+        let warm_pass = PassCache::new();
+        let load = load_pass_cache_dir(&warm_pass, &dir).unwrap();
+        assert_eq!((load.files, load.imported, load.skipped_lines), (1, 2, 0));
+        assert_eq!(warm_pass.export(), passes.export());
+
+        let warm_analysis = GlobalAnalysisCache::new();
+        let load = load_cache_dir(&warm_analysis, &dir).unwrap();
+        assert_eq!(
+            (load.files, load.imported, load.skipped_lines),
+            (1, analysis.len(), 0)
+        );
+
+        // Re-persisting the re-loaded pass cache reproduces identical bytes.
+        let again = persist_pass_cache(&warm_pass, &dir, ShardSpec::full()).unwrap();
+        assert_eq!(
+            fs::read_to_string(&again).unwrap(),
+            fs::read_to_string(&path).unwrap()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_pass_cache() {
+        let warm = PassCache::new();
+        let load = load_pass_cache_dir(&warm, Path::new("/nonexistent/mamps-cache")).unwrap();
+        assert_eq!(load, CacheDirLoad::default());
+        assert!(warm.is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! the executable platform model). Each automated step is timed, feeding
 //! the Table 1 designer-effort report.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mamps_codegen::project::{generate_project, Project};
@@ -12,6 +13,7 @@ use mamps_mapping::MapError;
 use mamps_platform::arch::{ArchError, Architecture};
 use mamps_platform::interconnect::Interconnect;
 use mamps_sdf::model::ApplicationModel;
+use mamps_sdf::passes::PassRunner;
 use mamps_sim::{Engine, SimError, System, WcetTimes};
 
 use crate::validate::GuaranteeReport;
@@ -178,6 +180,16 @@ pub fn run_flow_with_arch(
     run_flow_on(app, arch, opts, Duration::ZERO)
 }
 
+/// Runs `f` under the pass runner's wall-clock accounting (uncached:
+/// generation and simulation outputs must never be replayed), or
+/// directly when no runner is configured.
+fn timed<T>(passes: &Option<Arc<PassRunner>>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    match passes {
+        Some(r) => r.time(name, f),
+        None => f(),
+    }
+}
+
 fn run_flow_on(
     app: &ApplicationModel,
     arch: Architecture,
@@ -189,15 +201,20 @@ fn run_flow_on(
     let mapping_time = t1.elapsed();
 
     let t2 = Instant::now();
-    let project = generate_project(app, app.graph(), &mapped.mapping, &arch, &opts.project_name)?;
+    let project = timed(&opts.map.passes, "platform-gen", || {
+        generate_project(app, app.graph(), &mapped.mapping, &arch, &opts.project_name)
+    })?;
     let platform_generation = t2.elapsed();
 
     // "Synthesis": elaborate the executable platform and verify it boots.
     let t3 = Instant::now();
-    let wcet = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
-    let system =
-        System::new(app.graph(), &mapped.mapping, &arch, &wcet)?.with_engine(opts.sim_engine);
-    let _boot = system.run(opts.boot_iterations, 1_000_000_000)?;
+    timed(&opts.map.passes, "boot-sim", || -> Result<(), SimError> {
+        let wcet = WcetTimes::new(mapped.mapping.binding.wcet_of.clone());
+        let system =
+            System::new(app.graph(), &mapped.mapping, &arch, &wcet)?.with_engine(opts.sim_engine);
+        let _boot = system.run(opts.boot_iterations, 1_000_000_000)?;
+        Ok(())
+    })?;
     let synthesis = t3.elapsed();
 
     Ok(FlowResult {
@@ -369,21 +386,29 @@ pub fn run_multi_flow(
     let mapping_time = t0.elapsed();
 
     // Validate each interference group with one concurrent WCET run.
+    // Timed, never cached: these are measurements, not derivations.
     let t1 = Instant::now();
-    let mut group_measured: Vec<f64> = Vec::with_capacity(outcome.groups.len());
-    for group in &outcome.groups {
-        let times = WcetTimes::new(group.mapping.binding.wcet_of.clone());
-        let system = System::new_with_repetitions(
-            &group.graph,
-            &group.mapping,
-            &arch,
-            &times,
-            group.combined_repetitions(),
-        )?
-        .with_engine(opts.sim_engine);
-        let m = system.run(sim_iterations, u64::MAX / 4)?;
-        group_measured.push(m.steady_throughput());
-    }
+    let group_measured: Vec<f64> = timed(
+        &opts.map.passes,
+        "validate-sim",
+        || -> Result<_, SimError> {
+            let mut measured = Vec::with_capacity(outcome.groups.len());
+            for group in &outcome.groups {
+                let times = WcetTimes::new(group.mapping.binding.wcet_of.clone());
+                let system = System::new_with_repetitions(
+                    &group.graph,
+                    &group.mapping,
+                    &arch,
+                    &times,
+                    group.combined_repetitions(),
+                )?
+                .with_engine(opts.sim_engine);
+                let m = system.run(sim_iterations, u64::MAX / 4)?;
+                measured.push(m.steady_throughput());
+            }
+            Ok(measured)
+        },
+    )?;
     let synthesis = t1.elapsed();
 
     // Assemble one section per application, restoring admission order via

@@ -19,6 +19,7 @@ use mamps_sdf::cache::GlobalAnalysisCache;
 use mamps_sdf::graph::ActorId;
 use mamps_sdf::model::ApplicationModel;
 use mamps_sdf::repetition::repetition_vector;
+use serde::Serialize as _;
 
 use crate::cost::CostWeights;
 use crate::error::MapError;
@@ -35,7 +36,7 @@ use crate::strategy::StrategyHandle;
 /// (as a load-balancing hint) the work already running on each tile. An
 /// empty occupancy — the default — reproduces single-application binding
 /// exactly.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Occupancy {
     /// Implementation memory bytes (code + data footprints) already
     /// committed per tile (indexed by tile id; short vectors read as
@@ -200,6 +201,22 @@ impl BindOptions {
             strategy,
             ..BindOptions::default()
         }
+    }
+
+    /// The binding-relevant options as a serde value, for pass
+    /// fingerprinting: strategy name, weights, pins and occupancy. The
+    /// analysis cache is deliberately excluded — it memoizes, never
+    /// changes results.
+    pub fn fingerprint_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "strategy".to_string(),
+                serde::Value::Str(self.strategy.name().to_string()),
+            ),
+            ("weights".to_string(), self.weights.to_value()),
+            ("pinned".to_string(), self.pinned.to_value()),
+            ("occupancy".to_string(), self.occupancy.to_value()),
+        ])
     }
 }
 

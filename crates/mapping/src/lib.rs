@@ -90,7 +90,8 @@ pub mod xml;
 pub use binding::{bind, BindOptions, Occupancy};
 pub use comm_expand::{expand, ExpandedGraph};
 pub use error::MapError;
-pub use flow::{map_application, MapOptions, MappedApplication, PhaseStats};
+pub use flow::{map_application, MapOptions, MappedApplication};
+pub use mamps_sdf::passes::{PassCache, PassReport, PassRunner};
 pub use mapping::{Binding, ChannelAlloc, Mapping, ScheduleEntry};
 pub use multi::{
     map_use_case, AdmittedApp, RejectReason, RejectedApp, SharedSystem, UseCase, UseCaseMapping,

@@ -61,8 +61,11 @@ use mamps_sdf::state_space::{throughput, AnalysisOptions, ThroughputResult};
 use crate::binding::Occupancy;
 use crate::comm_expand::expand;
 use crate::error::MapError;
-use crate::flow::{map_application, MapOptions, MappedApplication};
-use crate::mapping::{Binding, Mapping, ScheduleEntry};
+use crate::flow::{map_application, run_pass, MapOptions, MappedApplication};
+use crate::mapping::{Binding, ChannelAlloc, Mapping, ScheduleEntry};
+use mamps_sdf::cache::GraphFingerprint;
+use mamps_sdf::passes::fingerprint;
+use serde::Serialize as _;
 
 /// An ordered set of applications to host concurrently on one platform.
 ///
@@ -541,35 +544,51 @@ fn verify_shared(
             // combined allocation to liveness exactly like the mapping
             // flow's phase 1. The simulator deploys the same grown
             // allocation, so the bound stays exact for the shared system.
-            let mut attempt = 0;
-            loop {
-                let started = std::time::Instant::now();
-                let result = expand(&graph, &mapping, arch).and_then(|e| {
-                    let aopts = analysis_options(opts.max_states);
-                    match &opts.cache {
-                        Some(cache) => cache.throughput(&e.graph, &aopts),
-                        None => throughput(&e.graph, &aopts),
-                    }
-                    .map_err(MapError::Sdf)
-                });
-                if let Some(s) = &opts.stats {
-                    s.add_analysis(started.elapsed());
-                }
-                match result {
-                    Ok(t) => break t,
-                    Err(MapError::Sdf(mamps_sdf::SdfError::Deadlock(msg))) => {
-                        attempt += 1;
-                        if attempt > crate::flow::DEADLOCK_GROWTH_ATTEMPTS {
-                            return Err(RejectReason::SharedAnalysis(format!(
-                                "combined static orders stay deadlocked after \
-                                 {attempt} buffer-growth steps: {msg}"
-                            )));
+            // Memoized as the `verify-shared` pass: an unchanged group
+            // (same combined graph incl. WCETs, same mapping) replays its
+            // grown allocation and analysis.
+            let (grown_channels, analysis) = run_pass(
+                &opts.passes,
+                "verify-shared",
+                || {
+                    fingerprint(vec![
+                        serde::Value::Int(i128::from(GraphFingerprint::of(&graph).hash())),
+                        mapping.to_value(),
+                        serde::Value::Int(opts.max_states as i128),
+                    ])
+                },
+                || -> Result<(Vec<ChannelAlloc>, ThroughputResult), RejectReason> {
+                    let mut m = mapping.clone();
+                    let mut attempt = 0;
+                    let analysis = loop {
+                        let result = expand(&graph, &m, arch).and_then(|e| {
+                            let aopts = analysis_options(opts.max_states);
+                            match &opts.cache {
+                                Some(cache) => cache.throughput(&e.graph, &aopts),
+                                None => throughput(&e.graph, &aopts),
+                            }
+                            .map_err(MapError::Sdf)
+                        });
+                        match result {
+                            Ok(t) => break t,
+                            Err(MapError::Sdf(mamps_sdf::SdfError::Deadlock(msg))) => {
+                                attempt += 1;
+                                if attempt > crate::flow::DEADLOCK_GROWTH_ATTEMPTS {
+                                    return Err(RejectReason::SharedAnalysis(format!(
+                                        "combined static orders stay deadlocked after \
+                                         {attempt} buffer-growth steps: {msg}"
+                                    )));
+                                }
+                                crate::flow::grow_channels_one_step(&graph, &mut m.channels);
+                            }
+                            Err(e) => return Err(RejectReason::SharedAnalysis(e.to_string())),
                         }
-                        crate::flow::grow_channels_one_step(&graph, &mut mapping.channels);
-                    }
-                    Err(e) => return Err(RejectReason::SharedAnalysis(e.to_string())),
-                }
-            }
+                    };
+                    Ok((m.channels, analysis))
+                },
+            )?;
+            mapping.channels = grown_channels;
+            analysis
         };
         mapping.guaranteed_iterations = analysis.iterations_per_cycle.numer().max(0) as u64;
         mapping.guaranteed_cycles = analysis.iterations_per_cycle.denom() as u64;

@@ -58,7 +58,7 @@ use crate::state_space::{throughput, AnalysisOptions, ThroughputResult};
 /// [`serde::stable_hash`] is persisted; this table hash never leaves the
 /// process.)
 #[derive(Default)]
-struct FxHasher(u64);
+pub(crate) struct FxHasher(u64);
 
 impl FxHasher {
     fn add(&mut self, word: u64) {
@@ -89,8 +89,8 @@ impl Hasher for FxHasher {
     }
 }
 
-type FxBuild = BuildHasherDefault<FxHasher>;
-type FxHashMap<K, V> = HashMap<K, V, FxBuild>;
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
+pub(crate) type FxHashMap<K, V> = HashMap<K, V, FxBuild>;
 
 /// The canonical identity of a graph for caching purposes: a stable
 /// 64-bit hash over the canonical-JSON form, plus the channel permutation

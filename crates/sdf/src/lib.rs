@@ -44,6 +44,7 @@ pub mod hsdf;
 pub mod liveness;
 pub mod mcr;
 pub mod model;
+pub mod passes;
 pub mod ratio;
 pub mod repetition;
 pub mod state_space;
@@ -55,6 +56,7 @@ pub use cache::{CacheEntry, CacheStats, GlobalAnalysisCache, GraphFingerprint};
 pub use error::SdfError;
 pub use graph::{Actor, ActorId, Channel, ChannelId, SdfGraph, SdfGraphBuilder};
 pub use model::{ApplicationModel, ThroughputConstraint};
+pub use passes::{PassCache, PassEntry, PassReport, PassRunner, PassStat};
 pub use ratio::Ratio;
 pub use repetition::{repetition_vector, RepetitionVector};
 pub use state_space::{throughput, AnalysisOptions, ThroughputResult};

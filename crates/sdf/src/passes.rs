@@ -1,0 +1,482 @@
+//! Named, fingerprint-keyed pipeline passes with memoization.
+//!
+//! The mapping flow is a fixed sequence of stages (bind → wire-alloc →
+//! schedule → buffer-size → verify). This module turns each stage into a
+//! *pass*: a named unit whose inputs are reduced to a stable 64-bit
+//! fingerprint (the same pinned FNV-1a walk as [`serde::stable_hash`],
+//! which also backs [`crate::cache::GraphFingerprint`]) and whose output
+//! is a serde [`Value`] tree. A [`PassRunner`] drives passes, records
+//! per-pass wall time and cache hits, and — when a [`PassCache`] is
+//! attached — skips any pass whose input fingerprint was seen before,
+//! replaying the memoized output instead.
+//!
+//! That is what makes re-mapping *incremental*: after a one-actor WCET
+//! edit, only the passes whose fingerprints actually changed re-execute;
+//! the unchanged prefix (and any unchanged sibling application in a
+//! use-case) replays from the cache. Because a replayed output is the
+//! deserialized form of the exact value the original run produced, cold,
+//! warm and incremental runs print byte-identical reports by
+//! construction.
+//!
+//! Three deliberate design points:
+//!
+//! * **Lazy fingerprints.** `PassRunner::run` takes the input fingerprint
+//!   as a closure and only invokes it when a cache is attached, so
+//!   cache-less runs (the default) pay nothing for serialization.
+//! * **Errors are memoized too.** A pass returns `Result<T, E>` and both
+//!   arms are cached: an infeasible binding stays infeasible on replay.
+//! * **Stale entries are advisory.** A cached value that no longer
+//!   decodes (schema drift in an on-disk cache from an older build) is
+//!   treated as a miss and recomputed — the cache can never wedge a run.
+//!
+//! The sharded-map + atomic-counter structure and the sorted
+//! export/import contract mirror [`crate::cache::GlobalAnalysisCache`];
+//! `mamps_core::dse::cache` persists [`PassEntry`] rows as JSONL next to
+//! the analysis-cache files.
+
+use std::collections::hash_map::Entry;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{intern, stable_hash, Deserialize, Serialize, Value};
+
+use crate::cache::{CacheStats, FxBuild, FxHashMap};
+
+/// Number of independently locked shards, matching
+/// [`crate::cache::GlobalAnalysisCache`].
+const SHARD_COUNT: usize = 16;
+
+/// Reduces the parts of a pass input to one stable 64-bit fingerprint.
+///
+/// The parts are hashed as a [`Value::Seq`] through [`stable_hash`]'s
+/// tagged, length-prefixed walk, so `["a", "bc"]` and `["ab", "c"]`
+/// cannot collide structurally and the result is identical across
+/// processes and platforms (it is what the on-disk pass cache is keyed
+/// by).
+pub fn fingerprint(parts: Vec<Value>) -> u64 {
+    stable_hash(&Value::Seq(parts))
+}
+
+/// Cache key: which pass, over which input fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    pass: &'static str,
+    input: u64,
+}
+
+/// One serializable pass-cache entry, the unit of the on-disk JSONL
+/// layer (`pass-cache-*.jsonl` under `--cache-dir`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassEntry {
+    /// Pass name (e.g. `"bind"`, `"buffer-size"`).
+    pub pass: String,
+    /// [`fingerprint`] of the pass inputs.
+    pub input: u64,
+    /// The memoized pass output, opaque to the cache: the serialized
+    /// `Result<T, E>` of the pass body.
+    pub output: Value,
+}
+
+/// A global, thread-safe memo table from `(pass, input fingerprint)` to
+/// serialized pass output. Shared as an `Arc` through a [`PassRunner`];
+/// all methods take `&self` and shards are never locked while computing.
+pub struct PassCache {
+    shards: [Mutex<FxHashMap<Key, Value>>; SHARD_COUNT],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl fmt::Debug for PassCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for PassCache {
+    fn default() -> Self {
+        PassCache::new()
+    }
+}
+
+impl PassCache {
+    /// An empty cache.
+    pub fn new() -> PassCache {
+        PassCache {
+            shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<FxHashMap<Key, Value>> {
+        use std::hash::BuildHasher;
+        let h = FxBuild::default().hash_one(key);
+        &self.shards[(h as usize) % SHARD_COUNT]
+    }
+
+    /// The memoized output for `pass` over `input`, if any. Counts a hit
+    /// or a miss.
+    pub fn lookup(&self, pass: &'static str, input: u64) -> Option<Value> {
+        let key = Key { pass, input };
+        let r = self
+            .shard(&key)
+            .lock()
+            .expect("pass-cache shard poisoned")
+            .get(&key)
+            .cloned();
+        match r {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        r
+    }
+
+    /// Memoizes `output` for `pass` over `input`. Passes are
+    /// deterministic, so a racing duplicate insert is benign.
+    pub fn insert(&self, pass: &'static str, input: u64, output: Value) {
+        let key = Key { pass, input };
+        self.shard(&key)
+            .lock()
+            .expect("pass-cache shard poisoned")
+            .insert(key, output);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("pass-cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every entry as a serializable [`PassEntry`], deterministically
+    /// sorted by (pass, input) so equal caches export byte-identical
+    /// JSONL regardless of insertion or shard order.
+    pub fn export(&self) -> Vec<PassEntry> {
+        let mut entries: Vec<PassEntry> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for (k, v) in shard.lock().expect("pass-cache shard poisoned").iter() {
+                entries.push(PassEntry {
+                    pass: k.pass.to_string(),
+                    input: k.input,
+                    output: v.clone(),
+                });
+            }
+        }
+        entries.sort_by(|a, b| (&a.pass, a.input).cmp(&(&b.pass, b.input)));
+        entries
+    }
+
+    /// Loads entries (e.g. parsed from an on-disk cache file) into the
+    /// cache, returning how many were new. Existing entries win; imports
+    /// touch neither the hit/miss nor the insert counters.
+    pub fn import<I: IntoIterator<Item = PassEntry>>(&self, entries: I) -> usize {
+        let mut added = 0;
+        for e in entries {
+            let key = Key {
+                pass: intern(&e.pass),
+                input: e.input,
+            };
+            let mut shard = self.shard(&key).lock().expect("pass-cache shard poisoned");
+            if let Entry::Vacant(slot) = shard.entry(key) {
+                slot.insert(e.output);
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+/// Per-pass counters: executions, cache replays, and total wall time
+/// (which covers both — a replayed pass still costs its decode time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassStat {
+    /// Pass name.
+    pub name: &'static str,
+    /// Times the pass body actually executed.
+    pub runs: u64,
+    /// Times the output was replayed from the cache instead.
+    pub hits: u64,
+    /// Total wall time across runs and hits, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// A snapshot of every pass a [`PassRunner`] has driven, in
+/// first-execution order. `Display` renders the `--stats` table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PassReport(pub Vec<PassStat>);
+
+impl PassReport {
+    /// Total wall time across all passes, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.0.iter().map(|p| p.nanos).sum()
+    }
+
+    /// The stat row for `name`, if that pass ever ran.
+    pub fn get(&self, name: &str) -> Option<&PassStat> {
+        self.0.iter().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for PassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .0
+            .iter()
+            .map(|p| p.name.len())
+            .chain([4])
+            .max()
+            .unwrap_or(4);
+        writeln!(
+            f,
+            "{:<width$}  {:>6}  {:>6}  {:>12}",
+            "pass", "runs", "hits", "wall"
+        )?;
+        for p in &self.0 {
+            writeln!(
+                f,
+                "{:<width$}  {:>6}  {:>6}  {:>10.3}ms",
+                p.name,
+                p.runs,
+                p.hits,
+                p.nanos as f64 / 1e6,
+            )?;
+        }
+        write!(
+            f,
+            "{:<width$}  {:>6}  {:>6}  {:>10.3}ms",
+            "total",
+            self.0.iter().map(|p| p.runs).sum::<u64>(),
+            self.0.iter().map(|p| p.hits).sum::<u64>(),
+            self.total_nanos() as f64 / 1e6,
+        )
+    }
+}
+
+/// Drives named passes: times every invocation, and — when constructed
+/// [`with_cache`](PassRunner::with_cache) — memoizes outputs by input
+/// fingerprint so unchanged passes replay instead of re-executing.
+///
+/// Thread-safe; shared as an `Arc` through `MapOptions`/`FlowOptions`
+/// the same way the analysis cache is.
+#[derive(Debug, Default)]
+pub struct PassRunner {
+    cache: Option<std::sync::Arc<PassCache>>,
+    stats: Mutex<Vec<PassStat>>,
+}
+
+impl PassRunner {
+    /// A runner that times passes but never caches (the cold path; input
+    /// fingerprints are never even computed).
+    pub fn new() -> PassRunner {
+        PassRunner::default()
+    }
+
+    /// A runner backed by `cache`: pass outputs are memoized and
+    /// replayed across invocations (and across processes, once the cache
+    /// is persisted).
+    pub fn with_cache(cache: std::sync::Arc<PassCache>) -> PassRunner {
+        PassRunner {
+            cache: Some(cache),
+            stats: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The attached pass cache, if any.
+    pub fn cache(&self) -> Option<&std::sync::Arc<PassCache>> {
+        self.cache.as_ref()
+    }
+
+    fn record(&self, name: &'static str, hit: bool, nanos: u64) {
+        let mut stats = self.stats.lock().expect("pass stats poisoned");
+        let slot = match stats.iter_mut().find(|p| p.name == name) {
+            Some(s) => s,
+            None => {
+                stats.push(PassStat {
+                    name,
+                    ..PassStat::default()
+                });
+                stats.last_mut().expect("just pushed")
+            }
+        };
+        if hit {
+            slot.hits += 1;
+        } else {
+            slot.runs += 1;
+        }
+        slot.nanos += nanos;
+    }
+
+    /// Snapshot of every pass driven so far, in first-execution order.
+    pub fn report(&self) -> PassReport {
+        PassReport(self.stats.lock().expect("pass stats poisoned").clone())
+    }
+
+    /// Runs (or replays) the pass `name`.
+    ///
+    /// `input` reduces the pass inputs to a stable fingerprint; it is
+    /// only invoked when a cache is attached. `f` is the pass body; both
+    /// its `Ok` and `Err` outcomes are memoized. A cached value that
+    /// fails to decode (stale on-disk schema) falls back to `f`.
+    pub fn run<T, E>(
+        &self,
+        name: &'static str,
+        input: impl FnOnce() -> u64,
+        f: impl FnOnce() -> Result<T, E>,
+    ) -> Result<T, E>
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+        E: Serialize + for<'de> Deserialize<'de>,
+    {
+        let start = Instant::now();
+        match &self.cache {
+            None => {
+                let out = f();
+                self.record(name, false, start.elapsed().as_nanos() as u64);
+                out
+            }
+            Some(cache) => {
+                let fp = input();
+                if let Some(v) = cache.lookup(name, fp) {
+                    if let Ok(out) = Result::<T, E>::from_value(&v) {
+                        self.record(name, true, start.elapsed().as_nanos() as u64);
+                        return out;
+                    }
+                }
+                let out = f();
+                cache.insert(name, fp, out.to_value());
+                self.record(name, false, start.elapsed().as_nanos() as u64);
+                out
+            }
+        }
+    }
+
+    /// Runs the pass `name` unconditionally, recording only wall time.
+    /// For steps whose output must never be replayed (code generation
+    /// into a project directory, simulator measurements).
+    pub fn time<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, false, start.elapsed().as_nanos() as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn fp(n: u64) -> impl FnOnce() -> u64 {
+        move || n
+    }
+
+    #[test]
+    fn cacheless_runner_never_fingerprints() {
+        let runner = PassRunner::new();
+        let out: Result<u64, String> = runner.run("p", || unreachable!("lazy"), || Ok(7));
+        assert_eq!(out, Ok(7));
+        let report = runner.report();
+        assert_eq!(report.get("p").unwrap().runs, 1);
+        assert_eq!(report.get("p").unwrap().hits, 0);
+    }
+
+    #[test]
+    fn cached_runner_replays_both_ok_and_err() {
+        let cache = Arc::new(PassCache::new());
+        let runner = PassRunner::with_cache(cache.clone());
+
+        let a: Result<Vec<u64>, String> = runner.run("p", fp(1), || Ok(vec![1, 2, 3]));
+        let b: Result<Vec<u64>, String> = runner.run("p", fp(1), || unreachable!("must replay"));
+        assert_eq!(a, b);
+
+        let e1: Result<Vec<u64>, String> = runner.run("p", fp(2), || Err("boom".into()));
+        let e2: Result<Vec<u64>, String> =
+            runner.run("p", fp(2), || unreachable!("errors replay too"));
+        assert_eq!(e1, e2);
+        assert_eq!(e2, Err("boom".to_string()));
+
+        let report = runner.report();
+        let p = report.get("p").unwrap();
+        assert_eq!((p.runs, p.hits), (2, 2));
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn undecodable_entry_is_a_miss_not_an_error() {
+        let cache = Arc::new(PassCache::new());
+        // A foreign entry of the wrong shape under the key we will ask for.
+        cache.insert("p", 9, Value::Str("not a Result".into()));
+        let runner = PassRunner::with_cache(cache);
+        let out: Result<u64, String> = runner.run("p", fp(9), || Ok(42));
+        assert_eq!(out, Ok(42));
+        // The recompute overwrote the stale entry; now it replays.
+        let again: Result<u64, String> = runner.run("p", fp(9), || unreachable!());
+        assert_eq!(again, Ok(42));
+    }
+
+    #[test]
+    fn export_import_round_trips_and_is_deterministic() {
+        let cache = PassCache::new();
+        cache.insert("b", 2, Value::Int(2));
+        cache.insert("a", 1, Value::Int(1));
+        cache.insert("a", 3, Value::Int(3));
+        let exported = cache.export();
+        assert_eq!(
+            exported
+                .iter()
+                .map(|e| (e.pass.as_str(), e.input))
+                .collect::<Vec<_>>(),
+            vec![("a", 1), ("a", 3), ("b", 2)]
+        );
+
+        let fresh = PassCache::new();
+        assert_eq!(fresh.import(exported.clone()), 3);
+        assert_eq!(fresh.import(exported.clone()), 0, "duplicates are no-ops");
+        assert_eq!(fresh.export(), exported);
+
+        // Entries survive a JSON round-trip byte-for-byte.
+        for e in &exported {
+            let mut line = String::new();
+            serde::json::emit(&e.to_value(), &mut line);
+            let back: PassEntry = serde::json::from_str(&line).unwrap();
+            assert_eq!(&back, e);
+        }
+    }
+
+    #[test]
+    fn report_renders_a_table_with_total() {
+        let runner = PassRunner::new();
+        let _: Result<u64, String> = runner.run("bind", fp(0), || Ok(1));
+        runner.time("boot-sim", || ());
+        let text = runner.report().to_string();
+        assert!(text.starts_with("pass"), "header row: {text}");
+        assert!(text.contains("bind"));
+        assert!(text.contains("boot-sim"));
+        assert!(text.lines().last().unwrap().starts_with("total"));
+    }
+}

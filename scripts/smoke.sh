@@ -66,7 +66,15 @@ grep -q "ends mid-record" "$tmp/resume-err.txt" \
 echo "== mamps dse --stats"
 "$BIN" dse "$APP" 4 --stats >/dev/null 2>"$tmp/stats.txt"
 grep -q "analysis cache:" "$tmp/stats.txt" || fail "--stats printed no cache counters"
-grep -q "phase wall time:" "$tmp/stats.txt" || fail "--stats printed no phase timings"
+grep -q "pass wall time" "$tmp/stats.txt" || fail "--stats printed no per-pass timings"
+
+echo "== mamps map --stats (per-pass table)"
+"$BIN" map "$APP" "$ARCH" --stats >/dev/null 2>"$tmp/map-stats.txt"
+grep -qE 'pass +runs +hits +wall' "$tmp/map-stats.txt" \
+  || fail "map --stats printed no per-pass table header"
+for pass in bind wire-alloc schedule buffer-size; do
+  grep -q "$pass" "$tmp/map-stats.txt" || fail "map --stats lost the $pass pass"
+done
 
 echo "== mamps map --binder spiral"
 out=$("$BIN" map "$APP" "$ARCH" --binder spiral)
@@ -110,5 +118,8 @@ MAMPS_BIN="$BIN" scripts/shard_dse.sh || fail "sharded dse diverged from the uns
 
 echo "== simulator equivalence (event vs lockstep, byte-for-byte)"
 MAMPS_BIN="$BIN" scripts/sim_equiv.sh || fail "simulator engines diverged"
+
+echo "== incremental equivalence (pass cache: remap + delta sweeps, byte-for-byte)"
+MAMPS_BIN="$BIN" scripts/incremental_equiv.sh || fail "incremental re-mapping diverged"
 
 echo "smoke: OK"

@@ -5,11 +5,15 @@
 //! ```text
 //! mamps analyze   <app.xml>                       # consistency + unbounded throughput
 //! mamps map       <app.xml> <arch.xml> [out.xml] [--binder <name>]
+//!                 [--cache-dir DIR] [--stats]
+//! mamps remap     <app.xml> <arch.xml> [out.xml] [--binder <name>]
+//!                 --cache-dir DIR [--stats]       # incremental re-map
 //! mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N]
-//!                 [--engine event|lockstep]
+//!                 [--engine event|lockstep] [--cache-dir DIR] [--stats]
 //! mamps generate  <app.xml> <arch.xml> <dir>      # full project generation
 //! mamps simulate  <app.xml> <arch.xml> [iters]    # flow + WCET platform run
 //!                 [--engine event|lockstep] [--gantt COLS] [--trace N]
+//!                 [--cache-dir DIR] [--stats]
 //! mamps dse       <app.xml> <max_tiles> [--jobs N] [--binders a,b,c]
 //!                 [--shard i/n --out points.jsonl] [--cache-dir DIR]
 //!                 [--resume points.jsonl]... [--stats]
@@ -44,15 +48,21 @@
 //! unsharded `mamps dse` would have printed, Pareto front included.
 //!
 //! Every `dse` run memoizes throughput analyses in a global in-process
-//! cache. `--cache-dir DIR` makes the cache persistent: the run loads all
-//! `*.jsonl` cache files in `DIR` at startup and writes its own
-//! (per-shard-named) file back, so repeated or sharded sweeps sharing the
-//! directory skip already-analysed design points. `--resume f.jsonl`
-//! (repeatable) seeds the sweep with the evaluated points of partial
+//! cache. `--cache-dir DIR` makes caching persistent — and it is now
+//! accepted by `map`, `remap`, `map-multi` and `simulate` too, not just
+//! `dse`: the run loads the `*.jsonl` analysis-cache files *and* the
+//! `pass-cache-*.jsonl` whole-pass memo files in `DIR` at startup and
+//! writes its own (per-shard-named) files back. The pass cache memoizes
+//! entire flow passes (bind, wire-alloc, schedule, buffer-size,
+//! verify-shared) by input fingerprint, so a warm run replays every
+//! unchanged pass — `mamps remap` is the incremental workflow: after
+//! editing one WCET, only the invalidated passes re-execute, and the
+//! report stays byte-identical to a cold run. `--resume f.jsonl`
+//! (repeatable) seeds a sweep with the evaluated points of partial
 //! shard files from a crashed run of the same sweep — a torn trailing
 //! line is dropped, the rest is reused, and the output stays
 //! byte-identical to a cold run. `--stats` prints cache hit/miss/insert
-//! counters and per-phase wall time (bind / wire-alloc / analysis) to
+//! counters and a per-pass table (name, runs, cache hits, wall time) to
 //! stderr.
 //!
 //! Binding strategies (`--binder` / `--binders`) are resolved through
@@ -76,7 +86,7 @@ use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
+        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] [--cache-dir DIR] [--stats]\n  mamps remap     <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] --cache-dir DIR [--stats]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep] [--cache-dir DIR] [--stats]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N] [--cache-dir DIR] [--stats]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
         strategy::names().join(", ")
     );
     ExitCode::from(2)
@@ -153,6 +163,119 @@ fn write_shard(s: &shard::DseShard, path: &str) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
+/// The caches and pass runner a run was configured with, for persisting
+/// and reporting after the flow completes.
+struct RunCaches {
+    dir: Option<std::path::PathBuf>,
+    analysis: Option<std::sync::Arc<mamps::sdf::GlobalAnalysisCache>>,
+    passes: std::sync::Arc<mamps::sdf::PassCache>,
+    runner: std::sync::Arc<mamps::mapping::PassRunner>,
+    warmed_analysis: Option<dse_cache::CacheDirLoad>,
+    warmed_passes: Option<dse_cache::CacheDirLoad>,
+    show_stats: bool,
+    started: std::time::Instant,
+}
+
+/// Wires the analysis cache, the whole-pass memo cache and the pass
+/// runner into `opts`, as requested by `--cache-dir` / `--stats`.
+///
+/// * `--cache-dir DIR` warms both caches from `DIR` and attaches them, so
+///   unchanged passes (and repeated analyses) replay from previous runs;
+///   [`finish_caches`] persists them back.
+/// * `--stats` alone attaches an uncached runner, purely for the
+///   per-pass wall-time table.
+/// * `always_analysis` (the `dse` sweep) attaches the in-process analysis
+///   cache even without a cache directory, as sweeps always did.
+///
+/// Returns `None` when nothing was requested: the flow then runs with
+/// zero cache or accounting overhead.
+fn setup_caches(
+    opts: &mut FlowOptions,
+    cache_dir: Option<std::path::PathBuf>,
+    show_stats: bool,
+    always_analysis: bool,
+) -> Result<Option<RunCaches>, Box<dyn std::error::Error>> {
+    if cache_dir.is_none() && !show_stats && !always_analysis {
+        return Ok(None);
+    }
+    let passes = std::sync::Arc::new(mamps::sdf::PassCache::new());
+    let mut analysis = None;
+    let mut warmed_analysis = None;
+    let mut warmed_passes = None;
+    if cache_dir.is_some() || always_analysis {
+        let cache = std::sync::Arc::new(mamps::sdf::GlobalAnalysisCache::new());
+        if let Some(dir) = &cache_dir {
+            warmed_analysis = Some(dse_cache::load_cache_dir(&cache, dir)?);
+            warmed_passes = Some(dse_cache::load_pass_cache_dir(&passes, dir)?);
+        }
+        opts.map.cache = Some(std::sync::Arc::clone(&cache));
+        analysis = Some(cache);
+    }
+    let runner = if cache_dir.is_some() {
+        std::sync::Arc::new(mamps::mapping::PassRunner::with_cache(
+            std::sync::Arc::clone(&passes),
+        ))
+    } else {
+        std::sync::Arc::new(mamps::mapping::PassRunner::new())
+    };
+    opts.map.passes = Some(std::sync::Arc::clone(&runner));
+    Ok(Some(RunCaches {
+        dir: cache_dir,
+        analysis,
+        passes,
+        runner,
+        warmed_analysis,
+        warmed_passes,
+        show_stats,
+        started: std::time::Instant::now(),
+    }))
+}
+
+/// Persists the caches of [`setup_caches`] back to their directory and
+/// prints the `--stats` report. Stats go to stderr: wall times (and
+/// hit/miss counts under parallel evaluation) are nondeterministic, and
+/// stdout must stay byte-comparable across cold, warm and incremental
+/// runs.
+fn finish_caches(c: &RunCaches, spec: shard::ShardSpec) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(dir) = &c.dir {
+        let ppath = dse_cache::persist_pass_cache(&c.passes, dir, spec)?;
+        let apath = match &c.analysis {
+            Some(a) => Some(dse_cache::persist_cache(a, dir, spec)?),
+            None => None,
+        };
+        if c.show_stats {
+            if let (Some(a), Some(path)) = (&c.analysis, apath) {
+                eprintln!("cache persisted: {} entries -> {}", a.len(), path.display());
+            }
+            eprintln!(
+                "pass cache persisted: {} entries -> {}",
+                c.passes.len(),
+                ppath.display()
+            );
+        }
+    }
+    if c.show_stats {
+        if let Some(w) = &c.warmed_analysis {
+            eprintln!("cache warmed from disk: {w}");
+        }
+        if let Some(w) = &c.warmed_passes {
+            eprintln!("pass cache warmed from disk: {w}");
+        }
+        if let Some(a) = &c.analysis {
+            eprintln!("analysis cache: {}", a.stats());
+        }
+        if c.runner.cache().is_some() {
+            eprintln!("pass cache: {}", c.passes.stats());
+        }
+        eprintln!(
+            "pass wall time (run total {:.1?}):\n{}",
+            c.started.elapsed(),
+            c.runner.report()
+        );
+    }
+    Ok(())
+}
+
 fn resolve_binder(name: &str) -> Result<StrategyHandle, String> {
     strategy::by_name(name).ok_or_else(|| {
         format!(
@@ -186,19 +309,33 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             );
             Ok(ExitCode::SUCCESS)
         }
-        ("map", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["binder"], &[])?;
+        // `remap` is `map` with a mandatory `--cache-dir`: the incremental
+        // re-mapping workflow. Identical code path, so its stdout is
+        // byte-identical to `map`'s by construction.
+        ("map" | "remap", _) => {
+            let (pos, flags) = split_flags(&args[1..], &["binder", "cache-dir"], &["stats"])?;
             if pos.len() < 2 || pos.len() > 3 {
                 return Ok(usage());
             }
             let app = load_app(&pos[0])?;
             let arch = load_arch(&pos[1])?;
             let mut opts = FlowOptions::default();
+            let mut cache_dir: Option<std::path::PathBuf> = None;
+            let mut show_stats = false;
             for (name, value) in &flags {
-                if name == "binder" {
-                    opts.map.bind.strategy = resolve_binder(value)?;
+                match name.as_str() {
+                    "binder" => opts.map.bind.strategy = resolve_binder(value)?,
+                    "cache-dir" => cache_dir = Some(value.into()),
+                    "stats" => show_stats = true,
+                    _ => unreachable!("split_flags rejects unknown flags"),
                 }
             }
+            if cmd == "remap" && cache_dir.is_none() {
+                return Err("`mamps remap` requires `--cache-dir DIR` \
+                            (the pass cache is what makes re-mapping incremental)"
+                    .into());
+            }
+            let caches = setup_caches(&mut opts, cache_dir, show_stats, false)?;
             let flow = run_flow_with_arch(&app, arch, &opts)?;
             println!(
                 "guaranteed worst-case throughput: {:.6e} iterations/cycle ({:.0} cycles/iteration)",
@@ -210,11 +347,17 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 std::fs::write(out, mapping_to_xml(&flow.mapped.mapping, app.graph()))?;
                 println!("mapping written to {out}");
             }
+            if let Some(c) = &caches {
+                finish_caches(c, shard::ShardSpec::full())?;
+            }
             Ok(ExitCode::SUCCESS)
         }
         ("map-multi", _) => {
-            let (pos, flags) =
-                split_flags(&args[1..], &["binder", "iters", "gantt", "engine"], &[])?;
+            let (pos, flags) = split_flags(
+                &args[1..],
+                &["binder", "iters", "gantt", "engine", "cache-dir"],
+                &["stats"],
+            )?;
             if pos.len() < 2 {
                 return Ok(usage());
             }
@@ -227,15 +370,20 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             let mut opts = FlowOptions::default();
             let mut iters: u64 = 100;
             let mut gantt_cols: Option<usize> = None;
+            let mut cache_dir: Option<std::path::PathBuf> = None;
+            let mut show_stats = false;
             for (name, value) in &flags {
                 match name.as_str() {
                     "binder" => opts.map.bind.strategy = resolve_binder(value)?,
                     "iters" => iters = value.parse()?,
                     "gantt" => gantt_cols = Some(value.parse()?),
                     "engine" => opts.sim_engine = value.parse::<mamps::sim::Engine>()?,
+                    "cache-dir" => cache_dir = Some(value.into()),
+                    "stats" => show_stats = true,
                     _ => unreachable!("split_flags rejects unknown flags"),
                 }
             }
+            let caches = setup_caches(&mut opts, cache_dir, show_stats, false)?;
             let result = run_multi_flow(apps, arch, &opts, iters)?;
             print!("{}", render_multi_report(&result));
             if let Some(cols) = gantt_cols {
@@ -268,6 +416,9 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     );
                 }
             }
+            if let Some(c) = &caches {
+                finish_caches(c, shard::ShardSpec::full())?;
+            }
             Ok(
                 if result.admitted_count() >= 1 && result.all_guarantees_hold() {
                     ExitCode::SUCCESS
@@ -291,7 +442,11 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         ("simulate", _) => {
-            let (pos, flags) = split_flags(&args[1..], &["engine", "gantt", "trace"], &[])?;
+            let (pos, flags) = split_flags(
+                &args[1..],
+                &["engine", "gantt", "trace", "cache-dir"],
+                &["stats"],
+            )?;
             if pos.len() < 2 || pos.len() > 3 {
                 return Ok(usage());
             }
@@ -301,14 +456,19 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             let mut opts = FlowOptions::default();
             let mut gantt_cols: Option<usize> = None;
             let mut trace_events: Option<usize> = None;
+            let mut cache_dir: Option<std::path::PathBuf> = None;
+            let mut show_stats = false;
             for (name, value) in &flags {
                 match name.as_str() {
                     "engine" => opts.sim_engine = value.parse::<mamps::sim::Engine>()?,
                     "gantt" => gantt_cols = Some(value.parse()?),
                     "trace" => trace_events = Some(value.parse()?),
+                    "cache-dir" => cache_dir = Some(value.into()),
+                    "stats" => show_stats = true,
                     _ => unreachable!("split_flags rejects unknown flags"),
                 }
             }
+            let caches = setup_caches(&mut opts, cache_dir, show_stats, false)?;
             let flow = run_flow_with_arch(&app, arch, &opts)?;
             let times = WcetTimes::new(flow.mapped.mapping.binding.wcet_of.clone());
             let system = System::new(app.graph(), &flow.mapped.mapping, &flow.arch, &times)?
@@ -347,6 +507,9 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 rep.margin,
                 if rep.holds() { "HOLDS" } else { "VIOLATED" }
             );
+            if let Some(c) = &caches {
+                finish_caches(c, shard::ShardSpec::full())?;
+            }
             Ok(if rep.holds() {
                 ExitCode::SUCCESS
             } else {
@@ -367,7 +530,6 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 ],
                 &["stats"],
             )?;
-            let run_started = std::time::Instant::now();
             let mut opts = FlowOptions::default();
             let mut multi_apps: Option<Vec<mamps::sdf::model::ApplicationModel>> = None;
             let mut out_path: Option<String> = None;
@@ -415,15 +577,10 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
 
             // The global analysis cache backs every dse run; --cache-dir
-            // additionally warms it from disk and persists it afterwards.
-            let analysis_cache = std::sync::Arc::new(mamps::sdf::GlobalAnalysisCache::new());
-            let warmed = match &cache_dir {
-                Some(dir) => Some(dse_cache::load_cache_dir(&analysis_cache, dir)?),
-                None => None,
-            };
-            opts.map.cache = Some(std::sync::Arc::clone(&analysis_cache));
-            let phase_stats = std::sync::Arc::new(mamps::mapping::PhaseStats::new());
-            opts.map.stats = Some(std::sync::Arc::clone(&phase_stats));
+            // additionally warms it (and the whole-pass memo cache) from
+            // disk and persists both afterwards.
+            let caches = setup_caches(&mut opts, cache_dir, show_stats, true)?
+                .expect("dse always attaches the analysis cache");
 
             // Partial shard files of a crashed run of this same sweep:
             // their design points are reused, not re-evaluated.
@@ -483,30 +640,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 }
             };
 
-            if let Some(dir) = &cache_dir {
-                let spec = opts.shard.unwrap_or_else(shard::ShardSpec::full);
-                let path = dse_cache::persist_cache(&analysis_cache, dir, spec)?;
-                if show_stats {
-                    eprintln!(
-                        "cache persisted: {} entries -> {}",
-                        analysis_cache.len(),
-                        path.display()
-                    );
-                }
-            }
-            if show_stats {
-                // Stats go to stderr: wall times (and hit/miss counts under
-                // parallel evaluation) are nondeterministic, and stdout must
-                // stay byte-comparable across runs.
-                if let Some(w) = warmed {
-                    eprintln!("cache warmed from disk: {w}");
-                }
-                eprintln!("analysis cache: {}", analysis_cache.stats());
-                eprintln!(
-                    "phase wall time: {phase_stats} (run total {:.1?})",
-                    run_started.elapsed()
-                );
-            }
+            finish_caches(&caches, opts.shard.unwrap_or_else(shard::ShardSpec::full))?;
             Ok(code)
         }
         ("dse-merge", n) if n >= 2 => {

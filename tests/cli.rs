@@ -224,6 +224,92 @@ fn cli_subcommands_work_end_to_end() {
 }
 
 #[test]
+fn cli_remap_replays_from_the_pass_cache() {
+    if !bin().exists() {
+        eprintln!("skipping: {} not built", bin().display());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mamps_cli_remap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = StreamConfig {
+        frames: 1,
+        ..StreamConfig::small()
+    };
+    let app = dir.join("app.xml");
+    std::fs::write(
+        &app,
+        application_to_xml(&mjpeg_application(&cfg, None).unwrap()),
+    )
+    .unwrap();
+    let arch = dir.join("arch.xml");
+    std::fs::write(
+        &arch,
+        architecture_to_xml(&Architecture::homogeneous("cli", 3, Interconnect::fsl()).unwrap()),
+    )
+    .unwrap();
+    let cache = dir.join("cache");
+
+    // Cold map populates the on-disk pass cache.
+    let cold = Command::new(bin())
+        .arg("map")
+        .arg(&app)
+        .arg(&arch)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .args(["--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&cold.stderr).contains("pass cache persisted"),
+        "stderr: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+
+    // Warm remap: stdout byte-identical, every flow pass replayed.
+    let warm = Command::new(bin())
+        .arg("remap")
+        .arg(&app)
+        .arg(&arch)
+        .arg("--cache-dir")
+        .arg(&cache)
+        .args(["--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        warm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(
+        warm.stdout, cold.stdout,
+        "remap must reproduce the cold map output byte for byte"
+    );
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        stderr.contains("pass cache warmed from disk"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("pass wall time"), "stderr: {stderr}");
+
+    // remap without --cache-dir is a usage error, not a silent cold run.
+    let bad = Command::new(bin())
+        .arg("remap")
+        .arg(&app)
+        .arg(&arch)
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--cache-dir"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_sharded_dse_merges_to_the_unsharded_report() {
     if !bin().exists() {
         eprintln!("skipping: {} not built", bin().display());

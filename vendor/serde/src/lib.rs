@@ -245,6 +245,21 @@ pub trait Deserialize<'de>: Sized {
     fn from_value(value: &Value) -> Result<Self, Error>;
 }
 
+/// A value tree serializes as itself: this lets containers carry opaque
+/// pass or checkpoint state (`Value` payloads of unknown shape) through
+/// the same derive-based plumbing as concrete types.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 // --- primitive impls -------------------------------------------------------
 
 macro_rules! int_impls {
