@@ -1,0 +1,168 @@
+//! Parameterized platform synthesis for generated scenarios.
+//!
+//! [`ArchSpec`] is the textual form `mamps gen --arch` accepts — an FSL
+//! star of `N` tiles (`fsl:N`) or a NoC mesh of `W×H` tiles
+//! (`mesh:WxH`) — and [`synthesize`] instantiates it as a homogeneous
+//! [`Architecture`] through the same validated construction path the XML
+//! loader uses, so generated platforms obey every template rule
+//! (single master, mesh capacity, memory limits).
+//!
+//! ## Example
+//!
+//! ```
+//! use mamps_platform::gen::{synthesize, ArchSpec};
+//!
+//! let spec: ArchSpec = "mesh:2x2".parse()?;
+//! let arch = synthesize(&spec, "quad")?;
+//! assert_eq!(arch.tile_count(), 4);
+//! assert_eq!(arch.interconnect().kind_name(), "noc");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::arch::{ArchError, Architecture};
+use crate::interconnect::Interconnect;
+use crate::noc::NocConfig;
+
+/// A parameterized platform shape: `fsl:N` or `mesh:WxH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchSpec {
+    /// Point-to-point FSL star of `tiles` tiles (tile 0 is the master).
+    Fsl {
+        /// Tile count (at least 1).
+        tiles: usize,
+    },
+    /// SDM mesh NoC of `width × height` tiles.
+    Mesh {
+        /// Mesh width in routers.
+        width: u32,
+        /// Mesh height in routers.
+        height: u32,
+    },
+}
+
+impl ArchSpec {
+    /// Number of tiles the specification instantiates.
+    pub fn tile_count(&self) -> usize {
+        match self {
+            ArchSpec::Fsl { tiles } => *tiles,
+            ArchSpec::Mesh { width, height } => (*width as usize) * (*height as usize),
+        }
+    }
+
+    /// Identifier-safe name, used in generated file names (`fsl3`,
+    /// `mesh2x2`).
+    pub fn slug(&self) -> String {
+        match self {
+            ArchSpec::Fsl { tiles } => format!("fsl{tiles}"),
+            ArchSpec::Mesh { width, height } => format!("mesh{width}x{height}"),
+        }
+    }
+}
+
+impl fmt::Display for ArchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchSpec::Fsl { tiles } => write!(f, "fsl:{tiles}"),
+            ArchSpec::Mesh { width, height } => write!(f, "mesh:{width}x{height}"),
+        }
+    }
+}
+
+impl FromStr for ArchSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ArchSpec, String> {
+        let bad = || format!("bad architecture spec `{s}` (expected `fsl:N` or `mesh:WxH`)");
+        let (kind, dims) = s.split_once(':').ok_or_else(bad)?;
+        match kind {
+            "fsl" => {
+                let tiles: usize = dims.parse().map_err(|_| bad())?;
+                if tiles == 0 {
+                    return Err(bad());
+                }
+                Ok(ArchSpec::Fsl { tiles })
+            }
+            "mesh" | "noc" => {
+                let (w, h) = dims.split_once('x').ok_or_else(bad)?;
+                let width: u32 = w.parse().map_err(|_| bad())?;
+                let height: u32 = h.parse().map_err(|_| bad())?;
+                if width == 0 || height == 0 {
+                    return Err(bad());
+                }
+                Ok(ArchSpec::Mesh { width, height })
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// Instantiates `spec` as a homogeneous MicroBlaze architecture named
+/// `name`, through the same validation as hand-written platforms.
+///
+/// # Errors
+///
+/// Propagates [`ArchError`] from architecture validation (e.g. a mesh too
+/// small for its tiles — impossible for specs built here, but the
+/// validation still runs).
+pub fn synthesize(spec: &ArchSpec, name: &str) -> Result<Architecture, ArchError> {
+    match spec {
+        ArchSpec::Fsl { tiles } => Architecture::homogeneous(name, *tiles, Interconnect::fsl()),
+        ArchSpec::Mesh { width, height } => {
+            let tiles = (*width as usize) * (*height as usize);
+            let noc = NocConfig {
+                width: *width,
+                height: *height,
+                ..NocConfig::for_tiles(tiles)
+            };
+            Architecture::homogeneous(name, tiles, Interconnect::Noc(noc))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_round_trips() {
+        for (text, tiles) in [("fsl:3", 3), ("mesh:2x3", 6), ("mesh:4x4", 16)] {
+            let spec: ArchSpec = text.parse().unwrap();
+            assert_eq!(spec.tile_count(), tiles);
+            assert_eq!(spec.to_string().parse::<ArchSpec>().unwrap(), spec);
+        }
+        assert_eq!(
+            "noc:2x2".parse::<ArchSpec>().unwrap(),
+            ArchSpec::Mesh {
+                width: 2,
+                height: 2
+            }
+        );
+        for bad in ["fsl", "fsl:0", "mesh:2", "mesh:0x2", "ring:4", "mesh:axb"] {
+            assert!(bad.parse::<ArchSpec>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn synthesized_platforms_validate_and_serialize() {
+        for text in ["fsl:1", "fsl:4", "mesh:2x2", "mesh:3x2"] {
+            let spec: ArchSpec = text.parse().unwrap();
+            let arch = synthesize(&spec, "gen").unwrap();
+            assert_eq!(arch.tile_count(), spec.tile_count());
+            let xml = crate::xml::architecture_to_xml(&arch);
+            let parsed = crate::xml::architecture_from_xml(&xml).unwrap();
+            assert_eq!(crate::xml::architecture_to_xml(&parsed), xml);
+        }
+    }
+
+    #[test]
+    fn mesh_spec_sets_dimensions() {
+        let arch = synthesize(&"mesh:3x2".parse().unwrap(), "m").unwrap();
+        match arch.interconnect() {
+            Interconnect::Noc(cfg) => assert_eq!((cfg.width, cfg.height), (3, 2)),
+            other => panic!("expected noc, got {}", other.kind_name()),
+        }
+    }
+}

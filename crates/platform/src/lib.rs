@@ -24,6 +24,7 @@
 pub mod arbiter;
 pub mod arch;
 pub mod area;
+pub mod gen;
 pub mod interconnect;
 pub mod noc;
 pub mod tile;
@@ -33,6 +34,7 @@ pub mod xml;
 pub use arbiter::TdmArbiter;
 pub use arch::{ArchError, Architecture};
 pub use area::{platform_area, Area, AreaReport};
+pub use gen::ArchSpec;
 pub use interconnect::{CommParams, Interconnect};
 pub use noc::{NocConfig, WireAllocator};
 pub use tile::{SerializationCost, TileConfig, TileKind};

@@ -16,6 +16,9 @@
 //!   static-order constraint encodings.
 //! * [`model`] — the application model joining the graph with per-actor
 //!   implementation metadata (WCET, memory sizes, argument bindings).
+//! * [`gen`] — seeded synthetic scenario generation (topology families,
+//!   controlled rates/WCETs) and the shared test generators; the
+//!   `testkit` feature adds proptest strategies on top.
 //! * [`dot`] — Graphviz export.
 //!
 //! ## Example
@@ -39,6 +42,7 @@ pub mod buffer;
 pub mod cache;
 pub mod dot;
 pub mod error;
+pub mod gen;
 pub mod graph;
 pub mod hsdf;
 pub mod liveness;
@@ -54,6 +58,7 @@ pub mod xmlutil;
 
 pub use cache::{CacheEntry, CacheStats, GlobalAnalysisCache, GraphFingerprint};
 pub use error::SdfError;
+pub use gen::{Family, GenConfig};
 pub use graph::{Actor, ActorId, Channel, ChannelId, SdfGraph, SdfGraphBuilder};
 pub use model::{ApplicationModel, ThroughputConstraint};
 pub use passes::{PassCache, PassEntry, PassReport, PassRunner, PassStat};

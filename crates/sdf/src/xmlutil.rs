@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// An XML element tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Element {
     /// Tag name.
     pub name: String,
@@ -19,7 +19,20 @@ pub struct Element {
     pub attrs: BTreeMap<String, String>,
     /// Child elements.
     pub children: Vec<Element>,
+    /// 1-based source line of the opening tag; 0 for built elements.
+    pub line: usize,
 }
+
+/// Source position is diagnostic metadata: two trees are equal when
+/// their names, attributes and children agree, wherever they were
+/// parsed from.
+impl PartialEq for Element {
+    fn eq(&self, other: &Element) -> bool {
+        self.name == other.name && self.attrs == other.attrs && self.children == other.children
+    }
+}
+
+impl Eq for Element {}
 
 impl Element {
     /// Creates an element with no attributes or children.
@@ -28,6 +41,7 @@ impl Element {
             name: name.into(),
             attrs: BTreeMap::new(),
             children: Vec::new(),
+            line: 0,
         }
     }
 
@@ -55,7 +69,7 @@ impl Element {
     /// [`XmlError::MissingAttr`] when absent.
     pub fn req(&self, key: &str) -> Result<&str, XmlError> {
         self.get(key)
-            .ok_or_else(|| XmlError::MissingAttr(self.name.clone(), key.to_string()))
+            .ok_or_else(|| XmlError::MissingAttr(self.name.clone(), key.to_string(), self.line))
     }
 
     /// Parses a required attribute as an integer type.
@@ -66,7 +80,7 @@ impl Element {
     pub fn req_u64(&self, key: &str) -> Result<u64, XmlError> {
         self.req(key)?
             .parse()
-            .map_err(|_| XmlError::BadValue(self.name.clone(), key.to_string()))
+            .map_err(|_| XmlError::BadValue(self.name.clone(), key.to_string(), self.line))
     }
 
     /// Children with the given tag name.
@@ -121,27 +135,44 @@ fn unescape(s: &str) -> String {
 /// Parse errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XmlError {
-    /// Malformed syntax; the message carries position context.
+    /// Malformed syntax; the message carries line/column context.
     Syntax(String),
-    /// Closing tag does not match the open element.
-    Mismatch(String, String),
-    /// Required attribute missing: (element, attribute).
-    MissingAttr(String, String),
-    /// Attribute value failed to parse: (element, attribute).
-    BadValue(String, String),
+    /// Closing tag does not match the open element: (open, close, line).
+    Mismatch(String, String, usize),
+    /// Required attribute missing: (element, attribute, line).
+    MissingAttr(String, String, usize),
+    /// Attribute value failed to parse: (element, attribute, line).
+    BadValue(String, String, usize),
     /// Structural problem above the XML level (wrong root, unknown refs).
     Semantic(String),
+}
+
+/// ` (line N)` when the position is known, nothing for built elements.
+fn at_line(line: &usize) -> String {
+    if *line == 0 {
+        String::new()
+    } else {
+        format!(" (line {line})")
+    }
 }
 
 impl std::fmt::Display for XmlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             XmlError::Syntax(m) => write!(f, "xml syntax error: {m}"),
-            XmlError::Mismatch(open, close) => {
-                write!(f, "mismatched tags: <{open}> closed by </{close}>")
+            XmlError::Mismatch(open, close, line) => {
+                write!(
+                    f,
+                    "mismatched tags: <{open}> closed by </{close}>{}",
+                    at_line(line)
+                )
             }
-            XmlError::MissingAttr(e, a) => write!(f, "element <{e}> misses attribute `{a}`"),
-            XmlError::BadValue(e, a) => write!(f, "element <{e}>: bad value for `{a}`"),
+            XmlError::MissingAttr(e, a, line) => {
+                write!(f, "element <{e}>{} misses attribute `{a}`", at_line(line))
+            }
+            XmlError::BadValue(e, a, line) => {
+                write!(f, "element <{e}>{}: bad value for `{a}`", at_line(line))
+            }
             XmlError::Semantic(m) => write!(f, "invalid document: {m}"),
         }
     }
@@ -164,8 +195,8 @@ pub fn parse(input: &str) -> Result<Element, XmlError> {
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(XmlError::Syntax(format!(
-            "trailing content at byte {}",
-            p.pos
+            "trailing content at {}",
+            p.position()
         )));
     }
     Ok(root)
@@ -177,6 +208,22 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
+    /// 1-based line of the current position.
+    fn line(&self) -> usize {
+        1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+    }
+
+    /// `line L, column C` of the current position, for syntax errors.
+    fn position(&self) -> String {
+        let upto = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+        format!("line {line}, column {col}")
+    }
+
     fn skip_ws(&mut self) {
         while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
             self.pos += 1;
@@ -211,8 +258,9 @@ impl<'a> Parser<'a> {
             Ok(())
         } else {
             Err(XmlError::Syntax(format!(
-                "expected `{}` at byte {}",
-                c as char, self.pos
+                "expected `{}` at {}",
+                c as char,
+                self.position()
             )))
         }
     }
@@ -226,16 +274,21 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         if self.pos == start {
-            return Err(XmlError::Syntax(format!("expected a name at byte {start}")));
+            return Err(XmlError::Syntax(format!(
+                "expected a name at {}",
+                self.position()
+            )));
         }
         Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
     }
 
     fn element(&mut self) -> Result<Element, XmlError> {
         self.skip_ws();
+        let open_line = self.line();
         self.expect(b'<')?;
         let name = self.name()?;
         let mut el = Element::new(&name);
+        el.line = open_line;
         loop {
             self.skip_ws();
             match self.bytes.get(self.pos) {
@@ -278,12 +331,13 @@ impl<'a> Parser<'a> {
                 return Err(XmlError::Syntax("unterminated comment".into()));
             }
             if self.rest().starts_with("</") {
+                let close_line = self.line();
                 self.pos += 2;
                 let close = self.name()?;
                 self.skip_ws();
                 self.expect(b'>')?;
                 if close != name {
-                    return Err(XmlError::Mismatch(name, close));
+                    return Err(XmlError::Mismatch(name, close, close_line));
                 }
                 return Ok(el);
             }
@@ -350,13 +404,46 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert!(matches!(parse("<a><b></a>"), Err(XmlError::Mismatch(_, _))));
+        assert!(matches!(
+            parse("<a><b></a>"),
+            Err(XmlError::Mismatch(_, _, _))
+        ));
         assert!(matches!(parse("<a"), Err(XmlError::Syntax(_))));
         assert!(matches!(parse("<a/><b/>"), Err(XmlError::Syntax(_))));
         let e = Element::new("x");
-        assert!(matches!(e.req("k"), Err(XmlError::MissingAttr(_, _))));
+        assert!(matches!(e.req("k"), Err(XmlError::MissingAttr(_, _, _))));
         let e = Element::new("x").attr("k", "notanumber");
-        assert!(matches!(e.req_u64("k"), Err(XmlError::BadValue(_, _))));
+        assert!(matches!(e.req_u64("k"), Err(XmlError::BadValue(_, _, _))));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        // Parsed elements remember their opening-tag line...
+        let doc = parse("<root>\n  <child/>\n  <child\n    deep=\"1\"/>\n</root>").unwrap();
+        assert_eq!(doc.line, 1);
+        assert_eq!(doc.children[0].line, 2);
+        assert_eq!(doc.children[1].line, 3);
+        // ...and attribute errors report them.
+        let e = doc.children[1].req("missing").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "element <child> (line 3) misses attribute `missing`"
+        );
+        // Syntax errors report line and column.
+        let e = parse("<root>\n  <bad att></root>").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "xml syntax error: expected `=` at line 2, column 11"
+        );
+        // Mismatches report the closing tag's line.
+        let e = parse("<a>\n<b>\n</c>\n</a>").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "mismatched tags: <b> closed by </c> (line 3)"
+        );
+        // Hand-built elements have no position and none is printed.
+        let e = Element::new("x").req("k").unwrap_err();
+        assert_eq!(e.to_string(), "element <x> misses attribute `k`");
     }
 
     #[test]

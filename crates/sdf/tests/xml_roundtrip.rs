@@ -1,74 +1,18 @@
-//! Property tests for the XML interchange: arbitrary valid application
-//! models survive a serialize/parse round trip unchanged.
+//! Property tests for the XML interchange: generated application models
+//! (every topology family, multirate channels, self-edges, optional
+//! throughput constraints — the shared `gen::strategies` testkit) survive
+//! a serialize/parse round trip unchanged.
 
 use proptest::prelude::*;
 
-use mamps_sdf::graph::SdfGraphBuilder;
-use mamps_sdf::model::{
-    ActorImplementation, ApplicationModel, ArgBinding, ArgDirection, ThroughputConstraint,
-};
+use mamps_sdf::gen::strategies;
 use mamps_sdf::xml::{application_from_xml, application_to_xml};
-
-fn arbitrary_app() -> impl Strategy<Value = ApplicationModel> {
-    (
-        2usize..6,                                                               // actors
-        proptest::collection::vec((1u64..8, 1u64..8, 0u64..5, 1u64..200), 1..8), // channels
-        proptest::collection::vec(1u64..10_000, 6),                              // wcets
-        proptest::option::of((1u64..10, 100u64..1_000_000)),
-    )
-        .prop_map(|(n, chans, wcets, constraint)| {
-            let mut b = SdfGraphBuilder::new("prop");
-            let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
-            // A consistent backbone: unit-rate ring so arbitrary extra
-            // channels cannot break consistency if they follow it.
-            for i in 0..n {
-                b.add_channel_with_tokens(format!("ring{i}"), ids[i], 1, ids[(i + 1) % n], 1, 1);
-            }
-            for (k, (src, dst, tokens, size)) in chans.into_iter().enumerate() {
-                let s = (src as usize) % n;
-                let d = (dst as usize) % n;
-                b.add_channel_full(format!("x{k}"), ids[s], 1, ids[d], 1, tokens, size);
-            }
-            let graph = b.build().unwrap();
-            let mut impls = std::collections::HashMap::new();
-            for (aid, actor) in graph.actors() {
-                let mut args = Vec::new();
-                let mut idx = 0;
-                for &cid in graph.incoming(aid) {
-                    let ch = graph.channel(cid);
-                    if ch.is_self_edge() {
-                        continue;
-                    }
-                    args.push(ArgBinding {
-                        arg_index: idx,
-                        channel: ch.name().to_string(),
-                        direction: ArgDirection::Input,
-                    });
-                    idx += 1;
-                }
-                impls.insert(
-                    actor.name().to_string(),
-                    vec![ActorImplementation {
-                        processor_type: "microblaze".into(),
-                        function_name: format!("f_{}", actor.name()),
-                        wcet: wcets[aid.0 % wcets.len()],
-                        instruction_memory: 1024,
-                        data_memory: 64,
-                        args,
-                    }],
-                );
-            }
-            let constraint =
-                constraint.map(|(iterations, cycles)| ThroughputConstraint { iterations, cycles });
-            ApplicationModel::new(graph, impls, constraint).unwrap()
-        })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn xml_roundtrip_is_lossless(app in arbitrary_app()) {
+    fn xml_roundtrip_is_lossless(app in strategies::application()) {
         let xml = application_to_xml(&app);
         let back = application_from_xml(&xml).unwrap();
         let (g1, g2) = (app.graph(), back.graph());

@@ -12,30 +12,12 @@ use proptest::prelude::*;
 use mamps_mapping::flow::{map_application, MapOptions};
 use mamps_platform::arch::Architecture;
 use mamps_platform::interconnect::Interconnect;
-use mamps_sdf::graph::SdfGraphBuilder;
-use mamps_sdf::model::{ApplicationModel, HomogeneousModelBuilder};
+use mamps_sdf::gen::{pipeline_app, strategies};
 use mamps_sim::{System, TraceTimes, WcetTimes};
-
-fn pipeline_app(wcets: &[u64], token_size: u64, rates: &[u64]) -> ApplicationModel {
-    let n = wcets.len();
-    let mut b = SdfGraphBuilder::new("pipe");
-    let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
-    for i in 0..n - 1 {
-        // Alternate multirate patterns derived from `rates`.
-        let p = rates[i % rates.len()];
-        b.add_channel_full(format!("e{i}"), ids[i], p, ids[i + 1], p, 0, token_size);
-    }
-    let g = b.build().unwrap();
-    let mut mb = HomogeneousModelBuilder::new("microblaze");
-    for (i, &w) in wcets.iter().enumerate() {
-        mb.actor(format!("a{i}"), w.max(1), 4096, 512);
-    }
-    mb.finish(g, None).unwrap()
-}
 
 fn strategy() -> impl Strategy<Value = (Vec<u64>, u64, usize, bool, Vec<u64>)> {
     (
-        proptest::collection::vec(5u64..300, 2..5),
+        strategies::wcets(2..5),
         prop_oneof![Just(4u64), Just(16), Just(64), Just(200)],
         2usize..5,
         any::<bool>(),
@@ -50,7 +32,7 @@ proptest! {
     fn wcet_simulation_reproduces_bound_exactly(
         (wcets, tok, tiles, noc, rates) in strategy()
     ) {
-        let app = pipeline_app(&wcets, tok, &rates);
+        let app = pipeline_app("pipe", &wcets, tok, &rates, None);
         let ic = if noc {
             Interconnect::noc_for_tiles(tiles)
         } else {
@@ -77,7 +59,7 @@ proptest! {
         (wcets, tok, tiles, noc, rates) in strategy(),
         seed in 0u64..1000,
     ) {
-        let app = pipeline_app(&wcets, tok, &rates);
+        let app = pipeline_app("pipe", &wcets, tok, &rates, None);
         let ic = if noc {
             Interconnect::noc_for_tiles(tiles)
         } else {

@@ -9,7 +9,9 @@
 //! Random SDF graphs × random platforms (FSL and NoC, 1–5 tiles,
 //! multirate channels, varied token sizes) are mapped by the full flow and
 //! run under both engines; multi-application union graphs go through
-//! `map_use_case` and `new_with_repetitions` the same way.
+//! `map_use_case` and `new_with_repetitions` the same way. Graphs come
+//! from the shared `mamps_sdf::gen` testkit — both the pipeline helper
+//! and full generated topology families (split-joins, trees, cycles).
 
 use proptest::prelude::*;
 
@@ -17,40 +19,12 @@ use mamps_mapping::flow::{map_application, MapOptions};
 use mamps_mapping::multi::{map_use_case, UseCase};
 use mamps_platform::arch::Architecture;
 use mamps_platform::interconnect::Interconnect;
-use mamps_sdf::graph::SdfGraphBuilder;
-use mamps_sdf::model::{ApplicationModel, HomogeneousModelBuilder};
+use mamps_sdf::gen::{generate, pipeline_app, strategies};
 use mamps_sim::{render_gantt, render_trace, Engine, System, WcetTimes};
-
-fn pipeline_app(name: &str, wcets: &[u64], token_size: u64, rates: &[u64]) -> ApplicationModel {
-    let n = wcets.len();
-    let mut b = SdfGraphBuilder::new(name);
-    let ids: Vec<_> = (0..n)
-        .map(|i| b.add_actor(format!("{name}{i}"), 1))
-        .collect();
-    for i in 0..n - 1 {
-        // Alternate multirate patterns derived from `rates`.
-        let p = rates[i % rates.len()];
-        b.add_channel_full(
-            format!("{name}e{i}"),
-            ids[i],
-            p,
-            ids[i + 1],
-            p,
-            0,
-            token_size,
-        );
-    }
-    let g = b.build().unwrap();
-    let mut mb = HomogeneousModelBuilder::new("microblaze");
-    for (i, &w) in wcets.iter().enumerate() {
-        mb.actor(format!("{name}{i}"), w.max(1), 4096, 512);
-    }
-    mb.finish(g, None).unwrap()
-}
 
 fn strategy() -> impl Strategy<Value = (Vec<u64>, u64, usize, bool, Vec<u64>)> {
     (
-        proptest::collection::vec(5u64..300, 2..5),
+        strategies::wcets(2..5),
         prop_oneof![Just(4u64), Just(16), Just(64), Just(200)],
         1usize..5,
         any::<bool>(),
@@ -107,7 +81,7 @@ proptest! {
     fn engines_agree_on_random_single_app(
         (wcets, tok, tiles, noc, rates) in strategy()
     ) {
-        let app = pipeline_app("p", &wcets, tok, &rates);
+        let app = pipeline_app("p", &wcets, tok, &rates, None);
         let ic = if noc {
             Interconnect::noc_for_tiles(tiles)
         } else {
@@ -126,7 +100,7 @@ proptest! {
         (wcets, tok, tiles, noc, rates) in strategy(),
         starve_dst in any::<bool>(),
     ) {
-        let app = pipeline_app("p", &wcets, tok, &rates);
+        let app = pipeline_app("p", &wcets, tok, &rates, None);
         let ic = if noc {
             Interconnect::noc_for_tiles(tiles)
         } else {
@@ -157,14 +131,34 @@ proptest! {
     }
 
     #[test]
+    fn engines_agree_on_generated_families(
+        cfg in strategies::flow_config(),
+        tiles in 1usize..4,
+        noc in any::<bool>(),
+    ) {
+        let app = generate(&cfg).unwrap();
+        let ic = if noc {
+            Interconnect::noc_for_tiles(tiles)
+        } else {
+            Interconnect::fsl()
+        };
+        let arch = Architecture::homogeneous("x", tiles, ic).unwrap();
+        let mapped = match map_application(&app, &arch, &MapOptions::default()) {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // infeasible (scenario, platform) pair
+        };
+        assert_engines_agree(app.graph(), &mapped.mapping, &arch, None, 40)?;
+    }
+
+    #[test]
     fn engines_agree_on_multi_app_unions(
-        wa in proptest::collection::vec(20u64..200, 2..4),
-        wb in proptest::collection::vec(20u64..200, 2..4),
+        wa in strategies::wcets(2..4),
+        wb in strategies::wcets(2..4),
         tok in prop_oneof![Just(8u64), Just(32), Just(128)],
         tiles in 2usize..4,
     ) {
-        let ua = pipeline_app("u", &wa, tok, &[1]);
-        let ub = pipeline_app("v", &wb, tok, &[1]);
+        let ua = pipeline_app("u", &wa, tok, &[1], None);
+        let ub = pipeline_app("v", &wb, tok, &[1], None);
         let uc = UseCase::new(vec![ua, ub]).unwrap();
         let arch = Architecture::homogeneous("x", tiles, Interconnect::fsl()).unwrap();
         let r = map_use_case(&uc, &arch, &MapOptions::default());

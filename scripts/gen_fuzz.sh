@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Corpus-scale differential fuzzing of the release `mamps` binary over
+# generated scenarios (scripts counterpart of tests/gen_corpus.rs).
+#
+# For every (seed, family) cell of a deterministic grid, `mamps gen`
+# emits one scenario and the harness holds the whole toolchain against
+# its cross-cutting oracles:
+#
+#   * determinism  — a second generating process is byte-identical;
+#   * analyze      — every scenario parses back and is consistent;
+#   * engines      — `simulate --engine event` == `--engine lockstep`;
+#   * caching      — cold dse == warm `--cache-dir` dse, and a cold
+#                    `map --cache-dir` == the warm `remap` replay;
+#   * sharding     — 2-way sharded dse merged back == unsharded, and a
+#                    torn partial shard resumed == cold;
+#   * admission    — an application admitted alone stays admitted when a
+#                    second application joins the use case.
+#
+# Scenarios that are infeasible on the swept platform are fine (some
+# greedy partitions of multirate graphs are skipped design points); a
+# divergence between two runs that should agree is not. Failing
+# scenarios are copied to target/gen-fuzz-failures/ for replay.
+#
+# Usage:
+#   cargo build --release && scripts/gen_fuzz.sh [--quick]
+#
+# --quick sweeps 13 seeds x 4 families (52 scenarios, ~1 min; the CI
+# budget). The default sweeps 40 seeds. MAMPS_GEN_FUZZ_SEEDS overrides
+# either.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${MAMPS_BIN:-target/release/mamps}
+SEEDS=40
+[ "${1:-}" = "--quick" ] && SEEDS=13
+SEEDS=${MAMPS_GEN_FUZZ_SEEDS:-$SEEDS}
+FAILDIR=target/gen-fuzz-failures
+
+[ -x "$BIN" ] || { echo "gen_fuzz: $BIN not built (run cargo build --release first)" >&2; exit 1; }
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+rm -rf "$FAILDIR"
+
+scenarios=0
+failures=0
+mapped=0
+
+# Records a divergence: keep the scenario for replay, keep going so one
+# bad cell does not mask others.
+diverge() { # <scenario-dir> <tag> <message>
+  failures=$((failures + 1))
+  mkdir -p "$FAILDIR"
+  cp -r "$1" "$FAILDIR/$(basename "$1")" 2>/dev/null
+  echo "gen_fuzz: FAIL [$2] $3 (kept $FAILDIR/$(basename "$1"))" >&2
+}
+
+prev_app=
+prev_arch=
+prev_name=
+
+for family in chain split-join tree cyclic; do
+  for ((seed = 0; seed < SEEDS; seed++)); do
+    scenarios=$((scenarios + 1))
+    actors=$((3 + seed % 4))
+    if ((seed % 2)); then arch_spec=mesh:2x2; else arch_spec=fsl:3; fi
+    dir="$tmp/${family}_s${seed}"
+    tag="$family seed $seed"
+
+    "$BIN" gen --seed "$seed" --family "$family" --actors "$actors" \
+      --arch "$arch_spec" --count 1 --out "$dir" >/dev/null \
+      || { diverge "$dir" "$tag" "gen failed"; continue; }
+
+    # Determinism: an independent process regenerates identical bytes.
+    "$BIN" gen --seed "$seed" --family "$family" --actors "$actors" \
+      --arch "$arch_spec" --count 1 --out "$dir.again" >/dev/null
+    diff -r "$dir" "$dir.again" >/dev/null \
+      || { diverge "$dir" "$tag" "regeneration is not byte-identical"; continue; }
+
+    app=$(ls "$dir"/*_s*.xml)
+    arch=$(ls "$dir"/arch_*.xml)
+
+    # Consistency (and thereby parser round-trip, which gen verified
+    # before writing).
+    "$BIN" analyze "$app" >"$dir/analyze.txt" \
+      || { diverge "$dir" "$tag" "analyze failed"; continue; }
+    grep -q "consistent" "$dir/analyze.txt" \
+      || { diverge "$dir" "$tag" "scenario is not consistent"; continue; }
+
+    # DSE caching: cold == cache-dir cold == cache-dir warm.
+    "$BIN" dse "$app" 3 >"$dir/dse-cold.txt" \
+      || { diverge "$dir" "$tag" "dse failed"; continue; }
+    "$BIN" dse "$app" 3 --cache-dir "$dir/cache" >"$dir/dse-c1.txt"
+    "$BIN" dse "$app" 3 --cache-dir "$dir/cache" >"$dir/dse-c2.txt"
+    if ! diff "$dir/dse-cold.txt" "$dir/dse-c1.txt" >/dev/null ||
+       ! diff "$dir/dse-c1.txt" "$dir/dse-c2.txt" >/dev/null; then
+      diverge "$dir" "$tag" "cached dse diverges from cold"
+      continue
+    fi
+
+    # DSE sharding: 2-way shards merged == unsharded; torn resume == cold.
+    "$BIN" dse "$app" 3 --shard 0/2 --out "$dir/s0.jsonl" >/dev/null
+    "$BIN" dse "$app" 3 --shard 1/2 --out "$dir/s1.jsonl" >/dev/null
+    "$BIN" dse-merge "$dir/s0.jsonl" "$dir/s1.jsonl" >"$dir/dse-merged.txt" \
+      || { diverge "$dir" "$tag" "dse-merge failed"; continue; }
+    diff "$dir/dse-cold.txt" "$dir/dse-merged.txt" >/dev/null \
+      || { diverge "$dir" "$tag" "merged sharded dse diverges from cold"; continue; }
+    head -n -1 "$dir/s0.jsonl" >"$dir/s0-torn.jsonl"
+    "$BIN" dse "$app" 3 --resume "$dir/s0-torn.jsonl" >"$dir/dse-resumed.txt" 2>/dev/null \
+      || { diverge "$dir" "$tag" "dse --resume failed"; continue; }
+    diff "$dir/dse-cold.txt" "$dir/dse-resumed.txt" >/dev/null \
+      || { diverge "$dir" "$tag" "resumed dse diverges from cold"; continue; }
+
+    # Feasible scenarios additionally sweep the simulate/remap oracles.
+    if "$BIN" map "$app" "$arch" >/dev/null 2>&1; then
+      mapped=$((mapped + 1))
+
+      "$BIN" simulate "$app" "$arch" 40 --engine event >"$dir/sim-event.txt" \
+        || { diverge "$dir" "$tag" "event simulation failed"; continue; }
+      "$BIN" simulate "$app" "$arch" 40 --engine lockstep >"$dir/sim-lockstep.txt" \
+        || { diverge "$dir" "$tag" "lockstep simulation failed"; continue; }
+      diff "$dir/sim-event.txt" "$dir/sim-lockstep.txt" >/dev/null \
+        || { diverge "$dir" "$tag" "simulator engines diverge"; continue; }
+      grep -q "HOLDS" "$dir/sim-event.txt" \
+        || { diverge "$dir" "$tag" "guarantee violated in simulation"; continue; }
+
+      "$BIN" map "$app" "$arch" --cache-dir "$dir/mcache" >"$dir/map-cold.txt"
+      "$BIN" remap "$app" "$arch" --cache-dir "$dir/mcache" >"$dir/map-warm.txt" \
+        || { diverge "$dir" "$tag" "remap failed"; continue; }
+      diff "$dir/map-cold.txt" "$dir/map-warm.txt" >/dev/null \
+        || { diverge "$dir" "$tag" "remap diverges from the cold map"; continue; }
+
+      # Admission monotonicity against the previous feasible scenario on
+      # the same platform: admitted alone => still admitted in front.
+      if [ -n "$prev_app" ] && [ "$prev_arch" = "$arch_spec" ]; then
+        "$BIN" map-multi "$prev_app" "$arch" --iters 30 >"$dir/adm-alone.txt" 2>/dev/null
+        if grep -q "$prev_name: ADMITTED" "$dir/adm-alone.txt"; then
+          "$BIN" map-multi "$prev_app" "$app" "$arch" --iters 30 \
+            >"$dir/adm-joint.txt" 2>/dev/null
+          grep -q "$prev_name: ADMITTED" "$dir/adm-joint.txt" \
+            || { diverge "$dir" "$tag" "later app evicted an earlier admission"; continue; }
+        fi
+      fi
+      prev_app=$app
+      prev_arch=$arch_spec
+      prev_name=$(basename "$app" .xml)
+    fi
+
+    rm -rf "$dir" "$dir.again"
+  done
+done
+
+echo "gen_fuzz: swept $scenarios scenarios ($mapped mapped) with $failures divergence(s)"
+if ((failures > 0)); then
+  echo "gen_fuzz: failing scenarios kept under $FAILDIR" >&2
+  exit 1
+fi
+if ((mapped * 2 < scenarios)); then
+  echo "gen_fuzz: only $mapped/$scenarios scenarios mapped — flow or generator regressed" >&2
+  exit 1
+fi
+echo "gen_fuzz: OK"

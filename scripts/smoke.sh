@@ -122,4 +122,21 @@ MAMPS_BIN="$BIN" scripts/sim_equiv.sh || fail "simulator engines diverged"
 echo "== incremental equivalence (pass cache: remap + delta sweeps, byte-for-byte)"
 MAMPS_BIN="$BIN" scripts/incremental_equiv.sh || fail "incremental re-mapping diverged"
 
+echo "== mamps gen (golden corpus regenerates byte-identically)"
+GOLD=examples/generated
+"$BIN" gen --out "$tmp/generated" --seed 50 --count 8 --actors 6
+diff -r "$GOLD" "$tmp/generated" \
+  || fail "regenerated corpus differs from the checked-in $GOLD (seed 50 drifted)"
+
+echo "== golden corpus (analyze + map + simulate every manifest entry)"
+while read -r app_kv arch_kv rest; do
+  app="$GOLD/${app_kv#app=}"
+  garch="$GOLD/${arch_kv#arch=}"
+  out=$("$BIN" analyze "$app") || fail "analyze $app failed"
+  grep -q "consistent" <<<"$out" || fail "$app is not consistent"
+  "$BIN" map "$app" "$garch" >/dev/null || fail "map $app failed"
+  out=$("$BIN" simulate "$app" "$garch" 40) || fail "simulate $app failed"
+  grep -q "HOLDS" <<<"$out" || fail "$app: guarantee violated in simulation"
+done < "$GOLD/manifest.txt"
+
 echo "smoke: OK"

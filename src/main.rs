@@ -3,6 +3,9 @@
 //! Drives the flow from XML files in the common interchange format:
 //!
 //! ```text
+//! mamps gen       --out DIR [--seed S] [--family F|mixed] [--actors N]
+//!                 [--count K] [--arch fsl:N|mesh:WxH] [--max-rate R]
+//!                 [--slack K]                     # seeded scenario generation
 //! mamps analyze   <app.xml>                       # consistency + unbounded throughput
 //! mamps map       <app.xml> <arch.xml> [out.xml] [--binder <name>]
 //!                 [--cache-dir DIR] [--stats]
@@ -79,14 +82,16 @@ use mamps::flow::report::{
 use mamps::flow::{run_flow_with_arch, run_multi_flow, FlowOptions, GuaranteeReport};
 use mamps::mapping::strategy::{self, StrategyHandle};
 use mamps::mapping::xml::mapping_to_xml;
-use mamps::platform::xml::architecture_from_xml;
+use mamps::platform::gen::{synthesize, ArchSpec};
+use mamps::platform::xml::{architecture_from_xml, architecture_to_xml};
+use mamps::sdf::gen::{generate as generate_scenario, Family, GenConfig};
 use mamps::sdf::state_space::{throughput, AnalysisOptions};
-use mamps::sdf::xml::application_from_xml;
+use mamps::sdf::xml::{application_from_xml, application_to_xml};
 use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] [--cache-dir DIR] [--stats]\n  mamps remap     <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] --cache-dir DIR [--stats]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep] [--cache-dir DIR] [--stats]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N] [--cache-dir DIR] [--stats]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
+        "usage:\n  mamps gen       --out DIR [--seed S] [--family chain|split-join|tree|cyclic|mixed] [--actors N] [--count K] [--arch fsl:N|mesh:WxH] [--max-rate R] [--slack K]\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] [--cache-dir DIR] [--stats]\n  mamps remap     <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] --cache-dir DIR [--stats]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep] [--cache-dir DIR] [--stats]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N] [--cache-dir DIR] [--stats]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
         strategy::names().join(", ")
     );
     ExitCode::from(2)
@@ -103,16 +108,19 @@ fn main() -> ExitCode {
     }
 }
 
+// Both loaders prefix errors with the offending file, so a failing
+// scenario out of a whole generated corpus is diagnosable from the
+// message alone (the parser adds line/column context).
 fn load_app(path: &str) -> Result<mamps::sdf::model::ApplicationModel, Box<dyn std::error::Error>> {
-    let xml = std::fs::read_to_string(path)?;
-    Ok(application_from_xml(&xml)?)
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    application_from_xml(&xml).map_err(|e| format!("{path}: {e}").into())
 }
 
 fn load_arch(
     path: &str,
 ) -> Result<mamps::platform::arch::Architecture, Box<dyn std::error::Error>> {
-    let xml = std::fs::read_to_string(path)?;
-    Ok(architecture_from_xml(&xml)?)
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    architecture_from_xml(&xml).map_err(|e| format!("{path}: {e}").into())
 }
 
 /// Positional arguments plus `--flag value` pairs, as split by [`split_flags`].
@@ -291,6 +299,104 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         None => return Ok(usage()),
     };
     match (cmd, args.len()) {
+        // Seeded scenario generation: writes `--count` application XMLs
+        // (plus one platform XML and a manifest) into `--out`. Fully
+        // deterministic — equal flags produce byte-identical files — and
+        // every emitted scenario is verified to round-trip the
+        // interchange parser before it is written.
+        ("gen", _) => {
+            let (pos, flags) = split_flags(
+                &args[1..],
+                &[
+                    "seed", "family", "actors", "count", "arch", "out", "max-rate", "slack",
+                ],
+                &[],
+            )?;
+            if !pos.is_empty() {
+                return Ok(usage());
+            }
+            let mut seed: u64 = 1;
+            let mut family: Option<Family> = None; // None = mixed
+            let mut actors: usize = 6;
+            let mut count: usize = 1;
+            let mut arch_spec: ArchSpec = ArchSpec::Fsl { tiles: 3 };
+            let mut out: Option<std::path::PathBuf> = None;
+            let mut max_rate: u64 = 3;
+            let mut slack: Option<u64> = None;
+            for (name, value) in &flags {
+                match name.as_str() {
+                    "seed" => seed = value.parse()?,
+                    "family" => {
+                        family = match value.as_str() {
+                            "mixed" => None,
+                            f => Some(f.parse::<Family>()?),
+                        }
+                    }
+                    "actors" => actors = value.parse()?,
+                    "count" => count = value.parse::<usize>()?.max(1),
+                    "arch" => arch_spec = value.parse()?,
+                    "out" => out = Some(value.into()),
+                    "max-rate" => max_rate = value.parse()?,
+                    "slack" => slack = Some(value.parse()?),
+                    _ => unreachable!("split_flags rejects unknown flags"),
+                }
+            }
+            let dir = out.ok_or("`mamps gen` requires `--out DIR`")?;
+            std::fs::create_dir_all(&dir)?;
+
+            let arch = synthesize(&arch_spec, &format!("gen_{}", arch_spec.slug()))?;
+            let arch_xml = architecture_to_xml(&arch);
+            if architecture_to_xml(&architecture_from_xml(&arch_xml)?) != arch_xml {
+                return Err("generated platform does not round-trip the parser".into());
+            }
+            let arch_file = format!("arch_{}.xml", arch_spec.slug());
+            std::fs::write(dir.join(&arch_file), &arch_xml)?;
+
+            let mut manifest = String::new();
+            for k in 0..count {
+                let cfg = GenConfig {
+                    seed: seed + k as u64,
+                    family: family.unwrap_or(Family::ALL[k % Family::ALL.len()]),
+                    actors,
+                    max_rate,
+                    constraint_slack: slack,
+                    ..GenConfig::default()
+                };
+                let app = generate_scenario(&cfg)?;
+                let xml = application_to_xml(&app);
+                let reparsed = application_from_xml(&xml)
+                    .map_err(|e| format!("generated scenario does not re-parse: {e}"))?;
+                if application_to_xml(&reparsed) != xml {
+                    return Err(format!(
+                        "scenario {} does not round-trip the parser byte-identically",
+                        app.graph().name()
+                    )
+                    .into());
+                }
+                let file = format!("{}_s{}.xml", cfg.family.slug(), cfg.seed);
+                std::fs::write(dir.join(&file), &xml)?;
+                let channels = app.graph().channels().count();
+                manifest.push_str(&format!(
+                    "app={file} arch={arch_file} family={} seed={} actors={} channels={} constrained={}\n",
+                    cfg.family,
+                    cfg.seed,
+                    app.graph().actors().count(),
+                    channels,
+                    if slack.is_some() { "yes" } else { "no" },
+                ));
+            }
+            std::fs::write(dir.join("manifest.txt"), &manifest)?;
+            println!(
+                "generated {count} scenario(s) ({} arch {arch_spec}) -> {}",
+                if family.is_none() {
+                    "mixed families,".to_string()
+                } else {
+                    format!("family {},", family.unwrap_or(Family::Chain))
+                },
+                dir.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
         ("analyze", 2) => {
             let app = load_app(&args[1])?;
             let q = mamps::sdf::repetition::repetition_vector(app.graph())?;

@@ -310,6 +310,140 @@ fn cli_remap_replays_from_the_pass_cache() {
 }
 
 #[test]
+fn cli_gen_is_deterministic_across_processes_and_round_trips() {
+    if !bin().exists() {
+        eprintln!("skipping: {} not built", bin().display());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mamps_cli_gen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Two separate processes with the same seed must emit byte-identical
+    // scenario directories — file names and file contents.
+    let gen = |out: &std::path::Path| {
+        let o = Command::new(bin())
+            .args(["gen", "--seed", "42", "--count", "4", "--actors", "5"])
+            .args(["--arch", "mesh:2x2"])
+            .arg("--out")
+            .arg(out)
+            .output()
+            .unwrap();
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    };
+    let (d1, d2) = (dir.join("one"), dir.join("two"));
+    gen(&d1);
+    gen(&d2);
+    let listing = |d: &std::path::Path| {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = listing(&d1);
+    assert_eq!(names, listing(&d2), "different file sets for the same seed");
+    assert!(names.iter().any(|n| n == "manifest.txt"));
+    assert!(names.iter().any(|n| n.starts_with("arch_")));
+    for name in &names {
+        assert_eq!(
+            std::fs::read(d1.join(name)).unwrap(),
+            std::fs::read(d2.join(name)).unwrap(),
+            "{name} differs between identically-seeded runs"
+        );
+    }
+
+    // Every generated application parses back and serializes canonically,
+    // and `mamps analyze` accepts it.
+    for name in names
+        .iter()
+        .filter(|n| n.ends_with(".xml") && !n.starts_with("arch_"))
+    {
+        let xml = std::fs::read_to_string(d1.join(name)).unwrap();
+        let app = mamps::sdf::xml::application_from_xml(&xml).unwrap();
+        assert_eq!(application_to_xml(&app), xml, "{name} does not round-trip");
+        let out = Command::new(bin())
+            .arg("analyze")
+            .arg(d1.join(name))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "analyze {name}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("consistent"));
+    }
+
+    // Unknown family: usage error naming the valid ones.
+    let bad = Command::new(bin())
+        .args(["gen", "--family", "banyan", "--out"])
+        .arg(dir.join("bad"))
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("chain"),
+        "stderr should list valid families: {}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+
+    // Missing --out: usage error, nothing written.
+    let bad = Command::new(bin()).arg("gen").output().unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--out"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_xml_errors_name_the_file_and_line() {
+    if !bin().exists() {
+        eprintln!("skipping: {} not built", bin().display());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mamps_cli_xmlerr_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // Corrupt a real scenario: drop the `name` attribute from the first
+    // actor (line 3 of the canonical serialization).
+    let gen = Command::new(bin())
+        .args(["gen", "--seed", "1", "--count", "1", "--family", "chain"])
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+    let good = std::fs::read_to_string(dir.join("chain_s1.xml")).unwrap();
+    let corrupted: Vec<String> = good
+        .lines()
+        .map(|l| {
+            if l.trim_start().starts_with("<actor") {
+                l.replacen(" name=\"chain_s1_a0\"", "", 1)
+            } else {
+                l.to_string()
+            }
+        })
+        .collect();
+    let bad = dir.join("broken.xml");
+    std::fs::write(&bad, corrupted.join("\n")).unwrap();
+    let out = Command::new(bin())
+        .arg("analyze")
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("broken.xml"), "no file path: {stderr}");
+    assert!(stderr.contains("line 3"), "no line number: {stderr}");
+    assert!(stderr.contains("attribute `name`"), "wrong error: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_sharded_dse_merges_to_the_unsharded_report() {
     if !bin().exists() {
         eprintln!("skipping: {} not built", bin().display());

@@ -16,30 +16,9 @@ use mamps::mapping::flow::MapOptions;
 use mamps::mapping::multi::{map_use_case, UseCase};
 use mamps::platform::arch::Architecture;
 use mamps::platform::interconnect::Interconnect;
-use mamps::sdf::graph::SdfGraphBuilder;
-use mamps::sdf::model::{ApplicationModel, HomogeneousModelBuilder, ThroughputConstraint};
+use mamps::sdf::gen::pipeline_app;
+use mamps::sdf::model::{ApplicationModel, ThroughputConstraint};
 use mamps::sim::{System, WcetTimes};
-
-fn pipeline_app(
-    name: &str,
-    wcets: &[u64],
-    constraint: Option<ThroughputConstraint>,
-) -> ApplicationModel {
-    let n = wcets.len();
-    let mut b = SdfGraphBuilder::new(name);
-    let ids: Vec<_> = (0..n)
-        .map(|i| b.add_actor(format!("{name}_a{i}"), 1))
-        .collect();
-    for i in 0..n - 1 {
-        b.add_channel_full(format!("{name}_e{i}"), ids[i], 1, ids[i + 1], 1, 0, 16);
-    }
-    let g = b.build().unwrap();
-    let mut mb = HomogeneousModelBuilder::new("microblaze");
-    for (i, &w) in wcets.iter().enumerate() {
-        mb.actor(format!("{name}_a{i}"), w, 4096, 512);
-    }
-    mb.finish(g, constraint).unwrap()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -60,10 +39,12 @@ proptest! {
         cycles in 300u64..40_000,
     ) {
         let apps = vec![
-            pipeline_app("first", &wcets_a, None),
+            pipeline_app("first", &wcets_a, 16, &[1], None),
             pipeline_app(
                 "second",
                 &wcets_b,
+                16,
+                &[1],
                 Some(ThroughputConstraint { iterations: 1, cycles }),
             ),
         ];
@@ -115,10 +96,12 @@ proptest! {
 fn rejection_reasons_deterministic_and_rendered() {
     let mk_apps = || {
         vec![
-            pipeline_app("keeper", &[80, 80], None),
+            pipeline_app("keeper", &[80, 80], 16, &[1], None),
             pipeline_app(
                 "hog",
                 &[900, 900],
+                16,
+                &[1],
                 Some(ThroughputConstraint {
                     iterations: 1,
                     cycles: 50,
@@ -161,11 +144,13 @@ fn multi_flow_report_shows_admissions_and_rejections() {
     let arch = Architecture::homogeneous("m", 2, Interconnect::fsl()).unwrap();
     let result = run_multi_flow(
         vec![
-            pipeline_app("app_a", &[90, 90], None),
-            pipeline_app("app_b", &[40, 40], None),
+            pipeline_app("app_a", &[90, 90], 16, &[1], None),
+            pipeline_app("app_b", &[40, 40], 16, &[1], None),
             pipeline_app(
                 "app_c",
                 &[2000, 2000],
+                16,
+                &[1],
                 Some(ThroughputConstraint {
                     iterations: 1,
                     cycles: 20,

@@ -21,31 +21,9 @@ use mamps::mapping::multi::{map_use_case, UseCase, UseCaseMapping};
 use mamps::mapping::{PassCache, PassRunner};
 use mamps::platform::arch::Architecture;
 use mamps::platform::interconnect::Interconnect;
-use mamps::sdf::graph::SdfGraphBuilder;
-use mamps::sdf::model::{ApplicationModel, HomogeneousModelBuilder, ThroughputConstraint};
+use mamps::sdf::gen::pipeline_app;
 use mamps::sdf::GlobalAnalysisCache;
 use serde::Serialize as _;
-
-fn pipeline_app(
-    name: &str,
-    wcets: &[u64],
-    constraint: Option<ThroughputConstraint>,
-) -> ApplicationModel {
-    let n = wcets.len();
-    let mut b = SdfGraphBuilder::new(name);
-    let ids: Vec<_> = (0..n)
-        .map(|i| b.add_actor(format!("{name}_a{i}"), 1))
-        .collect();
-    for i in 0..n - 1 {
-        b.add_channel_full(format!("{name}_e{i}"), ids[i], 1, ids[i + 1], 1, 0, 16);
-    }
-    let g = b.build().unwrap();
-    let mut mb = HomogeneousModelBuilder::new("microblaze");
-    for (i, &w) in wcets.iter().enumerate() {
-        mb.actor(format!("{name}_a{i}"), w, 4096, 512);
-    }
-    mb.finish(g, constraint).unwrap()
-}
 
 /// Canonical bytes of a mapping — what "byte-identical" means below.
 fn mapping_bytes(m: &mamps::mapping::Mapping) -> String {
@@ -97,7 +75,7 @@ proptest! {
         tiles in 1usize..4,
         noc in any::<bool>(),
     ) {
-        let app = pipeline_app("p", &wcets, None);
+        let app = pipeline_app("p", &wcets, 16, &[1], None);
         let interconnect = if noc {
             Interconnect::noc_for_tiles(tiles)
         } else {
@@ -130,8 +108,8 @@ proptest! {
         tiles in 2usize..4,
     ) {
         let apps = |wb: &[u64]| vec![
-            pipeline_app("first", &wcets_a, None),
-            pipeline_app("second", wb, None),
+            pipeline_app("first", &wcets_a, 16, &[1], None),
+            pipeline_app("second", wb, 16, &[1], None),
         ];
         let arch = Architecture::homogeneous("x", tiles, Interconnect::fsl()).unwrap();
 
@@ -164,7 +142,7 @@ fn persisted_pass_cache_replays_across_processes() {
     let dir = std::env::temp_dir().join(format!("mamps-passes-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    let app = pipeline_app("p", &[40, 90, 40], None);
+    let app = pipeline_app("p", &[40, 90, 40], 16, &[1], None);
     let arch = Architecture::homogeneous("x", 3, Interconnect::noc_for_tiles(3)).unwrap();
 
     // "Process 1": cold run, persist both cache layers.

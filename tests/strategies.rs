@@ -11,24 +11,8 @@ use mamps::mapping::strategy::{self, GeneticBinder, StrategyHandle};
 use mamps::mapping::MapError;
 use mamps::platform::arch::Architecture;
 use mamps::platform::interconnect::Interconnect;
-use mamps::sdf::graph::SdfGraphBuilder;
-use mamps::sdf::model::{ApplicationModel, HomogeneousModelBuilder};
+use mamps::sdf::gen::{pipeline_app, strategies as genstrat};
 use mamps::sdf::ratio::Ratio;
-
-fn pipeline_app(wcets: &[u64]) -> ApplicationModel {
-    let n = wcets.len();
-    let mut b = SdfGraphBuilder::new("pipe");
-    let ids: Vec<_> = (0..n).map(|i| b.add_actor(format!("a{i}"), 1)).collect();
-    for i in 0..n - 1 {
-        b.add_channel_full(format!("e{i}"), ids[i], 1, ids[i + 1], 1, 0, 16);
-    }
-    let g = b.build().unwrap();
-    let mut mb = HomogeneousModelBuilder::new("microblaze");
-    for (i, &w) in wcets.iter().enumerate() {
-        mb.actor(format!("a{i}"), w, 4096, 512);
-    }
-    mb.finish(g, None).unwrap()
-}
 
 /// A fast genetic configuration so the property test stays quick while
 /// still exercising the full GA code path.
@@ -51,11 +35,11 @@ proptest! {
     /// direct `map_application` mapping bit-for-bit.
     #[test]
     fn every_strategy_validates_and_matches_direct_map(
-        wcets in proptest::collection::vec(1u64..200, 2..5),
+        wcets in genstrat::wcets(2..5),
         tiles in 1usize..4,
         noc in any::<bool>(),
     ) {
-        let app = pipeline_app(&wcets);
+        let app = pipeline_app("pipe", &wcets, 16, &[1], None);
         let interconnect = if noc {
             Interconnect::noc_for_tiles(tiles)
         } else {
@@ -108,7 +92,7 @@ proptest! {
 
 #[test]
 fn genetic_same_seed_same_mapping_end_to_end() {
-    let app = pipeline_app(&[40, 10, 25, 5]);
+    let app = pipeline_app("pipe", &[40, 10, 25, 5], 16, &[1], None);
     let run = |seed: u64| {
         let arch = Architecture::homogeneous("g", 2, Interconnect::noc_for_tiles(2)).unwrap();
         let opts = MapOptions::with_strategy(quick_genetic(seed));
@@ -151,7 +135,7 @@ fn spiral_never_uses_more_noc_wires_than_greedy_on_mjpeg() {
 #[test]
 fn strategies_surface_infeasibility_identically() {
     // No tile can host the actors: every strategy must report Infeasible.
-    let app = pipeline_app(&[1, 1]);
+    let app = pipeline_app("pipe", &[1, 1], 16, &[1], None);
     let tiles = vec![mamps::platform::tile::TileConfig::master("t0")
         .with_processor(mamps::platform::types::ProcessorType::custom("dsp"))];
     for handle in [
@@ -174,7 +158,7 @@ fn strategies_surface_infeasibility_identically() {
 
 #[test]
 fn unmeetable_target_fails_for_every_strategy() {
-    let app = pipeline_app(&[100, 100]);
+    let app = pipeline_app("pipe", &[100, 100], 16, &[1], None);
     for handle in [
         strategy::by_name("greedy").unwrap(),
         strategy::by_name("spiral").unwrap(),
