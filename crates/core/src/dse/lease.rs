@@ -1,0 +1,472 @@
+//! Range leasing and incremental merging for the DSE coordinator service.
+//!
+//! The [`crate::serve`] coordinator splits a sweep's canonical seq space
+//! into contiguous ranges and hands them out to worker processes as
+//! *leases*. Workers crash, hang and disconnect; the two types here keep
+//! the sweep correct anyway:
+//!
+//! * [`LeaseTable`] — which ranges are pending, leased (to whom, until
+//!   when) or done. Leases expire on a virtual-millisecond clock (the
+//!   caller supplies `now`, so tests drive time deterministically), and a
+//!   disconnected owner's leases are released at once. Completion is
+//!   idempotent: a stale lease finishing after its range was reassigned —
+//!   and the reassigned lease finishing too — both just confirm the range.
+//! * [`MergeLedger`] — the incremental, seq-keyed merge of completed
+//!   records. At-least-once execution means the same seq can arrive more
+//!   than once (a timed-out worker that was not actually dead, a range
+//!   completed by both the original and the reassigned lease); the ledger
+//!   keeps the first outcome per seq, which is safe because design-point
+//!   outcomes are deterministic. Once complete, [`MergeLedger::to_shard`]
+//!   assembles the exact full-sweep [`DseShard`] a single-process run
+//!   would have produced — rendering it is byte-identical by
+//!   construction.
+//!
+//! Both types are pure state machines (no I/O, no wall clock), which is
+//! what `tests/serve_protocol.rs` leans on: arbitrary join/leave/timeout
+//! event sequences must keep leased ranges disjoint and eventually cover
+//! every seq exactly once.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dse::shard::{DseShard, ShardHeader, ShardOutcome, ShardRecord, SweepMode};
+
+/// A contiguous run of canonical sweep sequence numbers: `start`
+/// inclusive, `end` exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqRange {
+    /// First seq of the range.
+    pub start: u64,
+    /// One past the last seq of the range.
+    pub end: u64,
+}
+
+impl SeqRange {
+    /// The seqs of the range.
+    pub fn seqs(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end
+    }
+
+    /// Number of seqs in the range.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the range contains no seqs.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+impl fmt::Display for SeqRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start, self.end)
+    }
+}
+
+/// State of one work item (range) of a [`LeaseTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemState {
+    /// Not yet handed out (or returned after an expiry / disconnect).
+    Pending,
+    /// Held by a worker.
+    Leased {
+        /// The lease id returned by [`LeaseTable::acquire`].
+        lease: u64,
+        /// The owning worker's connection id.
+        owner: u64,
+        /// Virtual-millisecond deadline; past it the lease is expirable.
+        deadline: u64,
+    },
+    /// Completed (result recorded by the ledger).
+    Done,
+}
+
+struct WorkItem {
+    range: SeqRange,
+    state: ItemState,
+}
+
+/// Leases of one sweep's ranges. See the module docs for the lifecycle.
+pub struct LeaseTable {
+    items: Vec<WorkItem>,
+    /// Lease id → item index, for completion by lease id (stale ids
+    /// included: they still name the item they leased).
+    by_lease: BTreeMap<u64, usize>,
+    next_lease: u64,
+    /// Ranges handed out more than once (expiry or disconnect), for stats.
+    reassigned: u64,
+}
+
+impl LeaseTable {
+    /// Partitions `0..total` into ranges of at most `chunk` seqs
+    /// (`chunk` is clamped to at least 1), skipping any seq for which
+    /// `already_done` returns true — those were seeded from a previous
+    /// run and never need a lease. Seeded seqs split ranges, so a lease
+    /// never covers work that is already done.
+    pub fn new(total: u64, chunk: u64, already_done: impl Fn(u64) -> bool) -> LeaseTable {
+        let chunk = chunk.max(1);
+        let mut items = Vec::new();
+        let mut start = None;
+        for seq in 0..total {
+            if already_done(seq) {
+                if let Some(s) = start.take() {
+                    items.push(WorkItem {
+                        range: SeqRange { start: s, end: seq },
+                        state: ItemState::Pending,
+                    });
+                }
+                continue;
+            }
+            match start {
+                None => start = Some(seq),
+                Some(s) if seq - s >= chunk => {
+                    items.push(WorkItem {
+                        range: SeqRange { start: s, end: seq },
+                        state: ItemState::Pending,
+                    });
+                    start = Some(seq);
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(s) = start {
+            items.push(WorkItem {
+                range: SeqRange {
+                    start: s,
+                    end: total,
+                },
+                state: ItemState::Pending,
+            });
+        }
+        LeaseTable {
+            items,
+            by_lease: BTreeMap::new(),
+            next_lease: 1,
+            reassigned: 0,
+        }
+    }
+
+    /// Leases the first pending range to `owner` until `now + timeout`
+    /// virtual milliseconds. Returns the lease id and the range, or
+    /// `None` when nothing is pending (everything is leased or done).
+    pub fn acquire(&mut self, owner: u64, now: u64, timeout: u64) -> Option<(u64, SeqRange)> {
+        let idx = self
+            .items
+            .iter()
+            .position(|i| i.state == ItemState::Pending)?;
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        self.items[idx].state = ItemState::Leased {
+            lease,
+            owner,
+            deadline: now.saturating_add(timeout),
+        };
+        self.by_lease.insert(lease, idx);
+        Some((lease, self.items[idx].range))
+    }
+
+    /// Returns every lease whose deadline lies strictly before `now` to
+    /// the pending pool and reports the reverted ranges. The stale lease
+    /// ids stay valid for [`LeaseTable::complete`]: if the slow worker
+    /// finishes after all, its result still lands (idempotently).
+    pub fn expire(&mut self, now: u64) -> Vec<SeqRange> {
+        let mut reverted = Vec::new();
+        for item in &mut self.items {
+            if let ItemState::Leased { deadline, .. } = item.state {
+                if deadline < now {
+                    item.state = ItemState::Pending;
+                    self.reassigned += 1;
+                    reverted.push(item.range);
+                }
+            }
+        }
+        reverted
+    }
+
+    /// Releases every lease held by `owner` (worker disconnect) and
+    /// reports the reverted ranges.
+    pub fn release_owner(&mut self, owner: u64) -> Vec<SeqRange> {
+        let mut reverted = Vec::new();
+        for item in &mut self.items {
+            if matches!(item.state, ItemState::Leased { owner: o, .. } if o == owner) {
+                item.state = ItemState::Pending;
+                self.reassigned += 1;
+                reverted.push(item.range);
+            }
+        }
+        reverted
+    }
+
+    /// Marks the range leased as `lease` done and returns it. Idempotent
+    /// and stale-tolerant: completing an already-done range (the original
+    /// worker of a reassigned lease finishing late, or a retransmit)
+    /// returns the range again without changing state; an unknown lease
+    /// id returns `None`.
+    pub fn complete(&mut self, lease: u64) -> Option<SeqRange> {
+        let idx = *self.by_lease.get(&lease)?;
+        self.items[idx].state = ItemState::Done;
+        Some(self.items[idx].range)
+    }
+
+    /// True when every range is done.
+    pub fn is_done(&self) -> bool {
+        self.items.iter().all(|i| i.state == ItemState::Done)
+    }
+
+    /// Ranges currently pending (neither leased nor done).
+    pub fn pending(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| i.state == ItemState::Pending)
+            .count()
+    }
+
+    /// Ranges currently out on a live lease.
+    pub fn leased(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i.state, ItemState::Leased { .. }))
+            .count()
+    }
+
+    /// How often a range went back to pending after an expiry or a
+    /// disconnect.
+    pub fn reassigned(&self) -> u64 {
+        self.reassigned
+    }
+
+    /// Every item's range and current state, for invariant checks and
+    /// coordinator logging.
+    pub fn items(&self) -> impl Iterator<Item = (SeqRange, ItemState)> + '_ {
+        self.items.iter().map(|i| (i.range, i.state))
+    }
+}
+
+/// Incremental, seq-keyed merge of completed design-point records. See
+/// the module docs: first outcome per seq wins, duplicates are counted
+/// and dropped, and the completed ledger reassembles the exact
+/// single-process shard.
+pub struct MergeLedger {
+    header: ShardHeader,
+    outcomes: BTreeMap<u64, ShardOutcome>,
+    duplicates: u64,
+}
+
+impl MergeLedger {
+    /// An empty ledger for the sweep identified by `header` (the
+    /// coordinator always merges toward the full, unsharded shard).
+    pub fn new(header: ShardHeader) -> MergeLedger {
+        MergeLedger {
+            header,
+            outcomes: BTreeMap::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// The sweep this ledger merges.
+    pub fn header(&self) -> &ShardHeader {
+        &self.header
+    }
+
+    /// Records one completed design point. Returns `true` when the seq
+    /// was fresh, `false` for a duplicate (which is dropped: outcomes are
+    /// deterministic, so the first one is as good as any).
+    pub fn insert(&mut self, record: ShardRecord) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.outcomes.entry(record.seq) {
+            Entry::Vacant(v) => {
+                v.insert(record.outcome);
+                true
+            }
+            Entry::Occupied(_) => {
+                self.duplicates += 1;
+                false
+            }
+        }
+    }
+
+    /// Seqs recorded so far.
+    pub fn len(&self) -> u64 {
+        self.outcomes.len() as u64
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Duplicate completions dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// True when `seq` has already been recorded.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.outcomes.contains_key(&seq)
+    }
+
+    /// True when every design point of the sweep is recorded.
+    pub fn is_complete(&self) -> bool {
+        self.len() == self.header.total_configs
+    }
+
+    /// The records in canonical seq order.
+    pub fn records(&self) -> Vec<ShardRecord> {
+        self.outcomes
+            .iter()
+            .map(|(&seq, outcome)| ShardRecord {
+                seq,
+                outcome: outcome.clone(),
+            })
+            .collect()
+    }
+
+    /// Assembles the (possibly still partial) shard: the header plus the
+    /// records so far in canonical order. For a complete ledger this is
+    /// exactly the shard a single-process `explore_shard` run produces,
+    /// so its JSONL bytes and rendered report match byte for byte.
+    pub fn to_shard(&self) -> DseShard {
+        DseShard {
+            header: self.header.clone(),
+            records: self.records(),
+        }
+    }
+
+    /// Renders the completed sweep exactly like `mamps dse` renders it.
+    pub fn render(&self) -> String {
+        match self.header.mode {
+            SweepMode::Binders => {
+                crate::report::render_dse_report(&self.to_shard().into_dse_report())
+            }
+            SweepMode::UseCases => {
+                crate::report::render_use_case_report(&self.to_shard().into_use_case_report())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dse::shard::{ShardSpec, SweepSignature};
+    use crate::dse::SkippedPoint;
+
+    fn ranges(table: &LeaseTable) -> Vec<(SeqRange, ItemState)> {
+        table.items().collect()
+    }
+
+    #[test]
+    fn table_chunks_cover_the_seq_space_without_overlap() {
+        for total in [0u64, 1, 5, 8, 23] {
+            for chunk in [1u64, 2, 4, 7, 100] {
+                let table = LeaseTable::new(total, chunk, |_| false);
+                let mut covered = vec![false; total as usize];
+                for (range, state) in ranges(&table) {
+                    assert_eq!(state, ItemState::Pending);
+                    assert!(range.len() <= chunk);
+                    assert!(!range.is_empty());
+                    for seq in range.seqs() {
+                        assert!(!covered[seq as usize], "seq {seq} covered twice");
+                        covered[seq as usize] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "total={total} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_seqs_are_never_leased() {
+        let table = LeaseTable::new(10, 4, |seq| seq % 3 == 0);
+        let leased: Vec<u64> = ranges(&table).iter().flat_map(|(r, _)| r.seqs()).collect();
+        assert_eq!(leased, vec![1, 2, 4, 5, 7, 8]);
+        // A fully-seeded sweep needs no leases at all.
+        assert!(LeaseTable::new(6, 2, |_| true).is_done());
+    }
+
+    #[test]
+    fn expiry_returns_ranges_and_stale_completion_is_idempotent() {
+        let mut table = LeaseTable::new(4, 2, |_| false);
+        let (stale, r0) = table.acquire(1, 0, 100).unwrap();
+        assert_eq!(r0, SeqRange { start: 0, end: 2 });
+        // Not yet expired at the deadline itself.
+        assert!(table.expire(100).is_empty());
+        assert_eq!(table.expire(101), vec![r0]);
+        assert_eq!(table.reassigned(), 1);
+
+        // Reassigned to another worker, completed by it…
+        let (fresh, r0b) = table.acquire(2, 200, 100).unwrap();
+        assert_eq!(r0b, r0);
+        assert_eq!(table.complete(fresh), Some(r0));
+        // …and the stale lease completing late changes nothing.
+        assert_eq!(table.complete(stale), Some(r0));
+        assert_eq!(table.complete(stale), Some(r0));
+        assert_eq!(table.complete(9999), None);
+
+        let (l1, r1) = table.acquire(1, 300, 100).unwrap();
+        assert_eq!(r1, SeqRange { start: 2, end: 4 });
+        assert!(
+            table.acquire(1, 300, 100).is_none(),
+            "nothing left to lease"
+        );
+        table.complete(l1);
+        assert!(table.is_done());
+    }
+
+    #[test]
+    fn disconnect_releases_only_that_owner() {
+        let mut table = LeaseTable::new(6, 2, |_| false);
+        let (_, ra) = table.acquire(1, 0, 1000).unwrap();
+        let (lb, rb) = table.acquire(2, 0, 1000).unwrap();
+        let (_, rc) = table.acquire(1, 0, 1000).unwrap();
+        assert_eq!(table.release_owner(1), vec![ra, rc]);
+        assert_eq!(table.pending(), 2);
+        assert_eq!(table.leased(), 1);
+        assert_eq!(table.complete(lb), Some(rb));
+        assert_eq!(table.release_owner(2), Vec::new());
+    }
+
+    fn header(total: u64) -> ShardHeader {
+        ShardHeader {
+            mode: SweepMode::Binders,
+            shard: ShardSpec::full(),
+            total_configs: total,
+            signature: SweepSignature {
+                apps: vec!["a".into()],
+                tile_counts: vec![1, 2],
+                include_noc: false,
+                binders: vec!["greedy".into()],
+            },
+        }
+    }
+
+    fn record(seq: u64) -> ShardRecord {
+        ShardRecord {
+            seq,
+            outcome: ShardOutcome::Skipped(SkippedPoint {
+                tiles: seq as usize,
+                interconnect: "fsl",
+                strategy: "greedy",
+                reason: "test".into(),
+            }),
+        }
+    }
+
+    #[test]
+    fn ledger_dedups_by_seq_and_completes() {
+        let mut ledger = MergeLedger::new(header(3));
+        assert!(ledger.insert(record(1)));
+        assert!(ledger.insert(record(0)));
+        assert!(!ledger.insert(record(1)), "duplicate seq must be dropped");
+        assert_eq!((ledger.len(), ledger.duplicates()), (2, 1));
+        assert!(!ledger.is_complete());
+        assert!(ledger.insert(record(2)));
+        assert!(ledger.is_complete());
+        // Records come back in canonical seq order regardless of arrival.
+        let seqs: Vec<u64> = ledger.to_shard().records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}

@@ -66,6 +66,7 @@
 //! ```
 
 pub mod cache;
+pub mod lease;
 pub mod shard;
 
 use mamps_mapping::StrategyHandle;

@@ -27,6 +27,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use mamps_mapping::StrategyHandle;
 use mamps_sdf::model::ApplicationModel;
 use serde::{Deserialize, Serialize};
 
@@ -655,7 +656,7 @@ impl std::error::Error for ResumeError {}
 /// current one — resuming a `0/1` full sweep from the partials of a
 /// crashed 4-way sharded run (or vice versa) is valid, because records
 /// carry their canonical seq and outcomes are deterministic.
-fn seed_outcomes(
+pub(crate) fn seed_outcomes(
     expected: &ShardHeader,
     resume: &[DseShard],
 ) -> Result<std::collections::BTreeMap<u64, ShardOutcome>, ResumeError> {
@@ -678,6 +679,33 @@ fn seed_outcomes(
         }
     }
     Ok(seeded)
+}
+
+/// Builds the header every run of a given sweep builds — the one place
+/// the sweep's identity is assembled, shared by the in-process
+/// `explore_*` entry points and the [`crate::serve`] coordinator (whose
+/// byte-identical-report contract depends on constructing the very same
+/// header as a single-process run).
+pub(crate) fn sweep_header(
+    mode: SweepMode,
+    apps: Vec<String>,
+    tile_counts: &[usize],
+    include_noc: bool,
+    strategies: &[StrategyHandle],
+    spec: ShardSpec,
+    total_configs: u64,
+) -> ShardHeader {
+    ShardHeader {
+        mode,
+        shard: spec,
+        total_configs,
+        signature: SweepSignature {
+            apps,
+            tile_counts: tile_counts.to_vec(),
+            include_noc,
+            binders: strategies.iter().map(|s| s.name().to_string()).collect(),
+        },
+    }
 }
 
 /// Merges seeded outcomes with freshly evaluated records back into
@@ -730,17 +758,15 @@ pub fn explore_shard_with_resume(
     let strategies = sweep_strategies(opts);
     let configs = sweep_configs(&strategies, tile_counts, include_noc);
     let spec = opts.shard.unwrap_or_else(ShardSpec::full);
-    let header = ShardHeader {
-        mode: SweepMode::Binders,
-        shard: spec,
-        total_configs: configs.len() as u64,
-        signature: SweepSignature {
-            apps: vec![app.graph().name().to_string()],
-            tile_counts: tile_counts.to_vec(),
-            include_noc,
-            binders: strategies.iter().map(|s| s.name().to_string()).collect(),
-        },
-    };
+    let header = sweep_header(
+        SweepMode::Binders,
+        vec![app.graph().name().to_string()],
+        tile_counts,
+        include_noc,
+        &strategies,
+        spec,
+        configs.len() as u64,
+    );
     let seeded = seed_outcomes(&header, resume)?;
     let todo: Vec<(u64, SweepConfig)> = owned_configs(configs, spec)
         .into_iter()
@@ -786,17 +812,15 @@ pub fn explore_use_case_shard_with_resume(
     let strategies = sweep_strategies(opts);
     let configs = sweep_configs(&strategies, tile_counts, include_noc);
     let spec = opts.shard.unwrap_or_else(ShardSpec::full);
-    let header = ShardHeader {
-        mode: SweepMode::UseCases,
-        shard: spec,
-        total_configs: configs.len() as u64,
-        signature: SweepSignature {
-            apps: apps.iter().map(|a| a.graph().name().to_string()).collect(),
-            tile_counts: tile_counts.to_vec(),
-            include_noc,
-            binders: strategies.iter().map(|s| s.name().to_string()).collect(),
-        },
-    };
+    let header = sweep_header(
+        SweepMode::UseCases,
+        apps.iter().map(|a| a.graph().name().to_string()).collect(),
+        tile_counts,
+        include_noc,
+        &strategies,
+        spec,
+        configs.len() as u64,
+    );
     let seeded = seed_outcomes(&header, resume)?;
     let todo: Vec<(u64, SweepConfig)> = owned_configs(configs, spec)
         .into_iter()

@@ -43,6 +43,7 @@ pub mod flow;
 pub mod parallel;
 pub mod predict;
 pub mod report;
+pub mod serve;
 pub mod validate;
 
 pub use arbitration::{apply_peripheral_arbitration, ArbitrationError, PeripheralAccesses};

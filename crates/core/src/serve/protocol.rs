@@ -1,0 +1,362 @@
+//! Wire protocol of the DSE service: line-delimited JSON messages over a
+//! Unix domain socket.
+//!
+//! One message per line, encoded with the workspace's canonical
+//! value-based serde — the same encoding the shard files use, so every
+//! message round-trips byte-identically ([`crate::serve`] module docs
+//! spell out the exchange; `tests/serve_protocol.rs` pins the
+//! round-trip). Clients (submitters and workers) send [`ClientMsg`], the
+//! coordinator answers with [`ServerMsg`].
+//!
+//! The protocol ships *data, not references*: a [`SweepSpec`] carries the
+//! application XML text itself, so workers need no access to the
+//! submitter's files, and [`ServerMsg::Assign`] / [`ClientMsg::Complete`]
+//! carry warm-cache entries, so a fresh worker starts from the
+//! coordinator's accumulated analysis/pass memo instead of cold.
+
+use std::io::{self, BufRead, Write};
+
+use mamps_mapping::{strategy, StrategyHandle};
+use mamps_sdf::cache::CacheEntry;
+use mamps_sdf::model::ApplicationModel;
+use mamps_sdf::passes::PassEntry;
+use mamps_sdf::xml::application_from_xml;
+use serde::{Deserialize, Serialize};
+
+use crate::dse::lease::SeqRange;
+use crate::dse::shard::{
+    sweep_header, ShardHeader, ShardOutcome, ShardRecord, ShardSpec, SweepMode,
+};
+use crate::dse::{
+    evaluate_dse_config, evaluate_use_case_config, sweep_configs, sweep_strategies,
+    use_case_context,
+};
+use crate::flow::FlowOptions;
+use crate::parallel::dynamic_map;
+
+/// A sweep as submitted over the wire: everything a worker needs to
+/// evaluate design points, self-contained (XML text inline, binder
+/// *names* — resolved against the strategy registry on each end).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Sweep kind. [`SweepMode::Binders`] requires exactly one
+    /// application; [`SweepMode::UseCases`] admits them in order.
+    pub mode: SweepMode,
+    /// Application XML documents, in admission order.
+    pub apps_xml: Vec<String>,
+    /// Tile counts to sweep (`mamps dse <max>` sweeps `1..=max`).
+    pub tile_counts: Vec<usize>,
+    /// Whether to sweep NoC configurations alongside FSL.
+    pub include_noc: bool,
+    /// Binding strategy names; empty means the default (greedy), exactly
+    /// like `mamps dse` without `--binders`.
+    pub binders: Vec<String>,
+}
+
+/// Counters the coordinator reports with a finished sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Design points in the sweep.
+    pub total: u64,
+    /// Points evaluated by workers for this submission.
+    pub evaluated: u64,
+    /// Points served from the coordinator's warm state (a previous
+    /// submission of the same sweep, or the resumable spool of a
+    /// restarted coordinator) instead of being evaluated again.
+    pub seeded: u64,
+    /// Duplicate completions dropped by the seq-keyed merge
+    /// (at-least-once execution: reassigned ranges completing twice).
+    pub duplicates: u64,
+    /// Ranges handed out more than once after a lease expiry or a worker
+    /// disconnect.
+    pub reassigned: u64,
+}
+
+/// Messages a client (submitter or worker) sends to the coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientMsg {
+    /// Submit a sweep; the connection then streams [`ServerMsg::Progress`]
+    /// until [`ServerMsg::Done`] (or [`ServerMsg::Reject`]).
+    Submit {
+        /// The sweep to run.
+        spec: SweepSpec,
+    },
+    /// Ask for work; blocks until the coordinator answers with
+    /// [`ServerMsg::Assign`] or [`ServerMsg::Shutdown`].
+    Fetch {
+        /// Worker identity for logging (the worker's pid).
+        worker: u64,
+    },
+    /// Deliver the evaluated records of a leased range, plus the
+    /// worker's cache entries when its caches grew (empty otherwise).
+    Complete {
+        /// Job fingerprint from the matching [`ServerMsg::Assign`].
+        job: u64,
+        /// Lease id from the matching [`ServerMsg::Assign`].
+        lease: u64,
+        /// Evaluated design points of the range.
+        records: Vec<ShardRecord>,
+        /// Analysis-cache entries to merge into the coordinator's cache.
+        analysis: Vec<CacheEntry>,
+        /// Pass-cache entries to merge into the coordinator's cache.
+        passes: Vec<PassEntry>,
+    },
+}
+
+/// Messages the coordinator sends to a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// A leased range of design points to evaluate.
+    Assign {
+        /// Job fingerprint (stable hash of the sweep's header).
+        job: u64,
+        /// Lease id; echo it in [`ClientMsg::Complete`].
+        lease: u64,
+        /// The seq range to evaluate.
+        range: SeqRange,
+        /// The sweep (self-contained; workers cache the parse per job).
+        spec: SweepSpec,
+        /// Warm analysis-cache entries (first assignment of a connection
+        /// only; empty afterwards).
+        analysis: Vec<CacheEntry>,
+        /// Warm pass-cache entries (first assignment only).
+        passes: Vec<PassEntry>,
+    },
+    /// Streamed to the submitter as ranges complete.
+    Progress {
+        /// Job fingerprint.
+        job: u64,
+        /// Design points recorded so far.
+        done: u64,
+        /// Design points in the sweep.
+        total: u64,
+    },
+    /// The sweep finished; `report` is byte-identical to single-process
+    /// `mamps dse` output on the same inputs.
+    Done {
+        /// Job fingerprint.
+        job: u64,
+        /// The rendered report.
+        report: String,
+        /// Execution counters (stderr material; never part of the report).
+        stats: JobStats,
+    },
+    /// The request was invalid or the coordinator is shutting down.
+    Reject {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// No more work will be handed out; workers should exit cleanly.
+    Shutdown,
+}
+
+/// Writes one message as one canonical-JSON line.
+///
+/// # Errors
+///
+/// Propagates the underlying write error (a disappeared peer surfaces
+/// here as `BrokenPipe`).
+pub fn write_msg<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    let mut line = serde::json::to_string(msg);
+    line.push('\n');
+    w.write_all(line.as_bytes())
+}
+
+/// Reads the next message line; `Ok(None)` on a clean EOF (peer closed
+/// the connection). Blank lines are skipped.
+///
+/// # Errors
+///
+/// The underlying read error, or `InvalidData` when a line is not a
+/// well-formed message.
+pub fn read_msg<T: for<'de> Deserialize<'de>>(r: &mut impl BufRead) -> io::Result<Option<T>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return serde::json::from_str(trimmed)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad message: {e}")));
+    }
+}
+
+/// A [`SweepSpec`] parsed and resolved for evaluation: applications out
+/// of their XML, binder names out of the registry, and the canonical
+/// config order enumerated. Both ends build one: the coordinator for the
+/// sweep's identity (header → job fingerprint, total count), workers for
+/// actually evaluating leased ranges.
+pub struct ResolvedSweep {
+    apps: Vec<ApplicationModel>,
+    configs: Vec<crate::dse::SweepConfig>,
+    header: ShardHeader,
+}
+
+impl ResolvedSweep {
+    /// Parses and validates `spec`.
+    ///
+    /// # Errors
+    ///
+    /// A rendered reason when an XML does not parse, a binder name is
+    /// unknown, the application list does not fit the mode, or the tile
+    /// counts are empty.
+    pub fn new(spec: &SweepSpec) -> Result<ResolvedSweep, String> {
+        if spec.apps_xml.is_empty() {
+            return Err("sweep has no applications".into());
+        }
+        if spec.mode == SweepMode::Binders && spec.apps_xml.len() != 1 {
+            return Err(format!(
+                "a binder sweep takes exactly one application, got {}",
+                spec.apps_xml.len()
+            ));
+        }
+        if spec.tile_counts.is_empty() {
+            return Err("sweep has no tile counts".into());
+        }
+        let apps = spec
+            .apps_xml
+            .iter()
+            .enumerate()
+            .map(|(i, xml)| {
+                application_from_xml(xml).map_err(|e| format!("application {}: {e}", i + 1))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let binders = spec
+            .binders
+            .iter()
+            .map(|name| {
+                strategy::by_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown binder `{name}` (available: {})",
+                        strategy::names().join(", ")
+                    )
+                })
+            })
+            .collect::<Result<Vec<StrategyHandle>, String>>()?;
+        // Route the empty-binders default through the same fallback
+        // `mamps dse` uses, so the sweep identity matches exactly.
+        let opts = FlowOptions {
+            binders,
+            ..FlowOptions::default()
+        };
+        let strategies = sweep_strategies(&opts);
+        let configs = sweep_configs(&strategies, &spec.tile_counts, spec.include_noc);
+        let header = sweep_header(
+            spec.mode,
+            apps.iter().map(|a| a.graph().name().to_string()).collect(),
+            &spec.tile_counts,
+            spec.include_noc,
+            &strategies,
+            ShardSpec::full(),
+            configs.len() as u64,
+        );
+        Ok(ResolvedSweep {
+            apps,
+            configs,
+            header,
+        })
+    }
+
+    /// The full-sweep header — the same one `mamps dse` builds, so a
+    /// ledger merged toward it renders the identical report. Its stable
+    /// hash is the job fingerprint.
+    pub fn header(&self) -> &ShardHeader {
+        &self.header
+    }
+
+    /// Design points in the sweep.
+    pub fn total(&self) -> u64 {
+        self.header.total_configs
+    }
+
+    /// Evaluates the design points of `range` (clipped to the sweep),
+    /// concurrently per `opts.jobs`, exactly as the in-process sweep
+    /// evaluates them.
+    pub fn evaluate(&self, range: SeqRange, opts: &FlowOptions) -> Vec<ShardRecord> {
+        let todo: Vec<u64> = range.seqs().filter(|&s| s < self.total()).collect();
+        match self.header.mode {
+            SweepMode::Binders => dynamic_map(opts.jobs, &todo, |_, &seq| ShardRecord {
+                seq,
+                outcome: match evaluate_dse_config(&self.apps[0], &self.configs[seq as usize], opts)
+                {
+                    Ok(p) => ShardOutcome::Point(p),
+                    Err(s) => ShardOutcome::Skipped(s),
+                },
+            }),
+            SweepMode::UseCases => {
+                let ctx = use_case_context(&self.apps);
+                dynamic_map(opts.jobs, &todo, |_, &seq| ShardRecord {
+                    seq,
+                    outcome: ShardOutcome::UseCase(evaluate_use_case_config(
+                        &self.apps,
+                        &ctx,
+                        &self.configs[seq as usize],
+                        opts,
+                    )),
+                })
+            }
+        }
+    }
+}
+
+/// One `{"Header":…}` / `{"Record":…}` line in exactly the bytes
+/// [`DseShard::to_jsonl`] writes — the coordinator's spool appends these
+/// incrementally, so a spool file *is* a shard file.
+pub(crate) fn tagged_line(tag: &str, v: &dyn Serialize) -> String {
+    let value = serde::Value::Map(vec![(tag.to_string(), v.to_value())]);
+    let mut out = String::new();
+    serde::json::emit(&value, &mut out);
+    out.push('\n');
+    out
+}
+
+/// Sanity-pin: a header line spooled by the coordinator must parse back
+/// as a shard file prefix.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dse::shard::DseShard;
+
+    #[test]
+    fn tagged_header_line_matches_to_jsonl() {
+        let spec = SweepSpec {
+            mode: SweepMode::Binders,
+            apps_xml: vec![mamps_sdf::xml::application_to_xml(
+                &mamps_mjpeg::mjpeg_application(
+                    &mamps_mjpeg::StreamConfig {
+                        frames: 1,
+                        ..mamps_mjpeg::StreamConfig::small()
+                    },
+                    None,
+                )
+                .expect("mjpeg application builds"),
+            )],
+            tile_counts: vec![1, 2],
+            include_noc: false,
+            binders: Vec::new(),
+        };
+        let sweep = ResolvedSweep::new(&spec).expect("valid spec");
+        let shard = DseShard {
+            header: sweep.header().clone(),
+            records: Vec::new(),
+        };
+        assert_eq!(tagged_line("Header", sweep.header()), shard.to_jsonl());
+    }
+
+    #[test]
+    fn messages_survive_a_round_trip() {
+        let msg = ServerMsg::Progress {
+            job: 42,
+            done: 3,
+            total: 9,
+        };
+        let text = serde::json::to_string(&msg);
+        let back: ServerMsg = serde::json::from_str(&text).expect("round-trip");
+        assert_eq!(back, msg);
+    }
+}

@@ -1,0 +1,62 @@
+//! The `mamps dse-submit` client: sends one sweep to the coordinator and
+//! waits for the merged report, relaying streamed progress.
+
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use super::protocol::{read_msg, write_msg, ClientMsg, JobStats, ServerMsg, SweepSpec};
+
+/// A finished submission: the merged report (byte-identical to
+/// single-process `mamps dse` on the same inputs) plus the coordinator's
+/// execution counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOutcome {
+    /// The rendered sweep report.
+    pub report: String,
+    /// Execution counters (`--stats` material).
+    pub stats: JobStats,
+}
+
+/// Submits `spec` and blocks until the coordinator answers. `progress`
+/// is called with `(done, total)` for every progress update.
+///
+/// # Errors
+///
+/// Failing to connect (with a hint that the coordinator may not be
+/// running), a coordinator reject (invalid sweep, shutdown mid-sweep),
+/// or the connection dying before the report arrived.
+pub fn run_submit(
+    socket: &Path,
+    spec: &SweepSpec,
+    mut progress: impl FnMut(u64, u64),
+) -> Result<SubmitOutcome, Box<dyn std::error::Error>> {
+    let stream = UnixStream::connect(socket).map_err(|e| {
+        format!(
+            "cannot connect to coordinator at `{}`: {e} (is `mamps dse-serve` running?)",
+            socket.display()
+        )
+    })?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    write_msg(&mut writer, &ClientMsg::Submit { spec: spec.clone() })?;
+    loop {
+        match read_msg::<ServerMsg>(&mut reader)? {
+            None => {
+                return Err(
+                    "coordinator closed the connection before the sweep finished \
+                            (killed? its spool keeps the completed points)"
+                        .into(),
+                )
+            }
+            Some(ServerMsg::Progress { done, total, .. }) => progress(done, total),
+            Some(ServerMsg::Done { report, stats, .. }) => {
+                return Ok(SubmitOutcome { report, stats })
+            }
+            Some(ServerMsg::Reject { reason }) => {
+                return Err(format!("coordinator rejected the sweep: {reason}").into())
+            }
+            Some(other) => return Err(format!("unexpected coordinator message: {other:?}").into()),
+        }
+    }
+}

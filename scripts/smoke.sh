@@ -122,6 +122,9 @@ MAMPS_BIN="$BIN" scripts/sim_equiv.sh || fail "simulator engines diverged"
 echo "== incremental equivalence (pass cache: remap + delta sweeps, byte-for-byte)"
 MAMPS_BIN="$BIN" scripts/incremental_equiv.sh || fail "incremental re-mapping diverged"
 
+echo "== DSE service fault tolerance (dse-serve/dse-work/dse-submit, byte-for-byte)"
+MAMPS_BIN="$BIN" scripts/serve_fault.sh --quick || fail "DSE service diverged or lost work"
+
 echo "== mamps gen (golden corpus regenerates byte-identically)"
 GOLD=examples/generated
 "$BIN" gen --out "$tmp/generated" --seed 50 --count 8 --actors 6

@@ -24,6 +24,12 @@
 //!                 [--shard i/n --out points.jsonl] [--cache-dir DIR]
 //!                 [--resume points.jsonl]... [--stats]
 //! mamps dse-merge <points.jsonl>...
+//! mamps dse-serve  --socket S [--state-dir DIR] [--cache-dir DIR]
+//!                  [--lease-timeout MS] [--chunk N]  # DSE coordinator service
+//! mamps dse-work   --socket S [--jobs N]             # DSE worker process
+//! mamps dse-submit <app.xml> <max_tiles> --socket S [--binders a,b,c] [--stats]
+//! mamps dse-submit <max_tiles> --apps a.xml,b.xml --socket S
+//!                  [--binders a,b,c] [--stats]
 //! ```
 //!
 //! `--engine` selects the simulator kernel: `event` (default, discrete-
@@ -68,6 +74,19 @@
 //! counters and a per-pass table (name, runs, cache hits, wall time) to
 //! stderr.
 //!
+//! `dse-serve` runs the long-lived DSE coordinator service
+//! ([`mamps::flow::serve`]): `dse-submit` sends it a sweep (same shape as
+//! `dse`, application XML shipped inline), `dse-work` processes fetch
+//! leased seq ranges and evaluate them. Ranges lease with a timeout and
+//! are reassigned when a worker hangs or disconnects; every completed
+//! point is spooled to a resumable shard-format JSONL under
+//! `--state-dir`, so a killed coordinator resumes a resubmitted sweep
+//! where it stopped; and the coordinator keeps one warm analysis + pass
+//! cache across all submissions (persisted via `--cache-dir`). The
+//! merged report on stdout is byte-identical to single-process
+//! `mamps dse` — `scripts/serve_fault.sh` enforces that under injected
+//! worker kills and a coordinator restart.
+//!
 //! Binding strategies (`--binder` / `--binders`) are resolved through
 //! [`mamps::mapping::strategy::registry`]: `greedy` (default), `spiral`,
 //! `genetic`.
@@ -79,6 +98,7 @@ use mamps::flow::dse::shard;
 use mamps::flow::report::{
     render_dse_report, render_mapping_summary, render_multi_report, render_use_case_report,
 };
+use mamps::flow::serve;
 use mamps::flow::{run_flow_with_arch, run_multi_flow, FlowOptions, GuaranteeReport};
 use mamps::mapping::strategy::{self, StrategyHandle};
 use mamps::mapping::xml::mapping_to_xml;
@@ -91,7 +111,7 @@ use mamps::sim::{System, WcetTimes};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mamps gen       --out DIR [--seed S] [--family chain|split-join|tree|cyclic|mixed] [--actors N] [--count K] [--arch fsl:N|mesh:WxH] [--max-rate R] [--slack K]\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] [--cache-dir DIR] [--stats]\n  mamps remap     <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] --cache-dir DIR [--stats]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep] [--cache-dir DIR] [--stats]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N] [--cache-dir DIR] [--stats]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse-merge <points.jsonl>...\nbinders: {}",
+        "usage:\n  mamps gen       --out DIR [--seed S] [--family chain|split-join|tree|cyclic|mixed] [--actors N] [--count K] [--arch fsl:N|mesh:WxH] [--max-rate R] [--slack K]\n  mamps analyze   <app.xml>\n  mamps map       <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] [--cache-dir DIR] [--stats]\n  mamps remap     <app.xml> <arch.xml> [mapping-out.xml] [--binder <name>] --cache-dir DIR [--stats]\n  mamps map-multi <app.xml>... <arch.xml> [--binder <name>] [--iters N] [--gantt COLS] [--engine event|lockstep] [--cache-dir DIR] [--stats]\n  mamps generate  <app.xml> <arch.xml> <out-dir>\n  mamps simulate  <app.xml> <arch.xml> [iterations] [--engine event|lockstep] [--gantt COLS] [--trace N] [--cache-dir DIR] [--stats]\n  mamps dse       <app.xml> <max-tiles> [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse       <max-tiles> --apps a.xml,b.xml [--jobs N] [--binders a,b,c] [--shard i/n --out f.jsonl] [--cache-dir DIR] [--resume f.jsonl]... [--stats]\n  mamps dse-merge <points.jsonl>...\n  mamps dse-serve  --socket S [--state-dir DIR] [--cache-dir DIR] [--lease-timeout MS] [--chunk N]\n  mamps dse-work   --socket S [--jobs N]\n  mamps dse-submit <app.xml> <max-tiles> --socket S [--binders a,b,c] [--stats]\n  mamps dse-submit <max-tiles> --apps a.xml,b.xml --socket S [--binders a,b,c] [--stats]\nbinders: {}",
         strategy::names().join(", ")
     );
     ExitCode::from(2)
@@ -759,6 +779,163 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             let merged = shard::merge_reports(&shards)?;
             print!("{}", merged.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        // The DSE coordinator service: runs until SIGTERM/SIGINT, then
+        // shuts down gracefully (spools flushed, caches persisted).
+        ("dse-serve", _) => {
+            let (pos, flags) = split_flags(
+                &args[1..],
+                &["socket", "state-dir", "cache-dir", "lease-timeout", "chunk"],
+                &[],
+            )?;
+            if !pos.is_empty() {
+                return Ok(usage());
+            }
+            let mut cfg = serve::ServeConfig::default();
+            let mut socket: Option<std::path::PathBuf> = None;
+            let mut state_dir: Option<std::path::PathBuf> = None;
+            for (name, value) in &flags {
+                match name.as_str() {
+                    "socket" => socket = Some(value.into()),
+                    "state-dir" => state_dir = Some(value.into()),
+                    "cache-dir" => cfg.cache_dir = Some(value.into()),
+                    "lease-timeout" => cfg.lease_timeout_ms = value.parse()?,
+                    "chunk" => cfg.chunk = value.parse::<u64>()?.max(1),
+                    _ => unreachable!("split_flags rejects unknown flags"),
+                }
+            }
+            let socket = socket.ok_or("`mamps dse-serve` requires `--socket PATH`")?;
+            // State defaults next to the socket, so coordinator restarts
+            // with the same `--socket` find their spools without extra flags.
+            cfg.state_dir = state_dir
+                .unwrap_or_else(|| std::path::PathBuf::from(format!("{}.state", socket.display())));
+            cfg.socket = socket;
+            serve::run_coordinator(cfg)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        // A worker process: fetches leased seq ranges from the coordinator
+        // and evaluates them until told to shut down (or the coordinator
+        // disappears — an expected event, exit 0 either way).
+        ("dse-work", _) => {
+            let (pos, flags) = split_flags(&args[1..], &["socket", "jobs"], &[])?;
+            if !pos.is_empty() {
+                return Ok(usage());
+            }
+            let mut socket: Option<std::path::PathBuf> = None;
+            let mut jobs: usize = 1;
+            for (name, value) in &flags {
+                match name.as_str() {
+                    "socket" => socket = Some(value.into()),
+                    "jobs" => {
+                        let n: usize = value.parse()?;
+                        jobs = if n == 0 {
+                            mamps::flow::parallel::default_jobs()
+                        } else {
+                            n
+                        };
+                    }
+                    _ => unreachable!("split_flags rejects unknown flags"),
+                }
+            }
+            let cfg = serve::WorkerConfig {
+                socket: socket.ok_or("`mamps dse-work` requires `--socket PATH`")?,
+                jobs,
+            };
+            let summary = serve::run_worker(&cfg)?;
+            eprintln!(
+                "dse-work: evaluated {} design point(s) in {} range(s)",
+                summary.points, summary.ranges
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        // Submit a sweep to a running coordinator: same sweep shape as
+        // `dse` (app XML shipped inline), report on stdout byte-identical
+        // to single-process `mamps dse` on the same inputs.
+        ("dse-submit", _) => {
+            let (pos, flags) = split_flags(&args[1..], &["socket", "binders", "apps"], &["stats"])?;
+            let mut socket: Option<std::path::PathBuf> = None;
+            let mut binder_names: Vec<String> = Vec::new();
+            let mut app_paths: Option<Vec<String>> = None;
+            let mut show_stats = false;
+            for (name, value) in &flags {
+                match name.as_str() {
+                    "socket" => socket = Some(value.into()),
+                    "binders" => {
+                        binder_names = value
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                        // Fail locally with the registry's clear error
+                        // instead of a coordinator round-trip.
+                        for b in &binder_names {
+                            resolve_binder(b)?;
+                        }
+                    }
+                    "apps" => {
+                        app_paths = Some(
+                            value
+                                .split(',')
+                                .filter(|s| !s.is_empty())
+                                .map(str::to_string)
+                                .collect(),
+                        )
+                    }
+                    "stats" => show_stats = true,
+                    _ => unreachable!("split_flags rejects unknown flags"),
+                }
+            }
+            let socket = socket.ok_or("`mamps dse-submit` requires `--socket PATH`")?;
+            let read_xml = |path: &str| -> Result<String, Box<dyn std::error::Error>> {
+                Ok(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?)
+            };
+            let spec = match app_paths {
+                Some(paths) => {
+                    if pos.len() != 1 {
+                        return Ok(usage());
+                    }
+                    let max: usize = pos[0].parse()?;
+                    serve::SweepSpec {
+                        mode: shard::SweepMode::UseCases,
+                        apps_xml: paths
+                            .iter()
+                            .map(|p| read_xml(p))
+                            .collect::<Result<Vec<_>, _>>()?,
+                        tile_counts: (1..=max.max(1)).collect(),
+                        include_noc: true,
+                        binders: binder_names,
+                    }
+                }
+                None => {
+                    if pos.len() != 2 {
+                        return Ok(usage());
+                    }
+                    let max: usize = pos[1].parse()?;
+                    serve::SweepSpec {
+                        mode: shard::SweepMode::Binders,
+                        apps_xml: vec![read_xml(&pos[0])?],
+                        tile_counts: (1..=max.max(1)).collect(),
+                        include_noc: true,
+                        binders: binder_names,
+                    }
+                }
+            };
+            let outcome = serve::run_submit(&socket, &spec, |done, total| {
+                if show_stats {
+                    eprintln!("serve: {done}/{total} design points done");
+                }
+            })?;
+            // Report on stdout (byte-comparable); counters on stderr.
+            print!("{}", outcome.report);
+            if show_stats {
+                let s = outcome.stats;
+                eprintln!(
+                    "serve stats: {} design points; evaluated {}, cache hits {}, \
+                     duplicates {}, reassigned {}",
+                    s.total, s.evaluated, s.seeded, s.duplicates, s.reassigned
+                );
+            }
             Ok(ExitCode::SUCCESS)
         }
         _ => Ok(usage()),

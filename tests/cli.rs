@@ -526,3 +526,150 @@ fn cli_sharded_dse_merges_to_the_unsharded_report() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Kills a spawned service process on drop, so a failing assertion does
+/// not leak a coordinator/worker holding the test's socket.
+struct Reap(std::process::Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// The DSE coordinator service end to end: a dead socket fails with a
+/// clear error, a 2-worker run matches single-process `mamps dse` byte
+/// for byte, and a second identical submission is served entirely from
+/// the coordinator's warm history (`--stats` reports the cache hits).
+#[cfg(unix)]
+#[test]
+fn dse_serve_cli_round_trip() {
+    if !bin().exists() {
+        eprintln!("skipping: {} not built", bin().display());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mamps_cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = StreamConfig {
+        frames: 1,
+        ..StreamConfig::small()
+    };
+    let app = dir.join("app.xml");
+    std::fs::write(
+        &app,
+        application_to_xml(&mjpeg_application(&cfg, None).unwrap()),
+    )
+    .unwrap();
+    let socket = dir.join("serve.sock");
+
+    // Submitting to a dead socket: clear error, nonzero exit.
+    let out = Command::new(bin())
+        .arg("dse-submit")
+        .arg(&app)
+        .args(["2", "--socket"])
+        .arg(&socket)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "submit to a dead socket must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("cannot connect to coordinator") && err.contains("dse-serve"),
+        "unhelpful dead-socket error: {err}"
+    );
+
+    // The single-process reference the service must reproduce.
+    let reference = Command::new(bin())
+        .arg("dse")
+        .arg(&app)
+        .arg("2")
+        .output()
+        .unwrap();
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    let serve = Reap(
+        Command::new(bin())
+            .arg("dse-serve")
+            .args(["--socket"])
+            .arg(&socket)
+            .args(["--chunk", "1"])
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
+    for _ in 0..100 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(socket.exists(), "coordinator did not come up");
+    let workers: Vec<Reap> = (0..2)
+        .map(|_| {
+            Reap(
+                Command::new(bin())
+                    .arg("dse-work")
+                    .args(["--socket"])
+                    .arg(&socket)
+                    .stderr(std::process::Stdio::null())
+                    .spawn()
+                    .unwrap(),
+            )
+        })
+        .collect();
+
+    let submit = |tag: &str| {
+        let out = Command::new(bin())
+            .arg("dse-submit")
+            .arg(&app)
+            .args(["2", "--stats", "--socket"])
+            .arg(&socket)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{tag}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            out.stdout, reference.stdout,
+            "{tag}: serve report must be byte-identical to `mamps dse`"
+        );
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+
+    // Happy path: report byte-identical, stats on stderr.
+    let err = submit("first submission");
+    assert!(err.contains("serve stats:"), "missing stats: {err}");
+    assert!(
+        err.contains("4 design points"),
+        "2 tiles x fsl/noc is 4 points: {err}"
+    );
+
+    // Second identical submission: nothing re-evaluated, all cache hits.
+    let err = submit("second submission");
+    assert!(
+        err.contains("evaluated 0, cache hits 4"),
+        "second submission must be served from the warm history: {err}"
+    );
+
+    // Graceful shutdown lets the workers exit cleanly on their own.
+    let term = Command::new("kill")
+        .args(["-TERM", &serve.0.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(term.success());
+    for mut w in workers {
+        let status = w.0.wait().unwrap();
+        assert!(
+            status.success(),
+            "worker must exit 0 on coordinator shutdown"
+        );
+    }
+    drop(serve);
+    std::fs::remove_dir_all(&dir).ok();
+}
